@@ -1,0 +1,30 @@
+//! The Table 4 characterization sweep and the auxiliary §4 probes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use filterwatch_bench::bench_world;
+use filterwatch_core::characterize::characterize;
+use filterwatch_core::probes::{inconsistency_probe, run_denypagetests};
+
+fn bench_characterize(c: &mut Criterion) {
+    let world = bench_world();
+
+    c.bench_function("characterize/etisalat-lists", |b| {
+        b.iter(|| characterize(&world, "etisalat", 2, 1))
+    });
+    c.bench_function("characterize/yemennet-3runs", |b| {
+        b.iter(|| characterize(&world, "yemennet", 2, 3))
+    });
+    c.bench_function("probes/denypagetests-66", |b| {
+        b.iter(|| run_denypagetests(&world, "ooredoo", 1))
+    });
+    c.bench_function("probes/inconsistency-12runs", |b| {
+        b.iter(|| inconsistency_probe(&world, "yemennet", 12))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_characterize
+}
+criterion_main!(benches);

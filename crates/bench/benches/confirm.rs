@@ -1,0 +1,36 @@
+//! The Table 3 confirmation methodology end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use filterwatch_core::confirm::{run_case_study, table3_specs};
+use filterwatch_core::{World, DEFAULT_SEED};
+
+fn bench_confirm(c: &mut Criterion) {
+    // End-to-end cost of one case study including standing the world up
+    // (world construction dominates; measuring them together keeps the
+    // iteration count honest — the experiment mutates its world, so a
+    // fresh one is part of the cost).
+    c.bench_function("confirm/smartfilter-case-study-e2e", |b| {
+        let spec = table3_specs()[3].clone();
+        b.iter(|| {
+            let mut world = World::paper(DEFAULT_SEED);
+            black_box(run_case_study(&mut world, &spec))
+        })
+    });
+
+    c.bench_function("confirm/netsweeper-case-study-e2e", |b| {
+        let spec = table3_specs()[7].clone();
+        b.iter(|| {
+            let mut world = World::paper(DEFAULT_SEED);
+            black_box(run_case_study(&mut world, &spec))
+        })
+    });
+
+    c.bench_function("confirm/world-build", |b| b.iter(|| World::paper(DEFAULT_SEED)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_confirm
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! HTTP wire codec throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use filterwatch_http::{codec, Request, Response, Url};
+
+fn bench_codec(c: &mut Criterion) {
+    let req = Request::post_form(
+        Url::parse("http://vendor.example:8080/submit?src=web").unwrap(),
+        "url=http://starwasher.info/&category=anonymizers&note=confirmation+methodology",
+    );
+    let req_wire = codec::encode_request(&req);
+    let resp = Response::html(filterwatch_http::html::page(
+        "McAfee Web Gateway - Notification",
+        "<h1>Access Denied</h1><p>The requested page has been blocked.</p>",
+    ))
+    .with_header("Via-Proxy", "McAfee Web Gateway 7.3")
+    .with_header("Server", "MWG/7.3.2");
+    let resp_wire = codec::encode_response(&resp);
+
+    c.bench_function("http/encode-request", |b| b.iter(|| codec::encode_request(black_box(&req))));
+    c.bench_function("http/decode-request", |b| {
+        b.iter(|| codec::decode_request(black_box(&req_wire)).unwrap())
+    });
+    c.bench_function("http/encode-response", |b| {
+        b.iter(|| codec::encode_response(black_box(&resp)))
+    });
+    c.bench_function("http/decode-response", |b| {
+        b.iter(|| codec::decode_response(black_box(&resp_wire)).unwrap())
+    });
+    c.bench_function("http/url-parse", |b| {
+        b.iter(|| Url::parse(black_box("http://www.proxy0-glb.example:8080/a/b?x=1&y=2")).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

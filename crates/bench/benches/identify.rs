@@ -1,0 +1,26 @@
+//! The full Figure 1 identification pipeline (scan -> search -> validate
+//! -> geolocate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use filterwatch_bench::bench_world;
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_scanner::ScanEngine;
+
+fn bench_identify(c: &mut Criterion) {
+    let world = bench_world();
+    let pipeline = IdentifyPipeline::new();
+
+    c.bench_function("identify/full-pipeline", |b| b.iter(|| pipeline.run(&world.net)));
+
+    let index = ScanEngine::new().with_threads(4).scan(&world.net);
+    c.bench_function("identify/search-validate-geolocate", |b| {
+        b.iter(|| pipeline.run_on_index(&world.net, &index))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_identify
+}
+criterion_main!(benches);

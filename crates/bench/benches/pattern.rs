@@ -1,0 +1,44 @@
+//! Pattern-engine matching throughput (underpins keyword search,
+//! fingerprinting and block-page classification).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use filterwatch_pattern::{Pattern, PatternSet};
+
+fn bench_patterns(c: &mut Criterion) {
+    let banner = "HTTP/1.1 401 Unauthorized\r\nServer: netsweeper/5.1\r\n\
+                  Location: http://gw.example:15871/cgi-bin/blockpage.cgi?ws-session=9\r\n\
+                  <title>McAfee Web Gateway - Notification</title> the url blocked page";
+    let literal = Pattern::literal("blockpage.cgi");
+    let wildcard = Pattern::parse("*:15871/*ws-session*").unwrap();
+    let alternation = Pattern::parse("proxysg|netsweeper|webadmin/deny|cfru=").unwrap();
+
+    c.bench_function("pattern/literal", |b| {
+        b.iter(|| literal.is_match(black_box(banner)))
+    });
+    c.bench_function("pattern/wildcard", |b| {
+        b.iter(|| wildcard.is_match(black_box(banner)))
+    });
+    c.bench_function("pattern/alternation", |b| {
+        b.iter(|| alternation.is_match(black_box(banner)))
+    });
+
+    let mut set = PatternSet::new();
+    for (name, src) in [
+        ("bluecoat", "proxysg"),
+        ("bluecoat", "cfru="),
+        ("netsweeper", "webadmin"),
+        ("netsweeper", "8080/webadmin/"),
+        ("websense", "blockpage.cgi"),
+        ("websense", "gateway websense"),
+        ("smartfilter", "mcafee web gateway"),
+        ("smartfilter", "url blocked"),
+    ] {
+        set.insert_parsed(name, src).unwrap();
+    }
+    c.bench_function("pattern/table2-set", |b| {
+        b.iter(|| set.matching_names(black_box(banner)))
+    });
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

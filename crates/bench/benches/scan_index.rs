@@ -1,0 +1,61 @@
+//! Scan + index + keyword search (the Figure 1 pipeline's front half).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use filterwatch_bench::bench_world;
+use filterwatch_scanner::ScanEngine;
+
+fn bench_scan(c: &mut Criterion) {
+    let world = bench_world();
+
+    // Scalability sweep (§7): scan cost vs number of filtered networks.
+    for n in [8usize, 32, 128] {
+        let synthetic = filterwatch_core::World::synthetic(1, n);
+        c.bench_function(&format!("scan/synthetic-{n}-networks"), |b| {
+            let engine = ScanEngine::new().with_threads(4);
+            b.iter(|| engine.scan(&synthetic.net))
+        });
+    }
+
+    c.bench_function("scan/full-sweep", |b| {
+        let engine = ScanEngine::new().with_threads(4);
+        b.iter(|| engine.scan(&world.net))
+    });
+
+    let index = ScanEngine::new().with_threads(4).scan(&world.net);
+    c.bench_function("scan/keyword-search", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for kw in ["proxysg", "netsweeper", "blockpage.cgi", "mcafee web gateway"] {
+                hits += index.search(kw).len();
+            }
+            hits
+        })
+    });
+    c.bench_function("scan/cctld-scoped-search", |b| {
+        let cctlds: Vec<(String, String)> = world
+            .net
+            .registry()
+            .countries()
+            .map(|c| (c.code.as_str().to_string(), c.cctld.clone()))
+            .collect();
+        b.iter_batched(
+            || cctlds.clone(),
+            |ccs| {
+                index
+                    .search_all_countries(
+                        "netsweeper",
+                        ccs.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+                    )
+                    .len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8));
+    targets = bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,310 @@
+//! Regenerate every table and figure of the paper from the simulation.
+//!
+//! ```text
+//! cargo run -p filterwatch-bench --bin tables -- all
+//! cargo run -p filterwatch-bench --bin tables -- table3
+//! cargo run -p filterwatch-bench --bin tables -- figure1 --seed 42
+//! ```
+//!
+//! Artifacts: `table1` `table2` `figure1` `table3` `table4` `table5`
+//! `denypagetests` `challenge1` `challenge2` `all`.
+
+use filterwatch_core::ablate::{
+    acceptance_sweep, geo_error_sweep, license_sweep, render_acceptance, render_geo_error,
+    render_license, render_visibility, visibility_sweep,
+};
+use filterwatch_core::characterize::{render_table4, run_table4};
+use filterwatch_core::legacy::vendor_withdrawal;
+use filterwatch_core::confirm::{render_table3, run_table3};
+use filterwatch_core::evade::{render_table5, run_table5};
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_core::probes::{category_probe, inconsistency_probe, run_denypagetests};
+use filterwatch_core::report::TextTable;
+use filterwatch_core::{World, DEFAULT_SEED};
+use filterwatch_products::ProductKind;
+use filterwatch_scanner::keywords::KEYWORD_TABLE;
+use filterwatch_urllists::Category;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut artifact = String::from("all");
+    let mut seed = DEFAULT_SEED;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            name if !name.starts_with('-') => artifact = name.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let all = artifact == "all";
+    let mut ran = false;
+    macro_rules! artifact {
+        ($name:literal, $f:expr) => {
+            if all || artifact == $name {
+                ran = true;
+                println!("==================================================================");
+                println!("== {} (seed {seed})", $name);
+                println!("==================================================================");
+                $f;
+                println!();
+            }
+        };
+    }
+
+    artifact!("table1", table1());
+    artifact!("table2", table2());
+    artifact!("figure1", figure1(seed));
+    artifact!("table3", table3(seed));
+    artifact!("table4", table4(seed));
+    artifact!("table5", table5(seed));
+    artifact!("denypagetests", denypagetests(seed));
+    artifact!("challenge1", challenge1(seed));
+    artifact!("challenge2", challenge2(seed));
+    artifact!("ablation", ablation(seed));
+    artifact!("websense2009", websense2009(seed));
+    if artifact == "report" {
+        ran = true;
+        report(seed);
+    }
+
+    if !ran {
+        usage(&format!("unknown artifact {artifact:?}"));
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|report|all] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// Table 1: summary of products considered.
+fn table1() {
+    let mut t = TextTable::new(["Company", "Headquarters", "Product description", "Previously observed"]);
+    for product in ProductKind::ALL {
+        let info = product.info();
+        t.row([
+            info.company.to_string(),
+            info.headquarters.to_string(),
+            info.description.to_string(),
+            info.previously_observed.join(", "),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Table 2: identification methodology (keywords + validation signatures).
+fn table2() {
+    let sig = |p: ProductKind| -> &'static str {
+        match p {
+            ProductKind::BlueCoat => {
+                "Built-in detection or Location header contains hostname www.cfauth.com"
+            }
+            ProductKind::SmartFilter => {
+                "Via-Proxy header or HTML title contains \"McAfee Web Gateway\""
+            }
+            ProductKind::Netsweeper => "Built-in detection (WebAdmin banner/title)",
+            ProductKind::Websense => {
+                "Location header redirects to a host on port 15871 with parameter ws-session"
+            }
+        }
+    };
+    let mut t = TextTable::new(["Product", "Shodan keywords", "WhatWeb signature"]);
+    for product in ProductKind::ALL {
+        let kws = KEYWORD_TABLE
+            .iter()
+            .find(|k| k.product == product.slug())
+            .map(|k| {
+                k.keywords
+                    .iter()
+                    .map(|w| format!("{w:?}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        t.row([product.name().to_string(), kws, sig(product).to_string()]);
+    }
+    print!("{}", t.render());
+}
+
+/// Figure 1: locations of URL filter installations.
+fn figure1(seed: u64) {
+    let world = World::paper(seed);
+    let report = IdentifyPipeline::new().run(&world.net);
+    println!(
+        "scan index: {} records; keyword candidates per product: {:?}\n",
+        report.index_records, report.candidates
+    );
+    print!("{}", report.render_figure1());
+    println!();
+    let mut t = TextTable::new(["Product", "IP", "Country", "ASN", "AS name", "Keywords"]);
+    for inst in &report.installations {
+        t.row([
+            inst.product.name().to_string(),
+            inst.ip.to_string(),
+            inst.country.clone(),
+            inst.asn.map(|a| format!("AS{a}")).unwrap_or_default(),
+            inst.as_name.clone(),
+            inst.keywords.join(", "),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// Table 3: confirmation case studies.
+fn table3(seed: u64) {
+    let mut world = World::paper(seed);
+    let results = run_table3(&mut world);
+    print!("{}", render_table3(&results));
+    println!();
+    println!("details:");
+    for r in &results {
+        println!(
+            "  {:55} accessible-before={:?} accepted={} submitted-blocked={} holdout-blocked={} attributed={:?}",
+            r.spec.label,
+            r.accessible_before,
+            r.submissions_accepted,
+            r.submitted_blocked,
+            r.holdout_blocked,
+            r.attributed_products,
+        );
+    }
+}
+
+/// Table 4: blocked-content themes in confirmed networks.
+fn table4(seed: u64) {
+    let world = World::paper(seed);
+    let rows = run_table4(&world, 2);
+    print!("{}", render_table4(&rows));
+    println!();
+    for (product, ch) in &rows {
+        println!(
+            "  {product} @ {} (AS {}): {} of {} URLs blocked; attributed: {:?}",
+            ch.country, ch.asn, ch.urls_blocked, ch.urls_tested, ch.attributed_products
+        );
+    }
+}
+
+/// Table 5: methods, limitations, evasion tactics.
+fn table5(seed: u64) {
+    let scenarios = run_table5(seed);
+    print!("{}", render_table5(&scenarios));
+}
+
+/// §4.4: the Netsweeper category test site.
+fn denypagetests(seed: u64) {
+    let world = World::paper(seed);
+    for isp in ["yemennet", "ooredoo", "du"] {
+        let result = run_denypagetests(&world, isp, 4);
+        println!("{isp}: {} of 66 categories blocked:", result.blocked.len());
+        for (catno, name) in &result.blocked {
+            println!("  catno {catno:>2}  {name}");
+        }
+        println!();
+    }
+}
+
+/// §4.3 Challenge 1: category availability probing.
+fn challenge1(seed: u64) {
+    let world = World::paper(seed);
+    let cats = [Category::AnonymizersProxies, Category::Pornography];
+    let mut t = TextTable::new(["ISP", "Vendor category", "Representative URL", "Blocked?"]);
+    for isp in ["bayanat", "nournet", "etisalat"] {
+        for row in category_probe(&world, isp, ProductKind::SmartFilter, &cats) {
+            t.row([
+                isp.to_string(),
+                row.vendor_category,
+                row.url,
+                if row.blocked { "yes".into() } else { "no".to_string() },
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!("(Challenge 1: Saudi deployments leave the proxy category open, so pornography");
+    println!("is the usable probe category there — unlike Etisalat, where both block.)");
+}
+
+/// §4.4 Challenge 2: inconsistent blocking in YemenNet.
+fn challenge2(seed: u64) {
+    let world = World::paper(seed);
+    let report = inconsistency_probe(&world, "yemennet", 12);
+    println!(
+        "yemennet: {} URLs x {} runs; per-run blocked counts: {:?}",
+        report.urls.len(),
+        report.matrix.len(),
+        report.per_run_blocked()
+    );
+    println!(
+        "inconsistent URLs (blocked in some runs, open in others): {}",
+        report.inconsistent_urls()
+    );
+    let stable = inconsistency_probe(&world, "etisalat", 12);
+    println!(
+        "etisalat (control): per-run blocked counts: {:?}; inconsistent: {}",
+        stable.per_run_blocked(),
+        stable.inconsistent_urls()
+    );
+}
+
+/// Ablation sweeps (§6 limitations, quantified).
+fn ablation(seed: u64) {
+    println!("console visibility vs identification recall (confirmation as control):");
+    print!(
+        "{}",
+        render_visibility(&visibility_sweep(seed, &[0.0, 0.25, 0.5, 0.75, 1.0]))
+    );
+    println!();
+    println!("vendor acceptance rate vs confirmation yield (Netsweeper/Ooredoo):");
+    print!(
+        "{}",
+        render_acceptance(&acceptance_sweep(seed, &[0.0, 0.25, 0.5, 0.75, 0.92, 1.0]))
+    );
+    println!();
+    println!("license sizing vs filtering bypass (peak demand 16):");
+    print!(
+        "{}",
+        render_license(&license_sweep(seed, 16, &[0, 4, 8, 12, 13, 16], 5_000))
+    );
+    println!();
+    println!("geolocation-database error vs country attribution (census workflow):");
+    print!(
+        "{}",
+        render_geo_error(&geo_error_sweep(seed, &[0.0, 0.1, 0.25, 0.5, 1.0]))
+    );
+}
+
+/// §2.2: the Websense/Yemen 2009 vendor withdrawal, replayed.
+fn websense2009(seed: u64) {
+    let r = vendor_withdrawal(seed);
+    println!("vendor froze updates at day {}", r.frozen_at_day);
+    println!(
+        "site categorized before the freeze: {}",
+        if r.old_entry_blocks { "still blocked (snapshot persists)" } else { "NOT blocked" }
+    );
+    println!(
+        "site categorized after the freeze:  {}",
+        if r.new_entry_blocks { "blocked" } else { "not blocked (updates never arrive)" }
+    );
+    println!(
+        "scan-diff after the operator decommissioned the gateway: {} endpoint(s) disappeared",
+        r.endpoints_disappeared
+    );
+}
+
+/// The full campaign as one markdown report (`report` artifact).
+fn report(seed: u64) {
+    let report = filterwatch_core::Campaign::standard(seed).run();
+    print!("{}", report.to_markdown());
+}

@@ -1,0 +1,15 @@
+//! Benchmark and table-regeneration harness for filterwatch.
+//!
+//! * `src/bin/tables.rs` — regenerates every table and figure of the
+//!   paper from the simulation (see `tables --help`-style usage in the
+//!   binary docs);
+//! * `benches/` — Criterion benchmarks for each pipeline stage.
+//!
+//! The library target only re-exports a tiny helper shared by benches.
+
+use filterwatch_core::{World, DEFAULT_SEED};
+
+/// Build the standard benchmark world (paper world, default seed).
+pub fn bench_world() -> World {
+    World::paper(DEFAULT_SEED)
+}

@@ -1,0 +1,197 @@
+//! One-call measurement campaigns.
+//!
+//! A downstream user of the methodology wants the paper's full loop —
+//! identify everywhere, confirm in the ISPs where a field tester exists,
+//! characterize whatever confirmed — as a single call that produces a
+//! publishable report. [`Campaign`] is that entry point; the staged
+//! functions in [`identify`](crate::identify), [`confirm`](crate::confirm)
+//! and [`characterize`](crate::characterize) remain available for
+//! bespoke studies.
+
+use filterwatch_products::ProductKind;
+
+use crate::characterize::{characterize, Characterization, Table4Column};
+use crate::confirm::{run_case_study, table3_specs, CaseStudyResult, CaseStudySpec};
+use crate::identify::{IdentificationReport, IdentifyPipeline};
+use crate::world::{World, WorldOptions};
+
+/// A configured campaign.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// World construction options.
+    pub options: WorldOptions,
+    /// Confirmation case studies to run, in order.
+    pub confirmations: Vec<CaseStudySpec>,
+    /// URLs per category for characterization lists.
+    pub list_urls_per_category: usize,
+    /// Characterization repetitions (ride out flaky deployments).
+    pub characterize_runs: usize,
+}
+
+impl Campaign {
+    /// The paper's campaign: the ten Table 3 case studies, Table 4
+    /// characterization of whatever confirms.
+    pub fn standard(seed: u64) -> Self {
+        Campaign {
+            options: WorldOptions {
+                seed,
+                ..WorldOptions::default()
+            },
+            confirmations: table3_specs(),
+            list_urls_per_category: 2,
+            characterize_runs: 3,
+        }
+    }
+
+    /// Run the whole campaign.
+    pub fn run(self) -> CampaignReport {
+        let mut world = World::build(self.options.clone());
+
+        // Stage 1: identify.
+        let identification = IdentifyPipeline::new().run(&world.net);
+
+        // Stage 2: confirm.
+        let confirmations: Vec<CaseStudyResult> = self
+            .confirmations
+            .iter()
+            .map(|spec| run_case_study(&mut world, spec))
+            .collect();
+
+        // Stage 3: characterize every ISP where some product confirmed.
+        let mut confirmed_isps: Vec<(String, ProductKind)> = Vec::new();
+        for r in &confirmations {
+            if r.confirmed && !confirmed_isps.iter().any(|(isp, _)| *isp == r.spec.isp) {
+                confirmed_isps.push((r.spec.isp.clone(), r.spec.product));
+            }
+        }
+        let characterizations: Vec<(ProductKind, Characterization)> = confirmed_isps
+            .iter()
+            .map(|(isp, product)| {
+                (
+                    *product,
+                    characterize(&world, isp, self.list_urls_per_category, self.characterize_runs),
+                )
+            })
+            .collect();
+
+        CampaignReport {
+            seed: self.options.seed,
+            finished_at_day: world.net.now().days(),
+            identification,
+            confirmations,
+            characterizations,
+        }
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// World seed the campaign ran under.
+    pub seed: u64,
+    /// Virtual day the campaign finished on.
+    pub finished_at_day: u64,
+    /// Stage 1 output.
+    pub identification: IdentificationReport,
+    /// Stage 2 outputs, in spec order.
+    pub confirmations: Vec<CaseStudyResult>,
+    /// Stage 3 outputs for each confirmed ISP.
+    pub characterizations: Vec<(ProductKind, Characterization)>,
+}
+
+impl CampaignReport {
+    /// Number of confirmed censorship deployments.
+    pub fn confirmed_count(&self) -> usize {
+        self.confirmations.iter().filter(|r| r.confirmed).count()
+    }
+
+    /// Render the whole campaign as a markdown report.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# filterwatch campaign report\n\nseed {} — finished on virtual day {}\n\n",
+            self.seed, self.finished_at_day
+        ));
+
+        out.push_str("## Identified installations\n\n");
+        out.push_str("| Product | Country | ASN | AS name | IP |\n|---|---|---|---|---|\n");
+        for inst in &self.identification.installations {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} |\n",
+                inst.product.name(),
+                inst.country,
+                inst.asn.map(|a| format!("AS{a}")).unwrap_or_default(),
+                inst.as_name,
+                inst.ip
+            ));
+        }
+
+        out.push_str("\n## Confirmation case studies\n\n");
+        out.push_str(
+            "| Case | Date | Submitted | Blocked | Holdout blocked | Confirmed |\n|---|---|---|---|---|---|\n",
+        );
+        for r in &self.confirmations {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} |\n",
+                r.spec.label,
+                r.spec.date,
+                r.submitted_of_created(),
+                r.blocked_of_submitted(),
+                r.holdout_blocked,
+                if r.confirmed { "**yes**" } else { "no" }
+            ));
+        }
+
+        out.push_str("\n## Blocked content themes in confirmed networks\n\n");
+        out.push_str("| Product | Network |");
+        for col in Table4Column::ALL {
+            out.push_str(&format!(" {} |", col.name()));
+        }
+        out.push_str("\n|---|---|---|---|---|---|---|---|\n");
+        for (product, ch) in &self.characterizations {
+            out.push_str(&format!("| {} | {} (AS{}) |", product.name(), ch.country, ch.asn));
+            for col in Table4Column::ALL {
+                out.push_str(if ch.column_marked(col) { " x |" } else { "  |" });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_SEED;
+
+    #[test]
+    fn standard_campaign_reproduces_the_paper() {
+        let report = Campaign::standard(DEFAULT_SEED).run();
+        assert_eq!(report.confirmations.len(), 10);
+        assert_eq!(report.confirmed_count(), 7);
+        // Characterization covers the distinct confirmed ISPs:
+        // bayanat, nournet, etisalat, ooredoo, du, yemennet.
+        assert_eq!(report.characterizations.len(), 6);
+        assert!(report.identification.installations.len() >= 30);
+        assert!(report.finished_at_day >= 40, "{}", report.finished_at_day);
+    }
+
+    #[test]
+    fn markdown_report_contains_all_sections() {
+        let report = Campaign::standard(DEFAULT_SEED).run();
+        let md = report.to_markdown();
+        assert!(md.contains("# filterwatch campaign report"));
+        assert!(md.contains("## Identified installations"));
+        assert!(md.contains("## Confirmation case studies"));
+        assert!(md.contains("## Blocked content themes"));
+        assert!(md.contains("Netsweeper / Yemen / YemenNet"));
+        assert!(md.contains("**yes**"));
+        // Markdown tables stay rectangular: every themes row has the
+        // right number of columns.
+        for line in md.lines().filter(|l| l.starts_with("| McAfee") || l.starts_with("| Netsweeper")) {
+            if line.contains("(AS") {
+                assert_eq!(line.matches('|').count(), 9, "{line}");
+            }
+        }
+    }
+}

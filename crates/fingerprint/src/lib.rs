@@ -1,0 +1,26 @@
+//! WhatWeb-style product fingerprinting.
+//!
+//! §3.1: "We use the WhatWeb profiling tool to confirm the product that
+//! is installed on a given host. For some products (e.g. Netsweeper)
+//! WhatWeb contains a pre-existing signature ... in other cases we
+//! create signatures based on HTTP headers."
+//!
+//! The engine fetches a candidate address on a handful of `(port, path)`
+//! targets and evaluates every plugin's matchers against the responses.
+//! Matchers cover the signature surface of Table 2's right column:
+//! header presence/content, HTML title, body text, and redirect
+//! `Location` targets. A plugin hit yields a [`Finding`] with the
+//! concrete evidence lines, so validation results are auditable.
+//!
+//! Like the scanner, the engine can only validate what a host actually
+//! serves: deployments that strip distinctive headers (§6.1) simply fail
+//! to match — the designed-in limitation of Table 5's second row.
+
+pub mod engine;
+pub mod matcher;
+pub mod plugin;
+pub mod plugins;
+
+pub use engine::{Finding, FingerprintEngine};
+pub use matcher::Matcher;
+pub use plugin::{Plugin, Target};

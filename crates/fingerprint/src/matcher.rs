@@ -1,0 +1,104 @@
+//! Signature matchers over HTTP responses.
+
+use filterwatch_http::Response;
+use filterwatch_pattern::Pattern;
+
+/// One condition a response can satisfy.
+#[derive(Debug, Clone)]
+pub enum Matcher {
+    /// A header with this name exists (any value).
+    HeaderExists(&'static str),
+    /// A header with this name exists and its value matches the pattern.
+    HeaderMatches(&'static str, Pattern),
+    /// The HTML `<title>` matches the pattern.
+    TitleMatches(Pattern),
+    /// The body text matches the pattern.
+    BodyMatches(Pattern),
+    /// The response is a redirect whose `Location` matches the pattern.
+    LocationMatches(Pattern),
+    /// The response status code equals this value.
+    StatusIs(u16),
+}
+
+impl Matcher {
+    /// Evaluate against a response; on a hit, return a human-readable
+    /// evidence line.
+    pub fn evaluate(&self, resp: &Response) -> Option<String> {
+        match self {
+            Matcher::HeaderExists(name) => resp
+                .headers
+                .get(name)
+                .map(|v| format!("header {name} present ({v})")),
+            Matcher::HeaderMatches(name, pattern) => resp.headers.get(name).and_then(|v| {
+                pattern
+                    .is_match(v)
+                    .then(|| format!("header {name}: {v} matches /{pattern}/"))
+            }),
+            Matcher::TitleMatches(pattern) => resp.title().and_then(|t| {
+                pattern
+                    .is_match(&t)
+                    .then(|| format!("title {t:?} matches /{pattern}/"))
+            }),
+            Matcher::BodyMatches(pattern) => {
+                let body = resp.body_text();
+                pattern
+                    .is_match(&body)
+                    .then(|| format!("body matches /{pattern}/"))
+            }
+            Matcher::LocationMatches(pattern) => resp.location().and_then(|loc| {
+                pattern
+                    .is_match(loc)
+                    .then(|| format!("Location {loc} matches /{pattern}/"))
+            }),
+            Matcher::StatusIs(code) => {
+                (resp.status.code() == *code).then(|| format!("status is {code}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterwatch_http::{html, Status};
+
+    fn resp() -> Response {
+        Response::html(html::page("McAfee Web Gateway", "<p>URL Blocked</p>"))
+            .with_header("Via-Proxy", "MWG 7.3")
+            .with_status(Status::UNAUTHORIZED)
+    }
+
+    #[test]
+    fn header_matchers() {
+        assert!(Matcher::HeaderExists("via-proxy").evaluate(&resp()).is_some());
+        assert!(Matcher::HeaderExists("X-Nope").evaluate(&resp()).is_none());
+        let m = Matcher::HeaderMatches("Via-Proxy", Pattern::parse("mwg").unwrap());
+        assert!(m.evaluate(&resp()).unwrap().contains("Via-Proxy"));
+        let miss = Matcher::HeaderMatches("Via-Proxy", Pattern::parse("^zzz").unwrap());
+        assert!(miss.evaluate(&resp()).is_none());
+    }
+
+    #[test]
+    fn title_and_body_matchers() {
+        let t = Matcher::TitleMatches(Pattern::parse("mcafee web gateway").unwrap());
+        assert!(t.evaluate(&resp()).is_some());
+        let b = Matcher::BodyMatches(Pattern::parse("url blocked").unwrap());
+        assert!(b.evaluate(&resp()).is_some());
+        let no_title = Response::text(Status::OK, "no html here");
+        assert!(t.evaluate(&no_title).is_none());
+    }
+
+    #[test]
+    fn location_matcher_requires_header() {
+        let redir = Response::redirect("http://gw:15871/cgi-bin/blockpage.cgi?ws-session=1");
+        let m = Matcher::LocationMatches(Pattern::parse("*:15871/*ws-session*").unwrap());
+        assert!(m.evaluate(&redir).is_some());
+        assert!(m.evaluate(&resp()).is_none());
+    }
+
+    #[test]
+    fn status_matcher() {
+        assert!(Matcher::StatusIs(401).evaluate(&resp()).is_some());
+        assert!(Matcher::StatusIs(200).evaluate(&resp()).is_none());
+    }
+}

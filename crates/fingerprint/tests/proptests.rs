@@ -1,0 +1,79 @@
+//! Property-based tests for the fingerprinting engine.
+
+use filterwatch_fingerprint::{FingerprintEngine, Matcher, Plugin};
+use filterwatch_http::{html, Response, Status};
+use filterwatch_pattern::Pattern;
+use proptest::prelude::*;
+
+proptest! {
+    /// Matchers are total: no response crashes any Table 2 matcher.
+    #[test]
+    fn matchers_are_total(code in 100u16..600, hval in "[ -~]{0,40}", body in "\\PC{0,200}") {
+        let mut resp = Response::text(Status(code), body);
+        resp.headers.set("Server", hval);
+        for plugin in filterwatch_fingerprint::plugins::table2_plugins() {
+            for matcher in &plugin.matchers {
+                let _ = matcher.evaluate(&resp);
+            }
+        }
+    }
+
+    /// HeaderMatches never fires when the header is absent.
+    #[test]
+    fn header_match_requires_header(pattern in "[a-z]{1,6}", body in "[ -~]{0,60}") {
+        let resp = Response::text(Status::OK, body);
+        let m = Matcher::HeaderMatches("X-Absent", Pattern::parse(&pattern).unwrap());
+        prop_assert!(m.evaluate(&resp).is_none());
+    }
+
+    /// A title matcher fires iff the page's title matches.
+    #[test]
+    fn title_match_tracks_title(title in "[a-zA-Z ]{1,30}", probe in "[a-z]{2,6}") {
+        let resp = Response::html(html::page(&title, "<p>x</p>"));
+        let m = Matcher::TitleMatches(Pattern::literal(&probe));
+        let fired = m.evaluate(&resp).is_some();
+        let expected = title.to_ascii_lowercase().contains(&probe);
+        prop_assert_eq!(fired, expected, "title={:?} probe={:?}", title, probe);
+    }
+
+    /// Every evidence line an engine produces names the target it came
+    /// from (auditable findings).
+    #[test]
+    fn evidence_lines_name_targets(server in "[a-zA-Z/0-9.-]{1,20}") {
+        use filterwatch_netsim::{Internet, NetworkSpec};
+        use filterwatch_netsim::service::StaticSite;
+        let mut net = Internet::new(0);
+        net.registry_mut().register_country("US", "United States", "us");
+        let asn = net.registry_mut().register_as(1, "T", "US");
+        let p = net.registry_mut().allocate_prefix(asn, 1).unwrap();
+        let n = net.add_network(NetworkSpec::new("t", asn, "US").with_cidr(p));
+        let ip = net.alloc_ip(n).unwrap();
+        net.add_host(ip, n, &[]);
+        net.add_service(ip, 80, Box::new(StaticSite::new("Page", "<p>x</p>").with_server(&server)));
+        for finding in FingerprintEngine::new().identify(&net, ip) {
+            prop_assert_eq!(finding.ip, ip);
+            for line in &finding.evidence {
+                prop_assert!(line.starts_with(':'), "{line}");
+            }
+        }
+    }
+
+    /// Plugins with no matchers never produce findings.
+    #[test]
+    fn empty_plugin_is_silent(port in 1u16..1000) {
+        use filterwatch_netsim::{Internet, NetworkSpec};
+        use filterwatch_netsim::service::StaticSite;
+        let mut net = Internet::new(0);
+        net.registry_mut().register_country("US", "United States", "us");
+        let asn = net.registry_mut().register_as(1, "T", "US");
+        let p = net.registry_mut().allocate_prefix(asn, 1).unwrap();
+        let n = net.add_network(NetworkSpec::new("t", asn, "US").with_cidr(p));
+        let ip = net.alloc_ip(n).unwrap();
+        net.add_host(ip, n, &[]);
+        net.add_service(ip, port, Box::new(StaticSite::new("Page", "")));
+        let engine = FingerprintEngine::with_plugins(vec![
+            Plugin::new("empty", "bluecoat").probing(port, "/"),
+        ]);
+        prop_assert!(engine.identify(&net, ip).is_empty());
+    }
+}

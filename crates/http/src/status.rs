@@ -1,0 +1,100 @@
+//! HTTP status codes.
+
+/// An HTTP status code with its canonical reason phrase.
+///
+/// Stored as the bare `u16`; constants cover the codes the simulated
+/// vendors and services actually emit. Block pages in the wild use a mix
+/// of `200`, `403` and `302` — all are representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Status(pub u16);
+
+impl Status {
+    /// 200 OK
+    pub const OK: Status = Status(200);
+    /// 204 No Content
+    pub const NO_CONTENT: Status = Status(204);
+    /// 301 Moved Permanently
+    pub const MOVED_PERMANENTLY: Status = Status(301);
+    /// 302 Found (temporary redirect; the form block-page redirects use)
+    pub const FOUND: Status = Status(302);
+    /// 400 Bad Request
+    pub const BAD_REQUEST: Status = Status(400);
+    /// 401 Unauthorized (admin consoles)
+    pub const UNAUTHORIZED: Status = Status(401);
+    /// 403 Forbidden (most explicit block pages)
+    pub const FORBIDDEN: Status = Status(403);
+    /// 404 Not Found
+    pub const NOT_FOUND: Status = Status(404);
+    /// 500 Internal Server Error
+    pub const INTERNAL_SERVER_ERROR: Status = Status(500);
+    /// 503 Service Unavailable
+    pub const SERVICE_UNAVAILABLE: Status = Status(503);
+
+    /// The numeric code.
+    pub fn code(&self) -> u16 {
+        self.0
+    }
+
+    /// Canonical reason phrase for known codes, `"Unknown"` otherwise.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Whether the code is in the 2xx class.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Whether the code is in the 3xx class.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// Whether the code is in the 4xx or 5xx class.
+    pub fn is_error(&self) -> bool {
+        self.0 >= 400
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert!(Status::OK.is_success());
+        assert!(Status::FOUND.is_redirect());
+        assert!(Status::FORBIDDEN.is_error());
+        assert!(!Status::FORBIDDEN.is_success());
+        assert!(Status::SERVICE_UNAVAILABLE.is_error());
+    }
+
+    #[test]
+    fn display_includes_reason() {
+        assert_eq!(Status::FORBIDDEN.to_string(), "403 Forbidden");
+        assert_eq!(Status(299).to_string(), "299 Unknown");
+    }
+
+    #[test]
+    fn code_accessor() {
+        assert_eq!(Status::FOUND.code(), 302);
+    }
+}

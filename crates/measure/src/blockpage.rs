@@ -1,0 +1,155 @@
+//! Vendor block-page signatures.
+//!
+//! §5: "Manual analysis identified regular expressions corresponding to
+//! the vendors' block pages and automated analysis identified all URLs
+//! which matched a given block page regular expression." The library
+//! here is that regex set, expressed with `filterwatch_pattern`. It is
+//! deliberately *independent* of the products crate — like the paper's
+//! analysts, it matches what deployments actually emit, not what the
+//! vendor source code says.
+
+use filterwatch_pattern::{Pattern, PatternSet};
+
+/// A classified block observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMatch {
+    /// The vendor the block page was attributed to, if identifiable
+    /// (`None` = explicit block page with no recognizable vendor
+    /// signature — e.g. a branding-stripped deployment).
+    pub product: Option<String>,
+    /// The signature that fired.
+    pub evidence: String,
+}
+
+/// The vendor block-page signature library.
+#[derive(Debug, Clone)]
+pub struct BlockPageLibrary {
+    vendors: PatternSet,
+    generic: Vec<Pattern>,
+}
+
+impl Default for BlockPageLibrary {
+    fn default() -> Self {
+        BlockPageLibrary::standard()
+    }
+}
+
+impl BlockPageLibrary {
+    /// The standard library covering the four studied products plus a
+    /// generic explicit-denial fallback.
+    pub fn standard() -> Self {
+        let mut vendors = PatternSet::new();
+        // McAfee SmartFilter / Web Gateway.
+        vendors.insert("smartfilter", Pattern::literal("mcafee web gateway"));
+        vendors.insert("smartfilter", Pattern::literal("via-proxy"));
+        // Blue Coat: the cfauth redirect or the WebFilter portal page.
+        vendors.insert("bluecoat", Pattern::literal("www.cfauth.com"));
+        vendors.insert("bluecoat", Pattern::literal("cfru="));
+        vendors.insert("bluecoat", Pattern::literal("blue coat webfilter"));
+        // Netsweeper: the deny URL and the deny page wording.
+        vendors.insert("netsweeper", Pattern::literal("webadmin/deny"));
+        vendors.insert(
+            "netsweeper",
+            Pattern::parse("web page blocked*netsweeper").expect("static"),
+        );
+        // Websense: the 15871 block-page URL or page branding.
+        vendors.insert(
+            "websense",
+            Pattern::parse(":15871/*blockpage.cgi").expect("static"),
+        );
+        vendors.insert("websense", Pattern::literal("websense"));
+
+        let generic = vec![
+            Pattern::literal("has been blocked"),
+            Pattern::parse("access denied|access to this site is blocked").expect("static"),
+            Pattern::literal("access restricted by network policy"),
+        ];
+        BlockPageLibrary { vendors, generic }
+    }
+
+    /// Classify a fetch trace (concatenated URLs, banners and bodies of
+    /// every hop). Vendor signatures win over the generic fallback.
+    pub fn classify(&self, trace_text: &str) -> Option<BlockMatch> {
+        let lower = trace_text.to_ascii_lowercase();
+        let hits = self.vendors.matches(&lower);
+        if let Some(hit) = hits.first() {
+            return Some(BlockMatch {
+                product: Some(hit.name.to_string()),
+                evidence: format!("vendor signature /{}/", hit.pattern),
+            });
+        }
+        for p in &self.generic {
+            if p.is_match(&lower) {
+                return Some(BlockMatch {
+                    product: None,
+                    evidence: format!("generic denial /{p}/"),
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of vendor signatures loaded.
+    pub fn vendor_signature_count(&self) -> usize {
+        self.vendors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_each_vendor() {
+        let lib = BlockPageLibrary::standard();
+        let cases = [
+            ("redirected to http://www.cfauth.com/?cfru=Zm9v", "bluecoat"),
+            (
+                "http://gw:8080/webadmin/deny?dpid=36 <title>Web Page Blocked</title>",
+                "netsweeper",
+            ),
+            (
+                "http://gw:15871/cgi-bin/blockpage.cgi?ws-session=3 websense content gateway",
+                "websense",
+            ),
+            (
+                "<title>McAfee Web Gateway - Notification</title> URL Blocked",
+                "smartfilter",
+            ),
+        ];
+        for (text, expected) in cases {
+            let m = lib.classify(text).unwrap_or_else(|| panic!("no match for {expected}"));
+            assert_eq!(m.product.as_deref(), Some(expected), "{text}");
+        }
+    }
+
+    #[test]
+    fn generic_denial_without_branding() {
+        let lib = BlockPageLibrary::standard();
+        let m = lib
+            .classify("<h1>Access Denied</h1><p>the page has been blocked.</p>")
+            .unwrap();
+        assert_eq!(m.product, None);
+    }
+
+    #[test]
+    fn ordinary_pages_do_not_match() {
+        let lib = BlockPageLibrary::standard();
+        assert!(lib.classify("<title>Free Web Proxy</title> surf anonymously").is_none());
+        assert!(lib.classify("<title>News of the day</title>").is_none());
+    }
+
+    #[test]
+    fn vendor_beats_generic() {
+        let lib = BlockPageLibrary::standard();
+        let m = lib
+            .classify("Access Denied ... Blue Coat WebFilter policy")
+            .unwrap();
+        assert_eq!(m.product.as_deref(), Some("bluecoat"));
+    }
+
+    #[test]
+    fn library_size() {
+        assert!(BlockPageLibrary::standard().vendor_signature_count() >= 8);
+    }
+}

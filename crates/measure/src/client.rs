@@ -1,0 +1,396 @@
+//! The dual-vantage measurement client.
+
+use filterwatch_http::{Response, Url};
+use filterwatch_netsim::{FetchOutcome, Internet, VantageId};
+
+use crate::blockpage::BlockPageLibrary;
+use crate::similarity::{body_similarity, MODIFIED_THRESHOLD};
+use crate::verdict::{UrlVerdict, Verdict};
+
+/// The hops of one redirect-following fetch.
+#[derive(Debug, Clone)]
+pub struct FetchTrace {
+    /// `(url, outcome)` per hop, in order.
+    pub hops: Vec<(Url, FetchOutcome)>,
+}
+
+impl FetchTrace {
+    /// The final hop's outcome.
+    pub fn final_outcome(&self) -> &FetchOutcome {
+        &self.hops.last().expect("trace has at least one hop").1
+    }
+
+    /// The final hop's response, if one arrived.
+    pub fn final_response(&self) -> Option<&Response> {
+        self.final_outcome().response()
+    }
+
+    /// All text a block-page classifier should see: every hop's URL,
+    /// banner and body.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for (url, outcome) in &self.hops {
+            out.push_str(&url.to_string());
+            out.push('\n');
+            if let Some(resp) = outcome.response() {
+                out.push_str(&resp.banner());
+                out.push('\n');
+                out.push_str(&resp.body_text());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// What one vantage observed for one URL.
+#[derive(Debug, Clone)]
+pub enum Observation {
+    /// An HTTP response was ultimately received.
+    Reached {
+        /// Final status code.
+        status: u16,
+        /// The full trace (for classification and logs).
+        trace: FetchTrace,
+    },
+    /// The fetch failed at the transport layer.
+    Failed {
+        /// `timeout`, `reset`, `dns-failure` or `connect-failed`.
+        error: String,
+    },
+}
+
+impl Observation {
+    /// Whether a response arrived.
+    pub fn reached(&self) -> bool {
+        matches!(self, Observation::Reached { .. })
+    }
+}
+
+/// The §4.1 measurement client: field + lab vantage points.
+pub struct MeasurementClient {
+    field: VantageId,
+    lab: VantageId,
+    library: BlockPageLibrary,
+    max_redirects: usize,
+}
+
+impl MeasurementClient {
+    /// A client testing from `field`, controlled against `lab`.
+    pub fn new(field: VantageId, lab: VantageId) -> Self {
+        MeasurementClient {
+            field,
+            lab,
+            library: BlockPageLibrary::standard(),
+            max_redirects: 5,
+        }
+    }
+
+    /// The field vantage.
+    pub fn field(&self) -> VantageId {
+        self.field
+    }
+
+    /// The lab vantage.
+    pub fn lab(&self) -> VantageId {
+        self.lab
+    }
+
+    /// Fetch a URL from one vantage, following redirects.
+    pub fn fetch(&self, net: &Internet, vantage: VantageId, url: &Url) -> Observation {
+        let mut hops = Vec::new();
+        let mut current = url.clone();
+        for _ in 0..=self.max_redirects {
+            let outcome = net.fetch(vantage, &current);
+            let next = match &outcome {
+                FetchOutcome::Ok(resp) if resp.status.is_redirect() =>
+
+                    resp.location().and_then(|loc| self.resolve_location(&current, loc)),
+                FetchOutcome::Ok(_) => None,
+                _failure => {
+                    hops.push((current, outcome));
+                    return self.finish(hops);
+                }
+            };
+            hops.push((current.clone(), outcome));
+            match next {
+                Some(next_url) => current = next_url,
+                None => break,
+            }
+        }
+        self.finish(hops)
+    }
+
+    fn resolve_location(&self, base: &Url, location: &str) -> Option<Url> {
+        if location.starts_with("http://") || location.starts_with("https://") {
+            Url::parse(location).ok()
+        } else if location.starts_with('/') {
+            Some(base.with_path(location))
+        } else {
+            None
+        }
+    }
+
+    fn finish(&self, hops: Vec<(Url, FetchOutcome)>) -> Observation {
+        let trace = FetchTrace { hops };
+        match trace.final_outcome() {
+            FetchOutcome::Ok(resp) => Observation::Reached {
+                status: resp.status.code(),
+                trace,
+            },
+            failure => Observation::Failed {
+                error: failure.label().to_string(),
+            },
+        }
+    }
+
+    /// Test one URL: fetch from the field and from the lab, compare
+    /// (§4.1), and classify any explicit block page.
+    pub fn test_url(&self, net: &Internet, url: &Url) -> UrlVerdict {
+        let field = self.fetch(net, self.field, url);
+        let lab = self.fetch(net, self.lab, url);
+        let verdict = self.compare(&field, &lab);
+        UrlVerdict {
+            url: url.to_string(),
+            verdict,
+        }
+    }
+
+    /// Compare a field observation against the lab control.
+    pub fn compare(&self, field: &Observation, lab: &Observation) -> Verdict {
+        // Lab failure first: no control, no conclusion.
+        let Observation::Reached { trace: lab_trace, .. } = lab else {
+            let Observation::Failed { error } = lab else {
+                unreachable!()
+            };
+            return Verdict::Unavailable {
+                lab_error: error.clone(),
+            };
+        };
+
+        match field {
+            Observation::Failed { error } => Verdict::Inaccessible {
+                field_error: error.clone(),
+            },
+            Observation::Reached { trace, .. } => {
+                // A block page in the field that is absent in the lab.
+                match self.library.classify(&trace.text()) {
+                    Some(block) if self.library.classify(&lab_trace.text()).is_none() => {
+                        Verdict::Blocked(block)
+                    }
+                    _ => {
+                        // No explicit denial: compare content. A strong
+                        // divergence between the two copies is covert
+                        // in-path tampering.
+                        let field_body = trace
+                            .final_response()
+                            .map(|r| r.body_text())
+                            .unwrap_or_default();
+                        let lab_body = lab_trace
+                            .final_response()
+                            .map(|r| r.body_text())
+                            .unwrap_or_default();
+                        let similarity = body_similarity(&field_body, &lab_body);
+                        if similarity < MODIFIED_THRESHOLD {
+                            Verdict::Modified { similarity }
+                        } else {
+                            Verdict::Accessible
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Test a list of URLs in order.
+    pub fn test_list(&self, net: &Internet, urls: &[Url]) -> Vec<UrlVerdict> {
+        urls.iter().map(|u| self.test_url(net, u)).collect()
+    }
+
+    /// Repeat a list test `runs` times (Challenge 2: inconsistent
+    /// blocking needs repetition). Returns one verdict vector per run.
+    pub fn test_list_repeated(
+        &self,
+        net: &Internet,
+        urls: &[Url],
+        runs: usize,
+    ) -> Vec<Vec<UrlVerdict>> {
+        (0..runs).map(|_| self.test_list(net, urls)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterwatch_http::{Request, Status};
+    use filterwatch_netsim::service::StaticSite;
+    use filterwatch_netsim::{FlowCtx, Middlebox, NetworkSpec, Verdict as MbVerdict};
+    use std::sync::Arc;
+
+    /// A toy filter that redirects requests for hosts containing
+    /// "blocked" to an in-ISP deny host.
+    struct RedirectBlocker {
+        deny_url: String,
+    }
+
+    impl Middlebox for RedirectBlocker {
+        fn name(&self) -> &str {
+            "redirect-blocker"
+        }
+        fn process_request(&self, req: &Request, _ctx: &FlowCtx) -> MbVerdict {
+            if req.url.host().contains("blocked") {
+                MbVerdict::respond(Response::redirect(&self.deny_url))
+            } else {
+                MbVerdict::Forward
+            }
+        }
+    }
+
+    fn world() -> (Internet, MeasurementClient) {
+        let mut net = Internet::new(3);
+        net.registry_mut().register_country("CA", "Canada", "ca");
+        net.registry_mut().register_country("YE", "Yemen", "ye");
+        let lab_as = net.registry_mut().register_as(239, "UTORONTO", "CA");
+        let isp_as = net.registry_mut().register_as(12486, "YEMENNET", "YE");
+        let lab_p = net.registry_mut().allocate_prefix(lab_as, 1).unwrap();
+        let isp_p = net.registry_mut().allocate_prefix(isp_as, 1).unwrap();
+        let lab = net.add_network(NetworkSpec::new("lab", lab_as, "CA").with_cidr(lab_p));
+        let isp = net.add_network(NetworkSpec::new("isp", isp_as, "YE").with_cidr(isp_p));
+
+        // Origin site (outside the ISP).
+        let site_ip = net.alloc_ip(lab).unwrap();
+        net.add_host(site_ip, lab, &["www.blocked-news.org"]);
+        net.add_service(site_ip, 80, Box::new(StaticSite::new("News", "<p>stories</p>")));
+        let ok_ip = net.alloc_ip(lab).unwrap();
+        net.add_host(ok_ip, lab, &["www.fine.org"]);
+        net.add_service(ok_ip, 80, Box::new(StaticSite::new("Fine", "<p>ok</p>")));
+
+        // Deny host inside the ISP.
+        let deny_ip = net.alloc_ip(isp).unwrap();
+        net.add_host(deny_ip, isp, &["deny.isp.ye"]);
+        net.add_service(
+            deny_ip,
+            8080,
+            Box::new(StaticSite::new("Web Page Blocked", "<p>netsweeper deny</p>")),
+        );
+        net.attach_middlebox(
+            isp,
+            Arc::new(RedirectBlocker {
+                deny_url: "http://deny.isp.ye:8080/webadmin/deny?dpid=36".into(),
+            }),
+        );
+
+        let field = net.add_vantage("field", isp);
+        let lab_vp = net.add_vantage("lab", lab);
+        let client = MeasurementClient::new(field, lab_vp);
+        (net, client)
+    }
+
+    #[test]
+    fn blocked_url_follows_redirect_and_classifies() {
+        let (net, client) = world();
+        let v = client.test_url(&net, &Url::parse("http://www.blocked-news.org/").unwrap());
+        assert!(v.verdict.is_blocked(), "{:?}", v.verdict);
+        assert_eq!(v.verdict.blocked_by(), Some("netsweeper"));
+    }
+
+    #[test]
+    fn accessible_url_matches_lab() {
+        let (net, client) = world();
+        let v = client.test_url(&net, &Url::parse("http://www.fine.org/").unwrap());
+        assert!(v.verdict.is_accessible(), "{:?}", v.verdict);
+    }
+
+    #[test]
+    fn unresolvable_url_is_unavailable() {
+        let (net, client) = world();
+        let v = client.test_url(&net, &Url::parse("http://no-such-host.example/").unwrap());
+        // Lab can't reach it either → no conclusion.
+        assert!(matches!(v.verdict, Verdict::Unavailable { .. }), "{:?}", v.verdict);
+    }
+
+    #[test]
+    fn trace_records_hops() {
+        let (net, client) = world();
+        let obs = client.fetch(&net, client.field(), &Url::parse("http://www.blocked-news.org/").unwrap());
+        let Observation::Reached { status, trace } = obs else {
+            panic!("expected reach");
+        };
+        assert_eq!(status, Status::OK.code());
+        assert_eq!(trace.hops.len(), 2);
+        assert!(trace.text().contains("webadmin/deny"));
+    }
+
+    /// A middlebox that covertly rewrites pages from a target host
+    /// instead of blocking them.
+    struct Tamperer;
+
+    impl Middlebox for Tamperer {
+        fn name(&self) -> &str {
+            "tamperer"
+        }
+        fn process_request(&self, _req: &Request, _ctx: &FlowCtx) -> MbVerdict {
+            MbVerdict::Forward
+        }
+        fn process_response(&self, req: &Request, resp: Response, _ctx: &FlowCtx) -> Response {
+            if req.url.host().contains("tampered") {
+                Response::html(
+                    "<html><body>replacement narrative entirely different words                      official statement supersedes prior material</body></html>",
+                )
+            } else {
+                resp
+            }
+        }
+    }
+
+    #[test]
+    fn covert_tampering_is_detected_as_modified() {
+        let (mut net, _) = world();
+        let isp = net.network_by_name("isp").unwrap().id;
+        let lab = net.network_by_name("lab").unwrap().id;
+        net.attach_middlebox(isp, Arc::new(Tamperer));
+        let site_ip = net.alloc_ip(lab).unwrap();
+        net.add_host(site_ip, lab, &["www.tampered-news.org"]);
+        net.add_service(
+            site_ip,
+            80,
+            Box::new(StaticSite::new(
+                "News",
+                "<p>independent reporting with many original words</p>",
+            )),
+        );
+        let field = net.add_vantage("field2", isp);
+        let lab_vp = net.add_vantage("lab2", lab);
+        let client = MeasurementClient::new(field, lab_vp);
+        let v = client.test_url(&net, &Url::parse("http://www.tampered-news.org/").unwrap());
+        let Verdict::Modified { similarity } = v.verdict else {
+            panic!("expected modified, got {:?}", v.verdict);
+        };
+        assert!(similarity < 0.5, "{similarity}");
+        // The untouched site still reads accessible through the same path.
+        let ok = client.test_url(&net, &Url::parse("http://www.fine.org/").unwrap());
+        assert!(ok.verdict.is_accessible(), "{:?}", ok.verdict);
+    }
+
+    #[test]
+    fn test_list_preserves_order() {
+        let (net, client) = world();
+        let urls = [
+            Url::parse("http://www.fine.org/").unwrap(),
+            Url::parse("http://www.blocked-news.org/").unwrap(),
+        ];
+        let verdicts = client.test_list(&net, &urls);
+        assert_eq!(verdicts.len(), 2);
+        assert!(verdicts[0].verdict.is_accessible());
+        assert!(verdicts[1].verdict.is_blocked());
+    }
+
+    #[test]
+    fn repeated_runs_return_each_run() {
+        let (net, client) = world();
+        let urls = [Url::parse("http://www.fine.org/").unwrap()];
+        let runs = client.test_list_repeated(&net, &urls, 3);
+        assert_eq!(runs.len(), 3);
+        assert!(runs.iter().all(|r| r.len() == 1));
+    }
+}

@@ -1,0 +1,29 @@
+//! The in-network measurement client (§4.1).
+//!
+//! "Tests of Web page accessibility are performed using a measurement
+//! client that accesses a specified list of URLs in the 'field' i.e.,
+//! the location where censorship is suspected. This client software also
+//! triggers the same set of URLs to be accessed from a server in our lab
+//! at the University of Toronto ... The results of the Web page accesses
+//! in the field and lab are compared to determine if the page was
+//! blocked in the field location."
+//!
+//! The client follows redirects (vendor block pages are often served via
+//! a redirect to a deny host) and classifies final responses against the
+//! [`blockpage`] signature library — the "regular expressions
+//! corresponding to the vendors' block pages" of §5. The per-URL verdict
+//! distinguishes explicit blocking from ambiguous failures (timeouts,
+//! resets), which the studied products avoid (§4.1) but the simulator
+//! can still produce under fault injection.
+
+pub mod blockpage;
+pub mod client;
+pub mod similarity;
+pub mod stats;
+pub mod verdict;
+
+pub use blockpage::{BlockMatch, BlockPageLibrary};
+pub use client::{FetchTrace, MeasurementClient, Observation};
+pub use similarity::body_similarity;
+pub use stats::{to_csv, RunSummary};
+pub use verdict::{UrlVerdict, Verdict};

@@ -1,0 +1,80 @@
+//! Field/lab content comparison.
+//!
+//! Beyond block pages, in-path equipment can *rewrite* content — the
+//! comparison step of §4.1 ("the results of the Web page accesses in the
+//! field and lab are compared") catches that too when the two copies
+//! diverge. The metric here is Jaccard similarity over visible-text
+//! tokens: robust to whitespace and header noise, sensitive to injected
+//! or removed passages.
+
+use std::collections::BTreeSet;
+
+use filterwatch_http::html;
+
+/// Similarity below which two copies of a page are considered modified.
+pub const MODIFIED_THRESHOLD: f64 = 0.5;
+
+/// Jaccard similarity of the visible-text token sets of two HTML bodies.
+/// Ranges over `0..=1`; two empty documents count as identical.
+pub fn body_similarity(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let intersection = ta.intersection(&tb).count();
+    let union = ta.union(&tb).count();
+    intersection as f64 / union as f64
+}
+
+fn tokens(body: &str) -> BTreeSet<String> {
+    html::visible_text(body)
+        .split_whitespace()
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_bodies_score_one() {
+        let doc = "<html><body><p>same words here</p></body></html>";
+        assert_eq!(body_similarity(doc, doc), 1.0);
+    }
+
+    #[test]
+    fn markup_noise_is_ignored() {
+        let a = "<html><body><p>the quick brown fox</p></body></html>";
+        let b = "<div><span>THE</span> quick   brown fox</div>";
+        assert_eq!(body_similarity(a, b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_bodies_score_zero() {
+        assert_eq!(body_similarity("<p>alpha beta</p>", "<p>gamma delta</p>"), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_in_between() {
+        let s = body_similarity("<p>one two three four</p>", "<p>one two five six</p>");
+        assert!(s > 0.0 && s < 1.0, "{s}");
+    }
+
+    #[test]
+    fn empty_documents_identical() {
+        assert_eq!(body_similarity("", ""), 1.0);
+        assert_eq!(body_similarity("<p>x</p>", ""), 0.0);
+    }
+
+    #[test]
+    fn injected_banner_lowers_similarity() {
+        let original = "<p>independent reporting on the protests</p>";
+        let tampered = "<p>independent reporting on the protests</p>\
+                        <div>state notice: this content is subject to review \
+                        by the telecommunications authority effective today</div>";
+        let s = body_similarity(original, tampered);
+        assert!(s < 0.5, "{s}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-URL accessibility verdicts.
+
+use crate::blockpage::BlockMatch;
+
+/// The comparison of a field observation against the lab control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Reachable in the field, content consistent with the lab.
+    Accessible,
+    /// The field saw an explicit block page.
+    Blocked(BlockMatch),
+    /// Reachable in the field but the content differs substantially from
+    /// the lab's copy without matching any block-page signature —
+    /// in-path tampering rather than overt blocking.
+    Modified {
+        /// Token-level similarity between field and lab bodies (0..=1).
+        similarity: f64,
+    },
+    /// The field failed (timeout/reset/connect) while the lab succeeded —
+    /// the ambiguous censorship styles the paper avoids relying on.
+    Inaccessible { field_error: String },
+    /// The lab itself could not fetch the URL; no conclusion possible.
+    Unavailable { lab_error: String },
+}
+
+impl Verdict {
+    /// Whether this verdict is an explicit block.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, Verdict::Blocked(_))
+    }
+
+    /// Whether this verdict is covert content modification.
+    pub fn is_modified(&self) -> bool {
+        matches!(self, Verdict::Modified { .. })
+    }
+
+    /// Whether the URL was cleanly accessible.
+    pub fn is_accessible(&self) -> bool {
+        matches!(self, Verdict::Accessible)
+    }
+
+    /// The product attributed by the block-page signature, if blocked
+    /// and identifiable.
+    pub fn blocked_by(&self) -> Option<&str> {
+        match self {
+            Verdict::Blocked(m) => m.product.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Accessible => "accessible",
+            Verdict::Blocked(_) => "blocked",
+            Verdict::Modified { .. } => "modified",
+            Verdict::Inaccessible { .. } => "inaccessible",
+            Verdict::Unavailable { .. } => "unavailable",
+        }
+    }
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Blocked(m) => write!(
+                f,
+                "blocked ({})",
+                m.product.as_deref().unwrap_or("unattributed")
+            ),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// A verdict attached to the URL it concerns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UrlVerdict {
+    /// The tested URL (as text).
+    pub url: String,
+    /// The comparison outcome.
+    pub verdict: Verdict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let blocked = Verdict::Blocked(BlockMatch {
+            product: Some("netsweeper".into()),
+            evidence: "sig".into(),
+        });
+        assert!(blocked.is_blocked());
+        assert_eq!(blocked.blocked_by(), Some("netsweeper"));
+        assert!(!blocked.is_accessible());
+        assert!(Verdict::Accessible.is_accessible());
+        assert_eq!(Verdict::Accessible.blocked_by(), None);
+    }
+
+    #[test]
+    fn modified_accessors() {
+        let m = Verdict::Modified { similarity: 0.3 };
+        assert!(m.is_modified());
+        assert!(!m.is_blocked());
+        assert_eq!(m.label(), "modified");
+    }
+
+    #[test]
+    fn display() {
+        let anon = Verdict::Blocked(BlockMatch {
+            product: None,
+            evidence: "generic".into(),
+        });
+        assert_eq!(anon.to_string(), "blocked (unattributed)");
+        assert_eq!(
+            Verdict::Inaccessible {
+                field_error: "timeout".into()
+            }
+            .to_string(),
+            "inaccessible"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Simulated DNS: hostname → address resolution.
+//!
+//! A flat zone with optional wildcard records. DNS-level censorship is
+//! out of scope for the paper (its products block at the HTTP layer), so
+//! resolution is global and unfiltered; per-ISP DNS tampering could be
+//! layered on via a middlebox if ever needed.
+
+use std::collections::HashMap;
+
+use crate::ip::IpAddr;
+
+/// The global simulated DNS zone.
+#[derive(Debug, Default)]
+pub struct Dns {
+    exact: HashMap<String, IpAddr>,
+    /// Wildcard suffix records: `*.example.info` stored as `example.info`.
+    wildcard: HashMap<String, IpAddr>,
+}
+
+impl Dns {
+    /// An empty zone.
+    pub fn new() -> Self {
+        Dns::default()
+    }
+
+    /// Register an exact hostname. Overwrites any existing record.
+    pub fn register(&mut self, host: &str, ip: IpAddr) {
+        self.exact.insert(normalize(host), ip);
+    }
+
+    /// Register a wildcard: `*.suffix` (pass the bare suffix).
+    pub fn register_wildcard(&mut self, suffix: &str, ip: IpAddr) {
+        self.wildcard.insert(normalize(suffix), ip);
+    }
+
+    /// Remove an exact record; returns whether it existed.
+    pub fn remove(&mut self, host: &str) -> bool {
+        self.exact.remove(&normalize(host)).is_some()
+    }
+
+    /// Resolve a hostname (or dotted-quad literal) to an address.
+    pub fn resolve(&self, host: &str) -> Option<IpAddr> {
+        let host = normalize(host);
+        if let Ok(ip) = host.parse::<IpAddr>() {
+            return Some(ip);
+        }
+        if let Some(&ip) = self.exact.get(&host) {
+            return Some(ip);
+        }
+        // Walk suffixes for wildcard matches: a.b.c → b.c → c.
+        let mut rest = host.as_str();
+        while let Some(idx) = rest.find('.') {
+            rest = &rest[idx + 1..];
+            if let Some(&ip) = self.wildcard.get(rest) {
+                return Some(ip);
+            }
+        }
+        None
+    }
+
+    /// Number of exact records.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Whether the zone is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.wildcard.is_empty()
+    }
+
+    /// All exact records (arbitrary order).
+    pub fn records(&self) -> impl Iterator<Item = (&str, IpAddr)> {
+        self.exact.iter().map(|(h, &ip)| (h.as_str(), ip))
+    }
+}
+
+fn normalize(host: &str) -> String {
+    host.trim_end_matches('.').to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_resolution_case_insensitive() {
+        let mut dns = Dns::new();
+        dns.register("WWW.Example.INFO", "5.0.0.1".parse().unwrap());
+        assert_eq!(dns.resolve("www.example.info"), Some("5.0.0.1".parse().unwrap()));
+        assert_eq!(dns.resolve("www.example.info."), Some("5.0.0.1".parse().unwrap()));
+        assert_eq!(dns.resolve("other.example.info"), None);
+    }
+
+    #[test]
+    fn ip_literals_resolve_to_themselves() {
+        let dns = Dns::new();
+        assert_eq!(dns.resolve("9.8.7.6"), Some("9.8.7.6".parse().unwrap()));
+    }
+
+    #[test]
+    fn wildcard_matches_any_depth() {
+        let mut dns = Dns::new();
+        dns.register_wildcard("pool.example", "5.0.0.9".parse().unwrap());
+        assert_eq!(dns.resolve("a.pool.example"), Some("5.0.0.9".parse().unwrap()));
+        assert_eq!(dns.resolve("x.y.pool.example"), Some("5.0.0.9".parse().unwrap()));
+        // The bare suffix itself is not covered by the wildcard.
+        assert_eq!(dns.resolve("pool.example"), None);
+    }
+
+    #[test]
+    fn exact_beats_wildcard() {
+        let mut dns = Dns::new();
+        dns.register_wildcard("zone.example", "5.0.0.1".parse().unwrap());
+        dns.register("special.zone.example", "5.0.0.2".parse().unwrap());
+        assert_eq!(dns.resolve("special.zone.example"), Some("5.0.0.2".parse().unwrap()));
+    }
+
+    #[test]
+    fn removal() {
+        let mut dns = Dns::new();
+        dns.register("gone.example", "5.0.0.3".parse().unwrap());
+        assert!(dns.remove("GONE.example"));
+        assert!(!dns.remove("gone.example"));
+        assert_eq!(dns.resolve("gone.example"), None);
+    }
+
+    #[test]
+    fn counters() {
+        let mut dns = Dns::new();
+        assert!(dns.is_empty());
+        dns.register("a.example", "5.0.0.1".parse().unwrap());
+        dns.register("b.example", "5.0.0.2".parse().unwrap());
+        assert_eq!(dns.len(), 2);
+        assert_eq!(dns.records().count(), 2);
+    }
+}

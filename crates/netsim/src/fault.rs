@@ -1,0 +1,114 @@
+//! Per-network fault injection.
+//!
+//! Real measurement campaigns fight flaky paths: timeouts, resets,
+//! variable latency. §4.4 of the paper hinges on exactly this — Yemeni
+//! filtering went "offline" intermittently, forcing repeated runs. Each
+//! simulated network carries a [`FaultProfile`]; every fetch samples it
+//! from the world's seeded RNG, so flakiness is reproducible.
+
+use rand::Rng;
+
+/// A transport-level failure injected into a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The request (or its response) was silently dropped.
+    Timeout,
+    /// The connection was reset mid-flight.
+    Reset,
+}
+
+/// Probabilistic fault model for a network's access path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Probability a flow times out.
+    pub drop_prob: f64,
+    /// Probability a flow is reset (sampled after drop).
+    pub reset_prob: f64,
+    /// Base path latency in milliseconds (bookkeeping only; the virtual
+    /// clock is advanced explicitly by experiments, not by fetches).
+    pub base_latency_ms: u32,
+}
+
+impl FaultProfile {
+    /// A perfectly clean path.
+    pub const fn clean() -> Self {
+        FaultProfile {
+            drop_prob: 0.0,
+            reset_prob: 0.0,
+            base_latency_ms: 20,
+        }
+    }
+
+    /// A lossy path with the given drop probability.
+    pub fn lossy(drop_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        FaultProfile {
+            drop_prob,
+            ..FaultProfile::clean()
+        }
+    }
+
+    /// Sample the profile once: does this flow fail, and how?
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Option<Fault> {
+        if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
+            return Some(Fault::Timeout);
+        }
+        if self.reset_prob > 0.0 && rng.gen_bool(self.reset_prob) {
+            return Some(Fault::Reset);
+        }
+        None
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_profile_never_fails() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = FaultProfile::clean();
+        for _ in 0..1000 {
+            assert_eq!(p.sample(&mut rng), None);
+        }
+    }
+
+    #[test]
+    fn always_drop() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = FaultProfile::lossy(1.0);
+        assert_eq!(p.sample(&mut rng), Some(Fault::Timeout));
+    }
+
+    #[test]
+    fn reset_only_profile() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = FaultProfile {
+            drop_prob: 0.0,
+            reset_prob: 1.0,
+            base_latency_ms: 10,
+        };
+        assert_eq!(p.sample(&mut rng), Some(Fault::Reset));
+    }
+
+    #[test]
+    fn lossy_rate_is_roughly_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let p = FaultProfile::lossy(0.3);
+        let fails = (0..10_000).filter(|_| p.sample(&mut rng).is_some()).count();
+        assert!((2_500..3_500).contains(&fails), "observed {fails}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn lossy_rejects_out_of_range() {
+        let _ = FaultProfile::lossy(1.5);
+    }
+}

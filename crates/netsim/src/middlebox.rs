@@ -1,0 +1,232 @@
+//! Middleboxes: in-path traffic inspection at network egress.
+//!
+//! A network's middlebox chain sees every HTTP request its clients send.
+//! Each box returns a [`Verdict`]: pass the request on, answer it itself
+//! (block pages), or break the connection (silent censorship styles the
+//! paper deliberately avoids studying, but which the model supports for
+//! completeness). Responses traverse the chain in reverse so proxies can
+//! annotate them (e.g. Blue Coat `Via` headers).
+
+use filterwatch_http::{Request, Response};
+
+use crate::ip::IpAddr;
+use crate::time::SimTime;
+
+/// Context for one flow through a middlebox chain.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowCtx {
+    /// Virtual time of the request.
+    pub now: SimTime,
+    /// The client address originating the flow.
+    pub client_ip: IpAddr,
+}
+
+/// A middlebox's decision for a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Let the request continue toward the origin.
+    Forward,
+    /// Intercept: answer with this response (block page, redirect, …).
+    Respond(Box<Response>),
+    /// Silently drop the request — the client sees a timeout.
+    Drop,
+    /// Send a TCP reset — the client sees a connection reset.
+    Reset,
+}
+
+impl Verdict {
+    /// Convenience constructor for [`Verdict::Respond`].
+    pub fn respond(resp: Response) -> Self {
+        Verdict::Respond(Box::new(resp))
+    }
+}
+
+/// In-path traffic inspection device or software.
+pub trait Middlebox: Send + Sync {
+    /// A short identifier for logs and reports.
+    fn name(&self) -> &str;
+
+    /// Decide what happens to an outbound request.
+    fn process_request(&self, req: &Request, ctx: &FlowCtx) -> Verdict;
+
+    /// Optionally transform the origin's response on the way back.
+    /// The default is a pass-through.
+    fn process_response(&self, _req: &Request, resp: Response, _ctx: &FlowCtx) -> Response {
+        resp
+    }
+}
+
+/// A chain of middleboxes applied in order.
+///
+/// The first non-[`Verdict::Forward`] verdict wins; the response then
+/// traverses only the boxes *before* the decider, in reverse.
+#[derive(Default)]
+pub struct Chain {
+    boxes: Vec<std::sync::Arc<dyn Middlebox>>,
+}
+
+impl Chain {
+    /// An empty chain (every request forwarded untouched).
+    pub fn new() -> Self {
+        Chain::default()
+    }
+
+    /// Append a middlebox at the egress end of the chain.
+    pub fn push(&mut self, mb: std::sync::Arc<dyn Middlebox>) {
+        self.boxes.push(mb);
+    }
+
+    /// Number of boxes in the chain.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Names of the boxes, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.boxes.iter().map(|b| b.name()).collect()
+    }
+
+    /// Run the request through the chain.
+    ///
+    /// Returns either the final verdict and how many boxes the request
+    /// passed before the verdict was rendered.
+    pub fn run_request(&self, req: &Request, ctx: &FlowCtx) -> (Verdict, usize) {
+        for (i, mb) in self.boxes.iter().enumerate() {
+            match mb.process_request(req, ctx) {
+                Verdict::Forward => continue,
+                other => return (other, i),
+            }
+        }
+        (Verdict::Forward, self.boxes.len())
+    }
+
+    /// Run a response back through the first `upto` boxes, in reverse.
+    pub fn run_response(
+        &self,
+        req: &Request,
+        mut resp: Response,
+        ctx: &FlowCtx,
+        upto: usize,
+    ) -> Response {
+        for mb in self.boxes[..upto.min(self.boxes.len())].iter().rev() {
+            resp = mb.process_response(req, resp, ctx);
+        }
+        resp
+    }
+}
+
+impl std::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chain").field("boxes", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterwatch_http::{Status, Url};
+    use std::sync::Arc;
+
+    struct Tagger(&'static str);
+
+    impl Middlebox for Tagger {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn process_request(&self, _req: &Request, _ctx: &FlowCtx) -> Verdict {
+            Verdict::Forward
+        }
+        fn process_response(&self, _req: &Request, resp: Response, _ctx: &FlowCtx) -> Response {
+            resp.with_header(&format!("X-Via-{}", self.0), "1")
+        }
+    }
+
+    struct Blocker;
+
+    impl Middlebox for Blocker {
+        fn name(&self) -> &str {
+            "blocker"
+        }
+        fn process_request(&self, req: &Request, _ctx: &FlowCtx) -> Verdict {
+            if req.url.host().contains("banned") {
+                Verdict::respond(Response::text(Status::FORBIDDEN, "blocked"))
+            } else {
+                Verdict::Forward
+            }
+        }
+    }
+
+    fn ctx() -> FlowCtx {
+        FlowCtx {
+            now: SimTime::ZERO,
+            client_ip: "5.0.0.1".parse().unwrap(),
+        }
+    }
+
+    fn req(host: &str) -> Request {
+        Request::get(Url::parse(&format!("http://{host}/")).unwrap())
+    }
+
+    #[test]
+    fn empty_chain_forwards() {
+        let chain = Chain::new();
+        let (verdict, passed) = chain.run_request(&req("x.example"), &ctx());
+        assert_eq!(verdict, Verdict::Forward);
+        assert_eq!(passed, 0);
+    }
+
+    #[test]
+    fn first_decider_wins() {
+        let mut chain = Chain::new();
+        chain.push(Arc::new(Tagger("a")));
+        chain.push(Arc::new(Blocker));
+        chain.push(Arc::new(Tagger("never")));
+        let (verdict, passed) = chain.run_request(&req("banned.example"), &ctx());
+        assert!(matches!(verdict, Verdict::Respond(_)));
+        assert_eq!(passed, 1);
+    }
+
+    #[test]
+    fn response_traverses_reverse_prefix() {
+        let mut chain = Chain::new();
+        chain.push(Arc::new(Tagger("outer")));
+        chain.push(Arc::new(Tagger("inner")));
+        let r = req("ok.example");
+        let (verdict, passed) = chain.run_request(&r, &ctx());
+        assert_eq!(verdict, Verdict::Forward);
+        let resp = chain.run_response(&r, Response::new(Status::OK), &ctx(), passed);
+        assert!(resp.headers.contains("X-Via-outer"));
+        assert!(resp.headers.contains("X-Via-inner"));
+    }
+
+    #[test]
+    fn blocked_flow_only_reverses_through_earlier_boxes() {
+        let mut chain = Chain::new();
+        chain.push(Arc::new(Tagger("before")));
+        chain.push(Arc::new(Blocker));
+        chain.push(Arc::new(Tagger("after")));
+        let r = req("banned.example");
+        let (verdict, passed) = chain.run_request(&r, &ctx());
+        let Verdict::Respond(block_page) = verdict else {
+            panic!("expected block")
+        };
+        let resp = chain.run_response(&r, *block_page, &ctx(), passed);
+        assert!(resp.headers.contains("X-Via-before"));
+        assert!(!resp.headers.contains("X-Via-after"));
+    }
+
+    #[test]
+    fn names_in_order() {
+        let mut chain = Chain::new();
+        chain.push(Arc::new(Tagger("a")));
+        chain.push(Arc::new(Blocker));
+        assert_eq!(chain.names(), vec!["a", "blocker"]);
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.is_empty());
+    }
+}

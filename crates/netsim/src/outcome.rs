@@ -1,0 +1,90 @@
+//! Results of a simulated URL fetch.
+
+use filterwatch_http::Response;
+
+/// What a client observed when fetching a URL.
+///
+/// The variants mirror the failure modes real measurement clients
+/// distinguish; the paper's products use explicit block pages (§4.1), so
+/// `Ok(block page)` is the interesting censorship signal, while
+/// `Timeout`/`Reset` represent the ambiguous styles the paper avoids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// An HTTP response arrived (which may itself be a block page).
+    Ok(Response),
+    /// No answer: the flow was dropped somewhere.
+    Timeout,
+    /// The connection was reset.
+    Reset,
+    /// The hostname did not resolve.
+    DnsFailure,
+    /// The destination address or port was unreachable.
+    ConnectFailed,
+}
+
+impl FetchOutcome {
+    /// The response, when one arrived.
+    pub fn response(&self) -> Option<&Response> {
+        match self {
+            FetchOutcome::Ok(resp) => Some(resp),
+            _ => None,
+        }
+    }
+
+    /// Consume into the response, when one arrived.
+    pub fn into_response(self) -> Option<Response> {
+        match self {
+            FetchOutcome::Ok(resp) => Some(resp),
+            _ => None,
+        }
+    }
+
+    /// Whether any HTTP response arrived.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, FetchOutcome::Ok(_))
+    }
+
+    /// A short label for logs/reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FetchOutcome::Ok(_) => "ok",
+            FetchOutcome::Timeout => "timeout",
+            FetchOutcome::Reset => "reset",
+            FetchOutcome::DnsFailure => "dns-failure",
+            FetchOutcome::ConnectFailed => "connect-failed",
+        }
+    }
+}
+
+impl std::fmt::Display for FetchOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchOutcome::Ok(resp) => write!(f, "ok ({})", resp.status),
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterwatch_http::Status;
+
+    #[test]
+    fn accessors() {
+        let ok = FetchOutcome::Ok(Response::new(Status::OK));
+        assert!(ok.is_ok());
+        assert!(ok.response().is_some());
+        assert!(ok.into_response().is_some());
+        assert!(!FetchOutcome::Timeout.is_ok());
+        assert!(FetchOutcome::Reset.response().is_none());
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(FetchOutcome::DnsFailure.label(), "dns-failure");
+        assert_eq!(FetchOutcome::Timeout.to_string(), "timeout");
+        let ok = FetchOutcome::Ok(Response::new(Status::FORBIDDEN));
+        assert_eq!(ok.to_string(), "ok (403 Forbidden)");
+    }
+}

@@ -1,0 +1,239 @@
+//! HTTP services bound to host ports.
+//!
+//! Everything that answers HTTP in the simulation — origin web sites,
+//! vendor admin consoles, submission portals, the category test site —
+//! implements [`Service`]. Handlers take `&self` so the whole Internet
+//! can be probed concurrently; stateful services wrap their state in a
+//! lock internally.
+
+use filterwatch_http::{html, Request, Response};
+
+use crate::ip::IpAddr;
+use crate::time::SimTime;
+
+/// Context passed to a service handler.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceCtx {
+    /// Virtual time of the request.
+    pub now: SimTime,
+    /// Address the request (appears to) come from.
+    pub client_ip: IpAddr,
+}
+
+/// An HTTP responder bound to one host:port.
+pub trait Service: Send + Sync {
+    /// Produce the response for `req`.
+    fn handle(&self, req: &Request, ctx: &ServiceCtx) -> Response;
+}
+
+// Allow plain closures as services for tests and simple fixtures.
+impl<F> Service for F
+where
+    F: Fn(&Request, &ServiceCtx) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request, ctx: &ServiceCtx) -> Response {
+        self(req, ctx)
+    }
+}
+
+/// A static HTML site: the same page for every path.
+///
+/// Used for the researcher-controlled test domains (§4.2) and the
+/// innocuous content sites on the test lists.
+#[derive(Debug, Clone)]
+pub struct StaticSite {
+    title: String,
+    body_html: String,
+    server: Option<String>,
+}
+
+impl StaticSite {
+    /// A site serving one page with the given title and body markup.
+    pub fn new(title: &str, body_html: &str) -> Self {
+        StaticSite {
+            title: title.to_string(),
+            body_html: body_html.to_string(),
+            server: None,
+        }
+    }
+
+    /// Set the `Server` header value.
+    pub fn with_server(mut self, server: &str) -> Self {
+        self.server = Some(server.to_string());
+        self
+    }
+}
+
+impl Service for StaticSite {
+    fn handle(&self, _req: &Request, _ctx: &ServiceCtx) -> Response {
+        let mut resp = Response::html(html::page(&self.title, &self.body_html));
+        if let Some(server) = &self.server {
+            resp.headers.set("Server", server.clone());
+        }
+        resp
+    }
+}
+
+/// A Glype-style web proxy script front page, as hosted on the
+/// researcher-controlled "proxy service" domains of §4.3/§4.4.
+///
+/// The page advertises itself as a proxy (form + script marker) so that
+/// vendor categorizers reviewing the submission see a proxy site; the
+/// `/browse` endpoint pretends to relay a target URL.
+#[derive(Debug, Clone, Default)]
+pub struct GlypeProxySite;
+
+impl Service for GlypeProxySite {
+    fn handle(&self, req: &Request, _ctx: &ServiceCtx) -> Response {
+        if req.url.path().starts_with("/browse") {
+            let target = req.url.query_param("u").unwrap_or("about:blank");
+            return Response::html(html::page(
+                "Web Proxy - browsing",
+                &format!("<p>Proxied view of {}</p>", html::escape(target)),
+            ));
+        }
+        Response::html(html::page(
+            "Free Web Proxy",
+            "<!-- Glype proxy script -->\n\
+             <h1>Surf anonymously</h1>\n\
+             <form action=\"/browse\" method=\"get\">\n\
+             <input type=\"text\" name=\"u\" placeholder=\"http://\"/>\n\
+             <input type=\"submit\" value=\"Go\"/>\n\
+             </form>",
+        ))
+    }
+}
+
+/// The "adult image host" used in the Saudi Arabia case study (§4.3):
+/// an index page referencing an explicit image at `/image.jpg`, plus the
+/// deliberately benign `/benign.png` testers fetch to limit exposure
+/// (§4.6). The explicit content itself is represented by a placeholder —
+/// only its *categorization* matters to the methodology.
+#[derive(Debug, Default)]
+pub struct AdultImageSite {
+    /// Whether the operator has taken the image down (done promptly after
+    /// each experiment, per the paper's ethics discussion).
+    removed: std::sync::atomic::AtomicBool,
+}
+
+impl AdultImageSite {
+    /// A fresh site with the image present.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the explicit image down (post-experiment cleanup).
+    pub fn remove_image(&self) {
+        self.removed.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+impl Service for AdultImageSite {
+    fn handle(&self, req: &Request, _ctx: &ServiceCtx) -> Response {
+        let removed = self.removed.load(std::sync::atomic::Ordering::Relaxed);
+        match req.url.path() {
+            "/benign.png" => {
+                Response::text(filterwatch_http::Status::OK, "PNG placeholder: benign test object")
+                    .with_header("Content-Type", "image/png")
+            }
+            "/image.jpg" if !removed => {
+                Response::text(filterwatch_http::Status::OK, "JPEG placeholder: explicit-content marker")
+                    .with_header("Content-Type", "image/jpeg")
+                    .with_header("X-Content-Marker", "adult")
+            }
+            "/image.jpg" => Response::not_found(),
+            _ => Response::html(html::page(
+                "Image gallery",
+                if removed {
+                    "<p>gallery empty</p>"
+                } else {
+                    "<img src=\"/image.jpg\"/> <img src=\"/benign.png\"/>"
+                },
+            )),
+        }
+    }
+}
+
+/// A service that always answers 404 — a host that exists but serves
+/// nothing interesting (filler space for scans).
+#[derive(Debug, Clone, Default)]
+pub struct EmptyService;
+
+impl Service for EmptyService {
+    fn handle(&self, _req: &Request, _ctx: &ServiceCtx) -> Response {
+        Response::not_found()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterwatch_http::{Method, Url};
+
+    fn ctx() -> ServiceCtx {
+        ServiceCtx {
+            now: SimTime::ZERO,
+            client_ip: "5.0.0.1".parse().unwrap(),
+        }
+    }
+
+    fn get(url: &str) -> Request {
+        Request::get(Url::parse(url).unwrap())
+    }
+
+    #[test]
+    fn static_site_serves_title() {
+        let s = StaticSite::new("Hello", "<p>x</p>").with_server("tinyhttpd");
+        let resp = s.handle(&get("http://a.example/any/path"), &ctx());
+        assert_eq!(resp.title(), Some("Hello".into()));
+        assert_eq!(resp.headers.get("server"), Some("tinyhttpd"));
+    }
+
+    #[test]
+    fn glype_front_page_flags_proxy() {
+        let s = GlypeProxySite;
+        let resp = s.handle(&get("http://p.info/"), &ctx());
+        assert!(resp.body_text().contains("Glype proxy script"));
+        assert_eq!(resp.title(), Some("Free Web Proxy".into()));
+    }
+
+    #[test]
+    fn glype_browse_echoes_target() {
+        let s = GlypeProxySite;
+        let resp = s.handle(&get("http://p.info/browse?u=http://news.example/"), &ctx());
+        assert!(resp.body_text().contains("news.example"));
+    }
+
+    #[test]
+    fn adult_site_lifecycle() {
+        let s = AdultImageSite::new();
+        assert!(s
+            .handle(&get("http://i.info/image.jpg"), &ctx())
+            .status
+            .is_success());
+        assert!(s
+            .handle(&get("http://i.info/benign.png"), &ctx())
+            .status
+            .is_success());
+        s.remove_image();
+        assert!(s.handle(&get("http://i.info/image.jpg"), &ctx()).status.is_error());
+        // Benign object survives cleanup.
+        assert!(s
+            .handle(&get("http://i.info/benign.png"), &ctx())
+            .status
+            .is_success());
+    }
+
+    #[test]
+    fn closure_as_service() {
+        let s = |req: &Request, _ctx: &ServiceCtx| {
+            Response::text(filterwatch_http::Status::OK, req.url.path().to_string())
+        };
+        let resp = Service::handle(&s, &get("http://x.example/pp"), &ctx());
+        assert_eq!(resp.body_text(), "/pp");
+        assert_eq!(
+            Request::get(Url::parse("http://x/").unwrap()).method,
+            Method::Get
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Virtual time.
+//!
+//! The confirmation methodology is clocked in *days*: submit sites, wait
+//! 3–5 days for vendor review, retest. The simulation keeps a virtual
+//! clock in seconds (day 0 = experiment epoch) that the world advances
+//! explicitly — nothing ever reads wall-clock time, which is what makes
+//! runs reproducible.
+
+/// A point in virtual time, stored as whole seconds since the simulation
+/// epoch (day 0, 00:00).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// Seconds per virtual day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+impl SimTime {
+    /// The epoch (day 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// A time from whole days since the epoch.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * SECS_PER_DAY)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn secs(&self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since the epoch (floor).
+    pub const fn days(&self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// This time advanced by `secs` seconds.
+    pub const fn plus_secs(&self, secs: u64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+
+    /// This time advanced by `days` days.
+    pub const fn plus_days(&self, days: u64) -> SimTime {
+        SimTime(self.0 + days * SECS_PER_DAY)
+    }
+
+    /// Absolute difference in seconds.
+    pub const fn abs_diff(&self, other: SimTime) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let day = self.days();
+        let rem = self.0 % SECS_PER_DAY;
+        write!(f, "day {day} {:02}:{:02}:{:02}", rem / 3600, (rem % 3600) / 60, rem % 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_days(3).plus_secs(3661);
+        assert_eq!(t.days(), 3);
+        assert_eq!(t.secs(), 3 * SECS_PER_DAY + 3661);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_days(2) < SimTime::from_days(3));
+        assert!(SimTime::ZERO <= SimTime::from_secs(0));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime::from_days(2).plus_secs(3723).to_string(), "day 2 01:02:03");
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(25);
+        assert_eq!(a.abs_diff(b), 15);
+        assert_eq!(b.abs_diff(a), 15);
+    }
+}

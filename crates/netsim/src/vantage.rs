@@ -1,0 +1,49 @@
+//! Vantage points: where measurements originate.
+//!
+//! The paper's client-based tests run from "the field" (a tester inside
+//! the censored ISP) and from "the lab" (University of Toronto, which
+//! does not filter the tested content). A vantage point is simply a
+//! client identity attached to a network; its traffic traverses that
+//! network's middlebox chain and fault profile.
+
+use crate::internet::NetworkId;
+use crate::ip::IpAddr;
+
+/// Handle to a registered vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VantageId(pub(crate) usize);
+
+/// A measurement client location.
+#[derive(Debug, Clone)]
+pub struct Vantage {
+    /// Human-readable name ("etisalat-field", "toronto-lab").
+    pub name: String,
+    /// The network whose egress path this client uses.
+    pub network: NetworkId,
+    /// The client's address within that network.
+    pub ip: IpAddr,
+}
+
+impl Vantage {
+    /// Create a vantage point description.
+    pub fn new(name: &str, network: NetworkId, ip: IpAddr) -> Self {
+        Vantage {
+            name: name.to_string(),
+            network,
+            ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let v = Vantage::new("lab", NetworkId(3), "5.0.0.7".parse().unwrap());
+        assert_eq!(v.name, "lab");
+        assert_eq!(v.network, NetworkId(3));
+        assert_eq!(v.ip.to_string(), "5.0.0.7");
+    }
+}

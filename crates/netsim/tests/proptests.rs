@@ -1,0 +1,197 @@
+//! Property-based tests for the simulated-Internet substrate.
+
+use filterwatch_http::{Request, Response, Url};
+use filterwatch_netsim::middlebox::Chain;
+use filterwatch_netsim::service::StaticSite;
+use filterwatch_netsim::{
+    Cidr, Dns, FaultProfile, FlowCtx, Internet, IpAddr, Middlebox, NetworkSpec, SimTime, Verdict,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A middlebox that tags responses with its index; optionally the one
+/// that blocks.
+struct Tagged {
+    name: String,
+    blocks: bool,
+}
+
+impl Middlebox for Tagged {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn process_request(&self, _req: &Request, _ctx: &FlowCtx) -> Verdict {
+        if self.blocks {
+            Verdict::respond(Response::text(filterwatch_http::Status::FORBIDDEN, "blocked"))
+        } else {
+            Verdict::Forward
+        }
+    }
+    fn process_response(&self, _req: &Request, mut resp: Response, _ctx: &FlowCtx) -> Response {
+        resp.headers.append("X-Chain", self.name.clone());
+        resp
+    }
+}
+
+proptest! {
+    /// IP display → parse is the identity.
+    #[test]
+    fn ip_round_trip(v in any::<u32>()) {
+        let ip = IpAddr(v);
+        let reparsed: IpAddr = ip.to_string().parse().unwrap();
+        prop_assert_eq!(ip, reparsed);
+    }
+
+    /// A CIDR contains exactly `size()` addresses, its first and last,
+    /// and nothing just outside.
+    #[test]
+    fn cidr_bounds(v in any::<u32>(), len in 20u8..=32) {
+        let cidr = Cidr::new(IpAddr(v), len);
+        prop_assert!(cidr.contains(cidr.first()));
+        prop_assert!(cidr.contains(cidr.last()));
+        prop_assert_eq!(cidr.iter().count() as u64, cidr.size());
+        if cidr.first().value() > 0 {
+            prop_assert!(!cidr.contains(IpAddr(cidr.first().value() - 1)));
+        }
+        if cidr.last().value() < u32::MAX {
+            prop_assert!(!cidr.contains(IpAddr(cidr.last().value() + 1)));
+        }
+    }
+
+    /// CIDR display → parse round-trips.
+    #[test]
+    fn cidr_round_trip(v in any::<u32>(), len in 0u8..=32) {
+        let cidr = Cidr::new(IpAddr(v), len);
+        let reparsed: Cidr = cidr.to_string().parse().unwrap();
+        prop_assert_eq!(cidr, reparsed);
+    }
+
+    /// DNS: registered names resolve; unregistered don't (no aliasing).
+    #[test]
+    fn dns_exactness(names in proptest::collection::btree_set("[a-z]{1,8}\\.[a-z]{2,4}", 1..8)) {
+        let mut dns = Dns::new();
+        let names: Vec<String> = names.into_iter().collect();
+        for (i, name) in names.iter().enumerate() {
+            dns.register(name, IpAddr(i as u32 + 1));
+        }
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(dns.resolve(name), Some(IpAddr(i as u32 + 1)));
+        }
+        prop_assert_eq!(dns.resolve("definitely-not-registered.example"), None);
+    }
+
+    /// SimTime arithmetic: days/secs agree.
+    #[test]
+    fn simtime_arithmetic(d in 0u64..10_000, s in 0u64..86_400) {
+        let t = SimTime::from_days(d).plus_secs(s);
+        prop_assert_eq!(t.days(), d);
+        prop_assert_eq!(t.secs(), d * 86_400 + s);
+        prop_assert_eq!(t.plus_days(1).days(), d + 1);
+    }
+
+    /// Fault sampling frequency tracks the configured probability.
+    #[test]
+    fn fault_rate_tracks_probability(prob in 0.0f64..=1.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let profile = FaultProfile::lossy(prob);
+        let n = 2_000;
+        let fails = (0..n).filter(|_| profile.sample(&mut rng).is_some()).count();
+        let observed = fails as f64 / n as f64;
+        prop_assert!((observed - prob).abs() < 0.08, "prob {prob} observed {observed}");
+    }
+
+    /// Registry prefix allocations never overlap, and every allocated
+    /// address geolocates to its AS's country.
+    #[test]
+    fn registry_allocations_disjoint(sizes in proptest::collection::vec(0u32..3, 1..8)) {
+        let mut net = Internet::new(0);
+        net.registry_mut().register_country("XX", "Testland", "xx");
+        let mut cidrs = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let asn = net.registry_mut().register_as(1000 + i as u32, "TEST", "XX");
+            let cidr = net.registry_mut().allocate_prefix(asn, 1 << sz).unwrap();
+            cidrs.push((cidr, asn));
+        }
+        for (i, &(a, asn_a)) in cidrs.iter().enumerate() {
+            prop_assert_eq!(net.registry().asn_of(a.first()), Some(asn_a));
+            prop_assert_eq!(net.registry().asn_of(a.last()), Some(asn_a));
+            for &(b, _) in &cidrs[i + 1..] {
+                prop_assert!(!a.contains(b.first()) && !b.contains(a.first()),
+                             "{a} overlaps {b}");
+            }
+        }
+    }
+
+    /// alloc_ip hands out distinct in-prefix addresses until exhaustion.
+    #[test]
+    fn alloc_ip_unique(n in 1usize..60) {
+        let mut net = Internet::new(0);
+        net.registry_mut().register_country("XX", "Testland", "xx");
+        let asn = net.registry_mut().register_as(64512, "TEST", "XX");
+        let prefix = net.registry_mut().allocate_prefix(asn, 1).unwrap();
+        let netid = net.add_network(NetworkSpec::new("t", asn, "XX").with_cidr(prefix));
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let ip = net.alloc_ip(netid).unwrap();
+            prop_assert!(prefix.contains(ip));
+            prop_assert!(seen.insert(ip), "duplicate {ip}");
+            net.add_host(ip, netid, &[]);
+        }
+    }
+
+    /// A fetch for a registered static site always succeeds from a clean
+    /// network, regardless of path.
+    #[test]
+    fn clean_fetch_always_succeeds(path in "(/[a-z0-9]{0,6}){0,3}") {
+        let mut net = Internet::new(0);
+        net.registry_mut().register_country("XX", "Testland", "xx");
+        let asn = net.registry_mut().register_as(64512, "TEST", "XX");
+        let prefix = net.registry_mut().allocate_prefix(asn, 1).unwrap();
+        let netid = net.add_network(NetworkSpec::new("t", asn, "XX").with_cidr(prefix));
+        let ip = net.alloc_ip(netid).unwrap();
+        net.add_host(ip, netid, &["site.xx"]);
+        net.add_service(ip, 80, Box::new(StaticSite::new("T", "<p>x</p>")));
+        let vp = net.add_vantage("v", netid);
+        let path = if path.is_empty() { "/".to_string() } else { path };
+        let url = Url::parse(&format!("http://site.xx{path}")).unwrap();
+        let out = net.fetch(vp, &url);
+        prop_assert!(out.is_ok(), "{out:?}");
+    }
+}
+
+proptest! {
+    /// Chain invariant: a response traverses exactly the boxes *before*
+    /// the decider, in reverse order — no matter where the decider sits.
+    #[test]
+    fn chain_reverse_prefix_invariant(n in 1usize..8, block_at in proptest::option::of(0usize..8)) {
+        let block_at = block_at.map(|b| b % n);
+        let mut chain = Chain::new();
+        for i in 0..n {
+            chain.push(Arc::new(Tagged {
+                name: format!("box{i}"),
+                blocks: block_at == Some(i),
+            }));
+        }
+        let ctx = FlowCtx {
+            now: SimTime::ZERO,
+            client_ip: IpAddr(1),
+        };
+        let req = Request::get(Url::parse("http://x.example/").unwrap());
+        let (verdict, passed) = chain.run_request(&req, &ctx);
+        match block_at {
+            Some(b) => {
+                prop_assert_eq!(passed, b);
+                prop_assert!(matches!(verdict, Verdict::Respond(_)));
+            }
+            None => {
+                prop_assert_eq!(passed, n);
+                prop_assert_eq!(verdict, Verdict::Forward);
+            }
+        }
+        let resp = chain.run_response(&req, Response::text(filterwatch_http::Status::OK, ""), &ctx, passed);
+        let tags = resp.headers.get_all("X-Chain");
+        let expect: Vec<String> = (0..passed).rev().map(|i| format!("box{i}")).collect();
+        prop_assert_eq!(tags, expect.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+}

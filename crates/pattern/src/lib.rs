@@ -1,0 +1,289 @@
+//! A small, self-contained pattern-matching engine.
+//!
+//! The paper's toolchain leans on three kinds of textual matching:
+//!
+//! * **Shodan keyword queries** — case-insensitive substring search over
+//!   banner text (e.g. `"proxysg"`, `"8080/webadmin/"`).
+//! * **WhatWeb signatures** — header/title/location matchers, some with
+//!   wildcards (e.g. a `Location` header that redirects to *any* host on
+//!   port 15871 with a `ws-session` parameter).
+//! * **Block-page regular expressions** — the §5 characterization step
+//!   matches vendor block pages against hand-written regexes.
+//!
+//! All three are served by this crate's [`Pattern`] type: a glob-style
+//! pattern language with literals, `*` (any run of characters), `?` (any
+//! single character), character classes (`[a-z0-9]`, `[!abc]`), anchors
+//! (`^`, `$`) and top-level alternation (`|`). Patterns are
+//! case-insensitive by default (banner text casing is unreliable), with an
+//! opt-out.
+//!
+//! The engine is deliberately tiny — a backtracking matcher over a parsed
+//! token list — so the whole workspace avoids a heavyweight regex
+//! dependency while keeping the matching semantics easy to audit.
+//!
+//! # Examples
+//!
+//! ```
+//! use filterwatch_pattern::Pattern;
+//!
+//! let p = Pattern::parse("location: *:15871/*ws-session*").unwrap();
+//! assert!(p.is_match("Location: http://gw.example.net:15871/cgi-bin/blockpage.cgi?ws-session=42"));
+//!
+//! let anchored = Pattern::parse("^HTTP/1.? 403").unwrap();
+//! assert!(anchored.is_match("HTTP/1.1 403 Forbidden"));
+//! assert!(!anchored.is_match("xHTTP/1.1 403 Forbidden"));
+//! ```
+
+mod matcher;
+mod parser;
+mod set;
+mod token;
+
+pub use matcher::MatchSpan;
+pub use parser::ParseError;
+pub use set::{PatternSet, SetMatch};
+pub use token::Token;
+
+/// A compiled pattern.
+///
+/// See the [crate-level documentation](crate) for the pattern language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Alternative branches (top-level `|`). A pattern matches if any
+    /// branch matches.
+    branches: Vec<Branch>,
+    /// Original source text, kept for diagnostics and `Display`.
+    source: String,
+    /// Whether matching ignores ASCII case (default true).
+    case_insensitive: bool,
+}
+
+/// One alternation branch: a token list plus anchoring flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Branch {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) anchored_start: bool,
+    pub(crate) anchored_end: bool,
+}
+
+impl Pattern {
+    /// Compile a pattern from its textual form (case-insensitive).
+    pub fn parse(source: &str) -> Result<Self, ParseError> {
+        parser::parse(source, true)
+    }
+
+    /// Compile a case-sensitive pattern.
+    pub fn parse_case_sensitive(source: &str) -> Result<Self, ParseError> {
+        parser::parse(source, false)
+    }
+
+    /// Build a pattern that matches `literal` as a plain substring,
+    /// case-insensitively, with no metacharacter interpretation.
+    pub fn literal(literal: &str) -> Self {
+        Pattern {
+            branches: vec![Branch {
+                tokens: vec![Token::Literal(literal.to_string())],
+                anchored_start: false,
+                anchored_end: false,
+            }],
+            source: literal.to_string(),
+            case_insensitive: true,
+        }
+    }
+
+    /// The source text the pattern was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether this pattern ignores ASCII case.
+    pub fn is_case_insensitive(&self) -> bool {
+        self.case_insensitive
+    }
+
+    /// Test whether the pattern matches anywhere in `text`
+    /// (or at the anchored positions, if anchored).
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// Find the first (leftmost) match, returning its byte span.
+    pub fn find(&self, text: &str) -> Option<MatchSpan> {
+        matcher::find(self, text)
+    }
+
+    /// Count non-overlapping matches in `text`.
+    pub fn count_matches(&self, text: &str) -> usize {
+        let mut n = 0;
+        let mut at = 0;
+        while at <= text.len() {
+            match matcher::find_at(self, text, at) {
+                Some(span) => {
+                    n += 1;
+                    // Ensure forward progress on empty matches.
+                    at = if span.end > span.start { span.end } else { span.end + 1 };
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
+    pub(crate) fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pattern::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_substring() {
+        let p = Pattern::parse("netsweeper").unwrap();
+        assert!(p.is_match("Server: netsweeper/5.0"));
+        assert!(p.is_match("NETSWEEPER deny page"));
+        assert!(!p.is_match("netsweepe"));
+    }
+
+    #[test]
+    fn literal_ignores_metacharacters() {
+        let p = Pattern::literal("a*b");
+        assert!(p.is_match("xa*by"));
+        assert!(!p.is_match("acb"));
+    }
+
+    #[test]
+    fn star_wildcard() {
+        let p = Pattern::parse("cfauth*com").unwrap();
+        assert!(p.is_match("http://www.cfauth.com/?cfru=aHR0cA=="));
+        assert!(!p.is_match("cfauth,org"));
+    }
+
+    #[test]
+    fn question_wildcard() {
+        let p = Pattern::parse("HTTP/1.?").unwrap();
+        assert!(p.is_match("HTTP/1.1 200 OK"));
+        assert!(p.is_match("HTTP/1.0 200 OK"));
+        assert!(!p.is_match("HTTP/1."));
+    }
+
+    #[test]
+    fn anchors() {
+        let start = Pattern::parse("^via-proxy").unwrap();
+        assert!(start.is_match("Via-Proxy: mwg"));
+        assert!(!start.is_match("X-Via-Proxy: mwg"));
+
+        let end = Pattern::parse("blockpage.cgi$").unwrap();
+        assert!(end.is_match("/cgi-bin/blockpage.cgi"));
+        assert!(!end.is_match("/cgi-bin/blockpage.cgi?x=1"));
+
+        let both = Pattern::parse("^exact$").unwrap();
+        assert!(both.is_match("exact"));
+        assert!(both.is_match("EXACT"));
+        assert!(!both.is_match("exactly"));
+    }
+
+    #[test]
+    fn alternation() {
+        let p = Pattern::parse("webadmin|proxysg|blockpage.cgi").unwrap();
+        assert!(p.is_match("GET /webadmin/ HTTP/1.1"));
+        assert!(p.is_match("Server: ProxySG"));
+        assert!(p.is_match("Location: /cgi-bin/blockpage.cgi"));
+        assert!(!p.is_match("nothing to see"));
+    }
+
+    #[test]
+    fn char_class() {
+        let p = Pattern::parse("AS[0-9][0-9]").unwrap();
+        assert!(p.is_match("origin AS53"));
+        assert!(!p.is_match("origin ASxx"));
+
+        let neg = Pattern::parse("x[!0-9]y").unwrap();
+        assert!(neg.is_match("xay"));
+        assert!(!neg.is_match("x5y"));
+    }
+
+    #[test]
+    fn escapes() {
+        let p = Pattern::parse(r"100\% blocked\*").unwrap();
+        assert!(p.is_match("100% blocked*"));
+        let q = Pattern::parse(r"a\|b").unwrap();
+        assert!(q.is_match("a|b"));
+        assert!(!q.is_match("a"));
+    }
+
+    #[test]
+    fn case_sensitivity_opt_out() {
+        let p = Pattern::parse_case_sensitive("ProxySG").unwrap();
+        assert!(p.is_match("Server: ProxySG"));
+        assert!(!p.is_match("Server: proxysg"));
+    }
+
+    #[test]
+    fn find_span_positions() {
+        let p = Pattern::parse("webadmin").unwrap();
+        let span = p.find("see /webadmin/deny here").unwrap();
+        assert_eq!(span.start, 5);
+        assert_eq!(span.end, 13);
+    }
+
+    #[test]
+    fn count_matches_non_overlapping() {
+        let p = Pattern::parse("ab").unwrap();
+        assert_eq!(p.count_matches("ab ab ab"), 3);
+        assert_eq!(p.count_matches("aaa"), 0);
+    }
+
+    #[test]
+    fn star_backtracking() {
+        let p = Pattern::parse("a*b*c").unwrap();
+        assert!(p.is_match("axxbyyc"));
+        assert!(p.is_match("abc"));
+        assert!(p.is_match("a b c"));
+        assert!(!p.is_match("acb"));
+    }
+
+    #[test]
+    fn leading_star_unanchored_equivalence() {
+        let starred = Pattern::parse("*deny*").unwrap();
+        let bare = Pattern::parse("deny").unwrap();
+        for text in ["deny", "/webadmin/deny", "deny page", "dent"] {
+            assert_eq!(starred.is_match(text), bare.is_match(text), "text={text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let p = Pattern::parse("").unwrap();
+        assert!(p.is_match(""));
+        assert!(p.is_match("anything"));
+    }
+
+    #[test]
+    fn display_round_trips_source() {
+        let src = "^a*b|c?d$";
+        let p = Pattern::parse(src).unwrap();
+        assert_eq!(p.to_string(), src);
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let p: Pattern = "mcafee web gateway".parse().unwrap();
+        assert!(p.is_match("<title>McAfee Web Gateway - Notification</title>"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Named pattern collections.
+//!
+//! Both the scan-index keyword tables and the block-page signature
+//! library are *named* sets of patterns: "which of these known signatures
+//! does this text match?". [`PatternSet`] provides that query.
+
+use crate::{ParseError, Pattern};
+
+/// A collection of named patterns, queried together.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    entries: Vec<(String, Pattern)>,
+}
+
+/// One match produced by [`PatternSet::matches`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetMatch<'a> {
+    /// Name the pattern was registered under.
+    pub name: &'a str,
+    /// The pattern that matched.
+    pub pattern: &'a Pattern,
+}
+
+impl PatternSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a pre-compiled pattern under `name`. Multiple patterns may
+    /// share a name (a signature with several alternative forms).
+    pub fn insert(&mut self, name: impl Into<String>, pattern: Pattern) {
+        self.entries.push((name.into(), pattern));
+    }
+
+    /// Compile `source` and add it under `name`.
+    pub fn insert_parsed(
+        &mut self,
+        name: impl Into<String>,
+        source: &str,
+    ) -> Result<(), ParseError> {
+        let p = Pattern::parse(source)?;
+        self.insert(name, p);
+        Ok(())
+    }
+
+    /// Number of patterns (not distinct names) in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All matches of any pattern in the set against `text`.
+    pub fn matches<'a>(&'a self, text: &str) -> Vec<SetMatch<'a>> {
+        self.entries
+            .iter()
+            .filter(|(_, p)| p.is_match(text))
+            .map(|(name, pattern)| SetMatch { name, pattern })
+            .collect()
+    }
+
+    /// Names (deduplicated, in insertion order) whose patterns match `text`.
+    pub fn matching_names<'a>(&'a self, text: &str) -> Vec<&'a str> {
+        let mut names: Vec<&str> = Vec::new();
+        for m in self.matches(text) {
+            if !names.contains(&m.name) {
+                names.push(m.name);
+            }
+        }
+        names
+    }
+
+    /// Whether any pattern registered under `name` matches `text`.
+    pub fn name_matches(&self, name: &str, text: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(n, p)| n == name && p.is_match(text))
+    }
+
+    /// Iterate over `(name, pattern)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Pattern)> {
+        self.entries.iter().map(|(n, p)| (n.as_str(), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PatternSet {
+        let mut set = PatternSet::new();
+        set.insert_parsed("bluecoat", "proxysg").unwrap();
+        set.insert_parsed("bluecoat", "cfru=").unwrap();
+        set.insert_parsed("netsweeper", "webadmin").unwrap();
+        set.insert_parsed("websense", "blockpage.cgi").unwrap();
+        set
+    }
+
+    #[test]
+    fn multiple_patterns_one_name() {
+        let set = sample();
+        assert!(set.name_matches("bluecoat", "Server: ProxySG"));
+        assert!(set.name_matches("bluecoat", "http://www.cfauth.com/?cfru=abc"));
+        assert!(!set.name_matches("bluecoat", "plain apache"));
+    }
+
+    #[test]
+    fn matching_names_deduplicates() {
+        let set = sample();
+        let names = set.matching_names("ProxySG says cfru=zzz");
+        assert_eq!(names, vec!["bluecoat"]);
+    }
+
+    #[test]
+    fn matches_reports_every_hit() {
+        let set = sample();
+        let hits = set.matches("ProxySG cfru= webadmin");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(PatternSet::new().is_empty());
+        assert_eq!(sample().len(), 4);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let set = sample();
+        let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["bluecoat", "bluecoat", "netsweeper", "websense"]);
+    }
+
+    #[test]
+    fn bad_pattern_reports_error() {
+        let mut set = PatternSet::new();
+        assert!(set.insert_parsed("x", "[oops").is_err());
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Pattern tokens produced by the parser and consumed by the matcher.
+
+/// One element of a compiled pattern branch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A literal run of characters (compared case-insensitively when the
+    /// owning pattern is case-insensitive).
+    Literal(String),
+    /// `*` — matches any (possibly empty) run of characters.
+    AnyRun,
+    /// `?` — matches exactly one character.
+    AnyChar,
+    /// `[...]` — matches one character from the class.
+    Class(CharClass),
+}
+
+/// A character class: a set of single characters and inclusive ranges,
+/// optionally negated (`[!...]`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CharClass {
+    pub(crate) singles: Vec<char>,
+    pub(crate) ranges: Vec<(char, char)>,
+    pub(crate) negated: bool,
+}
+
+impl CharClass {
+    /// Test whether `c` belongs to the class, honouring negation.
+    /// `fold_case` makes membership ASCII-case-insensitive.
+    pub fn contains(&self, c: char, fold_case: bool) -> bool {
+        let hit = self.contains_raw(c)
+            || (fold_case
+                && (self.contains_raw(c.to_ascii_lowercase())
+                    || self.contains_raw(c.to_ascii_uppercase())));
+        hit != self.negated
+    }
+
+    fn contains_raw(&self, c: char) -> bool {
+        self.singles.contains(&c) || self.ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_membership() {
+        let class = CharClass {
+            singles: vec!['x'],
+            ranges: vec![('0', '9')],
+            negated: false,
+        };
+        assert!(class.contains('x', false));
+        assert!(class.contains('5', false));
+        assert!(!class.contains('a', false));
+    }
+
+    #[test]
+    fn class_negation() {
+        let class = CharClass {
+            singles: vec![],
+            ranges: vec![('a', 'z')],
+            negated: true,
+        };
+        assert!(!class.contains('m', false));
+        assert!(class.contains('5', false));
+    }
+
+    #[test]
+    fn class_case_folding() {
+        let class = CharClass {
+            singles: vec![],
+            ranges: vec![('a', 'z')],
+            negated: false,
+        };
+        assert!(!class.contains('M', false));
+        assert!(class.contains('M', true));
+    }
+}

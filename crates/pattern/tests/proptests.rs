@@ -1,0 +1,113 @@
+//! Property-based tests for the pattern engine.
+
+use filterwatch_pattern::Pattern;
+use proptest::prelude::*;
+
+/// Escape every metacharacter so arbitrary text becomes a literal pattern.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() * 2);
+    for c in text.chars() {
+        if matches!(c, '*' | '?' | '[' | ']' | '^' | '$' | '|' | '\\') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    /// A literal pattern always matches text containing it as a substring.
+    #[test]
+    fn literal_matches_itself(s in "[a-zA-Z0-9 ./:=-]{0,40}", prefix in "[a-z]{0,10}", suffix in "[a-z]{0,10}") {
+        let p = Pattern::literal(&s);
+        let text = format!("{prefix}{s}{suffix}");
+        prop_assert!(p.is_match(&text));
+    }
+
+    /// Escaped arbitrary text parses and matches itself exactly.
+    #[test]
+    fn escaped_text_round_trips(s in "\\PC{0,40}") {
+        let p = Pattern::parse(&escape(&s)).unwrap();
+        prop_assert!(p.is_match(&s), "pattern {:?} should match {:?}", p.source(), s);
+    }
+
+    /// Case-insensitivity: matching is invariant under ASCII case flips.
+    #[test]
+    fn ascii_case_is_ignored(s in "[a-zA-Z]{1,20}") {
+        let p = Pattern::literal(&s);
+        prop_assert!(p.is_match(&s.to_ascii_uppercase()));
+        prop_assert!(p.is_match(&s.to_ascii_lowercase()));
+    }
+
+    /// `find` returns spans within bounds that really contain a match.
+    #[test]
+    fn find_span_is_in_bounds(hay in "\\PC{0,60}", needle in "[a-z]{1,6}") {
+        let p = Pattern::literal(&needle);
+        if let Some(span) = p.find(&hay) {
+            prop_assert!(span.end <= hay.len());
+            prop_assert!(span.start <= span.end);
+            let slice = &hay[span.start..span.end];
+            prop_assert!(slice.eq_ignore_ascii_case(&needle));
+        }
+    }
+
+    /// A star between two halves matches any filling.
+    #[test]
+    fn star_bridges_anything(a in "[a-z]{1,8}", b in "[a-z]{1,8}", filler in "\\PC{0,30}") {
+        let p = Pattern::parse(&format!("{a}*{b}")).unwrap();
+        let text = format!("{a}{filler}{b}");
+        prop_assert!(p.is_match(&text));
+    }
+
+    /// Anchored-both-ends literal equals string equality (mod case).
+    #[test]
+    fn full_anchor_is_equality(s in "[a-z0-9]{1,20}", t in "[a-z0-9]{1,20}") {
+        let p = Pattern::parse(&format!("^{s}$")).unwrap();
+        prop_assert_eq!(p.is_match(&t), s.eq_ignore_ascii_case(&t));
+    }
+
+    /// Alternation is the union of its branches.
+    #[test]
+    fn alternation_is_union(a in "[a-z]{1,8}", b in "[a-z]{1,8}", text in "[a-z ]{0,40}") {
+        let pa = Pattern::parse(&a).unwrap();
+        let pb = Pattern::parse(&b).unwrap();
+        let pab = Pattern::parse(&format!("{a}|{b}")).unwrap();
+        prop_assert_eq!(pab.is_match(&text), pa.is_match(&text) || pb.is_match(&text));
+    }
+
+    /// count_matches terminates and is bounded by text length + 1.
+    #[test]
+    fn count_matches_is_bounded(needle in "[a-z]{1,4}", hay in "[a-z]{0,60}") {
+        let p = Pattern::parse(&needle).unwrap();
+        let n = p.count_matches(&hay);
+        prop_assert!(n <= hay.len() + 1);
+    }
+
+    /// The parser never panics on arbitrary input (errors are fine).
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,60}") {
+        let _ = Pattern::parse(&src);
+    }
+
+    /// Matching never panics even for patterns with classes/anchors.
+    #[test]
+    fn matcher_never_panics(src in "[a-z*?\\[\\]^$|\\\\0-9-]{0,20}", text in "\\PC{0,60}") {
+        if let Ok(p) = Pattern::parse(&src) {
+            let _ = p.is_match(&text);
+            let _ = p.find(&text);
+        }
+    }
+
+    /// A `?` consumes exactly one character.
+    #[test]
+    fn question_consumes_one(c in proptest::char::any(), rest in "[a-z]{1,5}") {
+        let p = Pattern::parse(&format!("^?{}$", escape(&rest))).unwrap();
+        let text = format!("{c}{rest}");
+        prop_assert!(p.is_match(&text), "{:?} should match {:?}", p.source(), text);
+        // Two leading characters must not match.
+        let text2 = format!("x{c}{rest}");
+        if text2.chars().count() != text.chars().count() {
+            prop_assert!(!p.is_match(&text2));
+        }
+    }
+}

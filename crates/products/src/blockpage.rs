@@ -1,0 +1,130 @@
+//! Shared block-page machinery.
+//!
+//! Each vendor's block page carries the distinctive markers Table 2 keys
+//! on; this module holds the rendering helpers plus the small base64
+//! encoder Blue Coat's `cfru=` redirect parameter needs.
+
+use filterwatch_http::{html, Response, Status};
+
+/// Render a generic explicit block page (vendors specialize around it).
+///
+/// The paper notes (§4.1) that "the products we test tend to use block
+/// pages that explicitly state that content has been censored" — the
+/// body always carries an unambiguous denial statement plus the category.
+pub fn explicit_block_page(title: &str, product_line: &str, url: &str, category: &str) -> Response {
+    let body = format!(
+        "<h1>Access Denied</h1>\n\
+         <p>The requested page <code>{}</code> has been blocked.</p>\n\
+         <p>Category: <b>{}</b></p>\n\
+         <p class=\"footer\">{}</p>",
+        html::escape(url),
+        html::escape(category),
+        html::escape(product_line),
+    );
+    Response::html(html::page(title, &body)).with_status(Status::FORBIDDEN)
+}
+
+/// Standard base64 (RFC 4648, with padding) — used for Blue Coat's
+/// `cfru=` parameter, which carries the blocked URL.
+pub fn base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode standard base64 (strict on alphabet, tolerant of no padding).
+pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some((c - b'A') as u32),
+            b'a'..=b'z' => Some((c - b'a' + 26) as u32),
+            b'0'..=b'9' => Some((c - b'0' + 52) as u32),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let bytes: Vec<u8> = text.bytes().filter(|&b| b != b'=').collect();
+    let mut out = Vec::with_capacity(bytes.len() * 3 / 4);
+    for chunk in bytes.chunks(4) {
+        if chunk.len() == 1 {
+            return None;
+        }
+        let mut n: u32 = 0;
+        for &b in chunk {
+            n = (n << 6) | val(b)?;
+        }
+        n <<= 6 * (4 - chunk.len());
+        out.push((n >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((n >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_page_is_explicit() {
+        let page = explicit_block_page("Blocked", "Vendor X", "http://x.info/", "Pornography");
+        assert_eq!(page.status, Status::FORBIDDEN);
+        let text = page.body_text();
+        assert!(text.contains("has been blocked"));
+        assert!(text.contains("Pornography"));
+        assert!(text.contains("x.info"));
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64(b""), "");
+        assert_eq!(base64(b"f"), "Zg==");
+        assert_eq!(base64(b"fo"), "Zm8=");
+        assert_eq!(base64(b"foo"), "Zm9v");
+        assert_eq!(base64(b"foob"), "Zm9vYg==");
+        assert_eq!(base64(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_round_trip() {
+        for input in [
+            &b"http://starwasher.info/"[..],
+            b"",
+            b"a",
+            b"\x00\xff\x7f",
+        ] {
+            let enc = base64(input);
+            assert_eq!(base64_decode(&enc).unwrap(), input, "{enc}");
+        }
+    }
+
+    #[test]
+    fn base64_decode_rejects_junk() {
+        assert_eq!(base64_decode("!!!"), None);
+        assert_eq!(base64_decode("A"), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! The product inventory (Table 1).
+
+/// One of the four URL filtering products the paper studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProductKind {
+    /// Blue Coat ProxySG (Web proxy) and Blue Coat WebFilter.
+    BlueCoat,
+    /// McAfee SmartFilter (enterprise Web content filtering).
+    SmartFilter,
+    /// Netsweeper Content Filtering.
+    Netsweeper,
+    /// Websense Web proxy gateways.
+    Websense,
+}
+
+/// Static facts about a product, as summarized in Table 1.
+#[derive(Debug, Clone)]
+pub struct ProductInfo {
+    /// The product.
+    pub kind: ProductKind,
+    /// Vendor company name.
+    pub company: &'static str,
+    /// Corporate headquarters.
+    pub headquarters: &'static str,
+    /// Short product description.
+    pub description: &'static str,
+    /// Countries where prior ONI work had observed the product
+    /// (ISO country codes).
+    pub previously_observed: &'static [&'static str],
+}
+
+impl ProductKind {
+    /// All four products, in Table 1 order.
+    pub const ALL: [ProductKind; 4] = [
+        ProductKind::BlueCoat,
+        ProductKind::SmartFilter,
+        ProductKind::Netsweeper,
+        ProductKind::Websense,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProductKind::BlueCoat => "Blue Coat",
+            ProductKind::SmartFilter => "McAfee SmartFilter",
+            ProductKind::Netsweeper => "Netsweeper",
+            ProductKind::Websense => "Websense",
+        }
+    }
+
+    /// Short identifier used in logs and simulated hostnames.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            ProductKind::BlueCoat => "bluecoat",
+            ProductKind::SmartFilter => "smartfilter",
+            ProductKind::Netsweeper => "netsweeper",
+            ProductKind::Websense => "websense",
+        }
+    }
+
+    /// The Table 1 row for this product.
+    pub fn info(&self) -> ProductInfo {
+        match self {
+            ProductKind::BlueCoat => ProductInfo {
+                kind: *self,
+                company: "Blue Coat",
+                headquarters: "Sunnyvale, CA, USA",
+                description: "Web proxy (ProxySG) and URL Filter (WebFilter)",
+                previously_observed: &["KW", "MM", "EG", "QA", "SA", "SY", "AE"],
+            },
+            ProductKind::SmartFilter => ProductInfo {
+                kind: *self,
+                company: "McAfee",
+                headquarters: "Santa Clara, CA, USA",
+                description: "Filtering of Web content for enterprises",
+                previously_observed: &["KW", "BH", "IR", "SA", "OM", "TN", "AE"],
+            },
+            ProductKind::Netsweeper => ProductInfo {
+                kind: *self,
+                company: "Netsweeper",
+                headquarters: "Guelph, ON, Canada",
+                description: "Netsweeper Content Filtering",
+                previously_observed: &["QA", "AE", "YE"],
+            },
+            ProductKind::Websense => ProductInfo {
+                kind: *self,
+                company: "Websense",
+                headquarters: "San Diego, CA, USA",
+                description: "Web proxy gateways including corporate data leakage monitoring",
+                previously_observed: &["YE"],
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ProductKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_products() {
+        assert_eq!(ProductKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn table1_facts() {
+        let bc = ProductKind::BlueCoat.info();
+        assert_eq!(bc.headquarters, "Sunnyvale, CA, USA");
+        assert!(bc.previously_observed.contains(&"SY"));
+
+        let ns = ProductKind::Netsweeper.info();
+        assert_eq!(ns.company, "Netsweeper");
+        assert!(ns.headquarters.contains("Canada"));
+        assert_eq!(ns.previously_observed, &["QA", "AE", "YE"]);
+
+        let ws = ProductKind::Websense.info();
+        assert_eq!(ws.previously_observed, &["YE"]);
+
+        let sf = ProductKind::SmartFilter.info();
+        assert!(sf.previously_observed.contains(&"TN")); // Tunisia 2005
+    }
+
+    #[test]
+    fn slugs_unique() {
+        let slugs: std::collections::BTreeSet<&str> =
+            ProductKind::ALL.iter().map(|p| p.slug()).collect();
+        assert_eq!(slugs.len(), 4);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProductKind::SmartFilter.to_string(), "McAfee SmartFilter");
+    }
+}

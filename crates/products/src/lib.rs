@@ -1,0 +1,48 @@
+//! Behavioural models of the four URL filtering products.
+//!
+//! Table 1 of the paper studies four commercial products: **Blue Coat**
+//! (ProxySG proxy + WebFilter), **McAfee SmartFilter**, **Netsweeper**
+//! and **Websense**. This crate implements each as a
+//! [`Middlebox`](filterwatch_netsim::Middlebox) that plugs into a
+//! simulated ISP's egress path, together with the vendor-side
+//! infrastructure the methodology interacts with:
+//!
+//! * [`catalog`] — the static product inventory (Table 1);
+//! * [`taxonomy`] — each vendor's category scheme and how the 40 ONI
+//!   content categories map onto it (including Netsweeper's 66 numbered
+//!   categories);
+//! * [`cloud`] — the vendor cloud: master categorization database,
+//!   user-submission review pipeline (the §4.2 confirmation lever),
+//!   Netsweeper-style in-country URL queueing, and the Table 5
+//!   submission-rejection evasion policy;
+//! * [`policy`] — per-deployment category blocking policy;
+//! * [`smartfilter`], [`bluecoat`], [`netsweeper`], [`websense`] — the
+//!   middleboxes plus their externally visible HTTP surfaces (admin
+//!   consoles, deny pages, `blockpage.cgi`, the category test site),
+//!   emitting exactly the signatures Table 2 keys on;
+//! * [`blockpage`] — shared block-page rendering helpers.
+//!
+//! Deployment quirks from §4 are modelled explicitly: header-stripping
+//! (branding removal), license-limited concurrency that turns filtering
+//! off under load (Yemen's inconsistent blocking), frozen update
+//! subscriptions (Websense post-2009 Yemen), and product stacking
+//! (SmartFilter policy atop a Blue Coat proxy in Etisalat).
+
+pub mod blockpage;
+pub mod bluecoat;
+pub mod catalog;
+pub mod license;
+pub mod cloud;
+pub mod netsweeper;
+pub mod policy;
+pub mod portal;
+pub mod smartfilter;
+pub mod submit;
+pub mod taxonomy;
+pub mod websense;
+
+pub use catalog::{ProductInfo, ProductKind};
+pub use cloud::{SubmissionReceipt, VendorCloud};
+pub use policy::FilterPolicy;
+pub use portal::SubmissionPortal;
+pub use submit::SubmitterProfile;

@@ -1,0 +1,120 @@
+//! Shared deployment mechanics: license pools and frozen subscriptions.
+//!
+//! §4.4 Challenge 2: "prior work by the ONI observed a Yemeni ISP using
+//! Websense with a limited number of concurrent user licenses. When the
+//! number of users exceeded the number of licenses no content would be
+//! filtered." The same inconsistency shows up with Netsweeper in Yemen.
+//! [`LicensePool`] models it: each flow samples the current concurrent
+//! user count from a seeded generator; when it exceeds the licensed
+//! count, the filter waves traffic through.
+
+use filterwatch_netsim::SimTime;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A concurrent-user license pool with fluctuating demand.
+#[derive(Debug)]
+pub struct LicensePool {
+    licensed: u32,
+    peak_demand: u32,
+    rng: Mutex<StdRng>,
+}
+
+impl LicensePool {
+    /// A pool licensed for `licensed` users with demand fluctuating
+    /// uniformly in `0..=peak_demand`.
+    pub fn new(licensed: u32, peak_demand: u32, seed: u64, label: &str) -> Self {
+        assert!(peak_demand > 0);
+        LicensePool {
+            licensed,
+            peak_demand,
+            rng: Mutex::new(filterwatch_netsim::rng::labelled_rng(
+                seed,
+                &format!("license/{label}"),
+            )),
+        }
+    }
+
+    /// Sample the pool once: is filtering currently offline because
+    /// demand exceeds the licensed count?
+    pub fn filtering_offline(&self) -> bool {
+        let demand = self.rng.lock().gen_range(0..=self.peak_demand);
+        demand > self.licensed
+    }
+
+    /// The long-run fraction of flows that bypass filtering.
+    pub fn expected_bypass_rate(&self) -> f64 {
+        if self.licensed >= self.peak_demand {
+            0.0
+        } else {
+            f64::from(self.peak_demand - self.licensed) / f64::from(self.peak_demand + 1)
+        }
+    }
+}
+
+/// The database view time for a deployment: `now`, clamped to the
+/// subscription freeze date if updates were discontinued (Websense pulled
+/// Yemen's updates in 2009 \[35\]).
+pub fn effective_db_time(now: SimTime, frozen_at: Option<SimTime>) -> SimTime {
+    match frozen_at {
+        Some(freeze) if freeze < now => freeze,
+        _ => now,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ample_licenses_never_bypass() {
+        let pool = LicensePool::new(100, 50, 1, "t");
+        for _ in 0..200 {
+            assert!(!pool.filtering_offline());
+        }
+        assert_eq!(pool.expected_bypass_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_licenses_mostly_bypass() {
+        let pool = LicensePool::new(0, 10, 1, "t");
+        let offline = (0..1000).filter(|_| pool.filtering_offline()).count();
+        assert!(offline > 800, "offline {offline}");
+    }
+
+    #[test]
+    fn tight_pool_flip_flops() {
+        let pool = LicensePool::new(5, 10, 42, "yemen");
+        let samples: Vec<bool> = (0..100).map(|_| pool.filtering_offline()).collect();
+        assert!(samples.iter().any(|&b| b));
+        assert!(samples.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_label() {
+        let a: Vec<bool> = {
+            let p = LicensePool::new(5, 10, 7, "x");
+            (0..20).map(|_| p.filtering_offline()).collect()
+        };
+        let b: Vec<bool> = {
+            let p = LicensePool::new(5, 10, 7, "x");
+            (0..20).map(|_| p.filtering_offline()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_db_time_clamps() {
+        let now = SimTime::from_days(10);
+        assert_eq!(effective_db_time(now, None), now);
+        assert_eq!(
+            effective_db_time(now, Some(SimTime::from_days(4))),
+            SimTime::from_days(4)
+        );
+        assert_eq!(
+            effective_db_time(now, Some(SimTime::from_days(20))),
+            now
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-deployment blocking policy.
+//!
+//! A product ships a categorization database; the *operator* chooses
+//! which categories to block. §4.3's Challenge 1 turns on exactly this
+//! distinction: Saudi deployments had SmartFilter's proxy category
+//! available but not enabled, while pornography was enabled.
+
+use std::collections::BTreeSet;
+
+/// The set of vendor categories a deployment blocks, plus operator
+/// overrides for individual hosts.
+#[derive(Debug, Clone, Default)]
+pub struct FilterPolicy {
+    blocked: BTreeSet<String>,
+    always_allow: BTreeSet<String>,
+    always_deny: BTreeSet<String>,
+}
+
+impl FilterPolicy {
+    /// A policy blocking nothing.
+    pub fn allow_all() -> Self {
+        FilterPolicy::default()
+    }
+
+    /// A policy blocking the given vendor categories.
+    pub fn blocking<I: IntoIterator<Item = S>, S: Into<String>>(categories: I) -> Self {
+        FilterPolicy {
+            blocked: categories.into_iter().map(Into::into).collect(),
+            ..FilterPolicy::default()
+        }
+    }
+
+    /// Builder-style: also block `category`.
+    pub fn and_block(mut self, category: &str) -> Self {
+        self.blocked.insert(category.to_string());
+        self
+    }
+
+    /// Operator allowlist: never block this registrable domain.
+    pub fn always_allow(&mut self, domain: &str) {
+        self.always_allow.insert(domain.to_ascii_lowercase());
+    }
+
+    /// Operator denylist: always block this registrable domain,
+    /// regardless of categorization.
+    pub fn always_deny(&mut self, domain: &str) {
+        self.always_deny.insert(domain.to_ascii_lowercase());
+    }
+
+    /// Whether the policy blocks `category`.
+    pub fn blocks_category(&self, category: &str) -> bool {
+        self.blocked.contains(category)
+    }
+
+    /// The blocked categories, sorted.
+    pub fn blocked_categories(&self) -> impl Iterator<Item = &str> {
+        self.blocked.iter().map(String::as_str)
+    }
+
+    /// Evaluate a request: given the vendor categories of the URL and
+    /// its registrable domain, should it be blocked — and shown as what?
+    ///
+    /// Returns the category string to display on the block page.
+    pub fn decide(&self, domain: &str, categories: &BTreeSet<String>) -> Option<String> {
+        let domain = domain.to_ascii_lowercase();
+        if self.always_allow.contains(&domain) {
+            return None;
+        }
+        if self.always_deny.contains(&domain) {
+            return Some("Locally Restricted".to_string());
+        }
+        categories
+            .iter()
+            .find(|c| self.blocked.contains(*c))
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cats(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn allow_all_blocks_nothing() {
+        let p = FilterPolicy::allow_all();
+        assert_eq!(p.decide("x.info", &cats(&["Pornography"])), None);
+    }
+
+    #[test]
+    fn category_blocking() {
+        let p = FilterPolicy::blocking(["Pornography", "Anonymizers"]);
+        assert_eq!(
+            p.decide("x.info", &cats(&["Pornography"])),
+            Some("Pornography".to_string())
+        );
+        assert_eq!(p.decide("x.info", &cats(&["General News"])), None);
+        assert!(p.blocks_category("Anonymizers"));
+        assert!(!p.blocks_category("Games"));
+    }
+
+    #[test]
+    fn first_blocked_category_in_sorted_order_is_reported() {
+        let p = FilterPolicy::blocking(["Anonymizers", "Pornography"]);
+        // BTreeSet iteration is sorted, so "Anonymizers" wins.
+        assert_eq!(
+            p.decide("x.info", &cats(&["Pornography", "Anonymizers"])),
+            Some("Anonymizers".to_string())
+        );
+    }
+
+    #[test]
+    fn operator_overrides() {
+        let mut p = FilterPolicy::blocking(["Pornography"]);
+        p.always_allow("ok.info");
+        p.always_deny("bad.info");
+        assert_eq!(p.decide("OK.info", &cats(&["Pornography"])), None);
+        assert_eq!(
+            p.decide("bad.info", &cats(&[])),
+            Some("Locally Restricted".to_string())
+        );
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = FilterPolicy::allow_all().and_block("Gambling").and_block("Drugs");
+        assert_eq!(p.blocked_categories().collect::<Vec<_>>(), vec!["Drugs", "Gambling"]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Submitter identity — the evasion battleground of §6.2.
+//!
+//! Vendors who want to disregard researcher submissions can key on
+//! (1) the submitting IP / e-mail address, or (2) the hosting service
+//! behind the submitted domains. The paper's counters: submit via
+//! proxies/Tor with throwaway webmail, and host the controlled domains
+//! on a popular cloud provider whose domains are too damaging to
+//! blanket-reject.
+
+/// How a submission presents to the vendor's intake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitterProfile {
+    /// Submitted through a proxy or Tor (hides the research lab's IP).
+    pub via_proxy: bool,
+    /// Used a throwaway free-webmail address (hides the lab's e-mail).
+    pub webmail_address: bool,
+    /// The submitted domain sits on a popular cloud/hosting provider
+    /// (rejecting the provider wholesale would damage the vendor's DB).
+    pub popular_hosting: bool,
+}
+
+impl SubmitterProfile {
+    /// The naive profile: institutional IP, institutional e-mail, niche
+    /// hosting. Fine against vendors who accept everything.
+    pub const NAIVE: SubmitterProfile = SubmitterProfile {
+        via_proxy: false,
+        webmail_address: false,
+        popular_hosting: false,
+    };
+
+    /// The §6.2 counter-evasion profile: proxied submission, webmail,
+    /// popular hosting. Survives vendors that try to flag researchers.
+    pub const COVERT: SubmitterProfile = SubmitterProfile {
+        via_proxy: true,
+        webmail_address: true,
+        popular_hosting: true,
+    };
+
+    /// Whether a vendor applying the Table 5 counter-measures could link
+    /// this submission to the research effort and disregard it.
+    pub fn is_flaggable(&self) -> bool {
+        !self.via_proxy || !self.webmail_address || !self.popular_hosting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_is_flaggable_covert_is_not() {
+        assert!(SubmitterProfile::NAIVE.is_flaggable());
+        assert!(!SubmitterProfile::COVERT.is_flaggable());
+    }
+
+    #[test]
+    fn any_single_leak_is_flaggable() {
+        for (via_proxy, webmail_address, popular_hosting) in [
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            let p = SubmitterProfile {
+                via_proxy,
+                webmail_address,
+                popular_hosting,
+            };
+            assert!(p.is_flaggable(), "{p:?}");
+        }
+    }
+}

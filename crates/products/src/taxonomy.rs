@@ -1,0 +1,328 @@
+//! Vendor category schemes and the ONI→vendor category mappings.
+//!
+//! Each product ships its own categorization taxonomy; deployments then
+//! choose which vendor categories to block. The confirmation methodology
+//! depends on knowing these schemes ("the methods in Section 4 require
+//! that we identify which categories are blocked in each ISP"), and the
+//! §5 characterization depends on how protected content classes land in
+//! vendor categories.
+//!
+//! The mapping here is a total function from the 40 ONI content
+//! categories to each vendor's scheme. Category names follow the vendors'
+//! public documentation of the era; Netsweeper's scheme is numeric — the
+//! paper probes `denypagetests.netsweeper.com/category/catno/23` for
+//! pornography — so the full 66-entry numbered list is modelled, with
+//! catno 23 = "Pornography" pinned to match the paper.
+
+use filterwatch_urllists::Category;
+
+use crate::catalog::ProductKind;
+
+/// Map an ONI content category to the vendor's category name.
+pub fn vendor_category(product: ProductKind, cat: Category) -> &'static str {
+    match product {
+        ProductKind::SmartFilter => smartfilter(cat),
+        ProductKind::BlueCoat => bluecoat(cat),
+        ProductKind::Netsweeper => netsweeper(cat),
+        ProductKind::Websense => websense(cat),
+    }
+}
+
+/// The distinct vendor categories reachable from the ONI taxonomy,
+/// in first-use order.
+pub fn vendor_categories(product: ProductKind) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for cat in Category::ALL {
+        let v = vendor_category(product, cat);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn smartfilter(cat: Category) -> &'static str {
+    use Category::*;
+    match cat {
+        Pornography | ProvocativeAttire => "Pornography",
+        SexEducation => "Sexual Materials",
+        AnonymizersProxies | Vpn => "Anonymizers",
+        Translation => "Anonymizing Utilities",
+        Gambling => "Gambling",
+        Drugs | Alcohol => "Drugs",
+        Dating => "Dating/Social",
+        Lgbt => "Lifestyle",
+        ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Religion/Ideology",
+        MediaFreedom => "General News",
+        HumanRights | PoliticalReform | OppositionParties | CriticismOfGovernment
+        | PoliticalSatire | Corruption | Elections | WomensRights | MinorityGroups
+        | EnvironmentalActivism | ForeignRelations | SecurityServices => "Politics/Opinion",
+        EmailProviders => "Web Mail",
+        Hosting => "Web Hosting",
+        SearchEngines => "Search Engines",
+        P2pFileSharing => "P2P/File Sharing",
+        MultimediaSharing => "Media Sharing",
+        SocialNetworking => "Social Networking",
+        Hacking => "Malicious Sites",
+        OnlineGaming => "Games",
+        ArmedConflict | Extremism | Militancy | Terrorism => "Violence",
+        Weapons => "Weapons",
+    }
+}
+
+fn bluecoat(cat: Category) -> &'static str {
+    use Category::*;
+    match cat {
+        Pornography | ProvocativeAttire => "Pornography",
+        SexEducation => "Sex Education",
+        AnonymizersProxies | Vpn | Translation => "Proxy Avoidance",
+        Gambling => "Gambling",
+        Drugs | Alcohol => "Controlled Substances",
+        Dating => "Personals/Dating",
+        Lgbt => "LGBT",
+        ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Religion",
+        MediaFreedom => "News/Media",
+        HumanRights | PoliticalReform | OppositionParties | CriticismOfGovernment
+        | PoliticalSatire | Corruption | Elections | WomensRights | MinorityGroups
+        | EnvironmentalActivism | ForeignRelations | SecurityServices => {
+            "Political/Social Advocacy"
+        }
+        EmailProviders => "Email",
+        Hosting => "Web Hosting",
+        SearchEngines => "Search Engines/Portals",
+        P2pFileSharing => "Peer-to-Peer (P2P)",
+        MultimediaSharing => "Audio/Video Clips",
+        SocialNetworking => "Social Networking",
+        Hacking => "Hacking",
+        OnlineGaming => "Games",
+        ArmedConflict | Extremism | Militancy | Terrorism => "Violence/Hate/Racism",
+        Weapons => "Weapons",
+    }
+}
+
+fn netsweeper(cat: Category) -> &'static str {
+    use Category::*;
+    match cat {
+        Pornography | ProvocativeAttire => "Pornography",
+        SexEducation => "Sex Education",
+        AnonymizersProxies | Vpn | Translation => "Proxy Anonymizer",
+        Gambling => "Gambling",
+        Drugs | Alcohol => "Substance Abuse",
+        Dating => "Dating",
+        Lgbt => "Alternative Lifestyles",
+        ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Religion",
+        MediaFreedom => "News",
+        HumanRights | WomensRights | MinorityGroups | EnvironmentalActivism => "Human Rights",
+        PoliticalReform | OppositionParties | CriticismOfGovernment | PoliticalSatire
+        | Corruption | Elections | ForeignRelations | SecurityServices => "Politics",
+        EmailProviders => "Web Mail",
+        Hosting => "Hosting Sites",
+        SearchEngines => "Search Engines",
+        P2pFileSharing => "File Sharing",
+        MultimediaSharing => "Multimedia",
+        SocialNetworking => "Social Networking",
+        Hacking => "Hacking",
+        OnlineGaming => "Games",
+        ArmedConflict | Extremism | Militancy | Terrorism => "Extremism",
+        Weapons => "Weapons",
+    }
+}
+
+fn websense(cat: Category) -> &'static str {
+    use Category::*;
+    match cat {
+        Pornography | ProvocativeAttire => "Adult Content",
+        SexEducation => "Sex Education",
+        AnonymizersProxies | Vpn | Translation => "Proxy Avoidance",
+        Gambling => "Gambling",
+        Drugs | Alcohol => "Drugs",
+        Dating => "Personals and Dating",
+        Lgbt => "Gay or Lesbian or Bisexual Interest",
+        ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Non-Traditional Religions",
+        MediaFreedom => "News and Media",
+        HumanRights | PoliticalReform | OppositionParties | CriticismOfGovernment
+        | PoliticalSatire | Corruption | Elections | WomensRights | MinorityGroups
+        | EnvironmentalActivism | ForeignRelations | SecurityServices => "Advocacy Groups",
+        EmailProviders => "Web-based Email",
+        Hosting => "Web Hosting",
+        SearchEngines => "Search Engines and Portals",
+        P2pFileSharing => "Peer-to-Peer File Sharing",
+        MultimediaSharing => "Streaming Media",
+        SocialNetworking => "Social Networking",
+        Hacking => "Hacking",
+        OnlineGaming => "Games",
+        ArmedConflict | Extremism | Militancy | Terrorism => "Militancy and Extremist",
+        Weapons => "Weapons",
+    }
+}
+
+/// Netsweeper's numbered category scheme, indexed by `catno - 1`.
+///
+/// The first 40-odd entries are the names the ONI mapping above can
+/// produce, padded with the rest of Netsweeper's stock scheme to the 66
+/// categories the deny-page test site exposes (§4.4). Catno 23 is pinned
+/// to "Pornography" to match the paper's example URL.
+pub const NETSWEEPER_CATEGORIES: [&str; 66] = [
+    "Adult Images",        // 1
+    "Alcohol",             // 2
+    "Alternative Lifestyles", // 3
+    "Arts",                // 4
+    "Business",            // 5
+    "Chat",                // 6
+    "Criminal Skills",     // 7
+    "Dating",              // 8
+    "Substance Abuse",     // 9
+    "Education",           // 10
+    "Entertainment",       // 11
+    "Extremism",           // 12
+    "File Sharing",        // 13
+    "Finance",             // 14
+    "Gambling",            // 15
+    "Games",               // 16
+    "Government",          // 17
+    "Hacking",             // 18
+    "Health",              // 19
+    "Hosting Sites",       // 20
+    "Human Rights",        // 21
+    "Humor",               // 22
+    "Pornography",         // 23 (pinned: paper example catno)
+    "Intranet",            // 24
+    "Job Search",          // 25
+    "Kids",                // 26
+    "Lingerie",            // 27
+    "Matrimonial",         // 28
+    "Multimedia",          // 29
+    "News",                // 30
+    "Occult",              // 31
+    "Phishing",            // 32
+    "Politics",            // 33
+    "Portals",             // 34
+    "Profanity",           // 35
+    "Proxy Anonymizer",    // 36
+    "Real Estate",         // 37
+    "Religion",            // 38
+    "Search Engines",      // 39
+    "Search Keywords",     // 40
+    "Sex Education",       // 41
+    "Shopping",            // 42
+    "Social Networking",   // 43
+    "Sports",              // 44
+    "Technology",          // 45
+    "Travel",              // 46
+    "Viruses",             // 47
+    "Weapons",             // 48
+    "Web Mail",            // 49
+    "Journals and Blogs",  // 50
+    "Photo Sharing",       // 51
+    "Translation Sites",   // 52
+    "Advertising",         // 53
+    "Auctions",            // 54
+    "Automotive",          // 55
+    "Directory",           // 56
+    "Fashion",             // 57
+    "Food",                // 58
+    "General",             // 59
+    "Hobbies",             // 60
+    "Military",            // 61
+    "Mobile Phones",       // 62
+    "Pets",                // 63
+    "Ringtones",           // 64
+    "Society",             // 65
+    "Uncategorized",       // 66
+];
+
+/// Catno (1-based) for a Netsweeper category name, if it is part of the
+/// numbered scheme.
+pub fn netsweeper_catno(name: &str) -> Option<u8> {
+    NETSWEEPER_CATEGORIES
+        .iter()
+        .position(|&n| n.eq_ignore_ascii_case(name))
+        .map(|i| (i + 1) as u8)
+}
+
+/// Category name for a Netsweeper catno (1..=66).
+pub fn netsweeper_category_name(catno: u8) -> Option<&'static str> {
+    if (1..=66).contains(&catno) {
+        Some(NETSWEEPER_CATEGORIES[catno as usize - 1])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn mappings_are_total() {
+        for product in ProductKind::ALL {
+            for cat in Category::ALL {
+                assert!(!vendor_category(product, cat).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn case_study_categories_land_where_the_paper_says() {
+        use Category::*;
+        // §4.3: SmartFilter proxies → the anonymizers/proxy category.
+        assert_eq!(vendor_category(ProductKind::SmartFilter, AnonymizersProxies), "Anonymizers");
+        assert_eq!(vendor_category(ProductKind::SmartFilter, Pornography), "Pornography");
+        // §4.5: Blue Coat submissions went to "Proxy avoidance".
+        assert_eq!(vendor_category(ProductKind::BlueCoat, AnonymizersProxies), "Proxy Avoidance");
+        // §4.4: Netsweeper proxy anonymizer category.
+        assert_eq!(vendor_category(ProductKind::Netsweeper, AnonymizersProxies), "Proxy Anonymizer");
+    }
+
+    #[test]
+    fn netsweeper_scheme_has_66_unique_categories() {
+        let set: BTreeSet<&str> = NETSWEEPER_CATEGORIES.iter().copied().collect();
+        assert_eq!(set.len(), 66);
+    }
+
+    #[test]
+    fn catno_23_is_pornography() {
+        assert_eq!(netsweeper_category_name(23), Some("Pornography"));
+        assert_eq!(netsweeper_catno("pornography"), Some(23));
+    }
+
+    #[test]
+    fn catno_bounds() {
+        assert_eq!(netsweeper_category_name(0), None);
+        assert_eq!(netsweeper_category_name(67), None);
+        assert_eq!(netsweeper_category_name(1), Some("Adult Images"));
+        assert_eq!(netsweeper_category_name(66), Some("Uncategorized"));
+        assert_eq!(netsweeper_catno("No Such"), None);
+    }
+
+    #[test]
+    fn oni_mapped_netsweeper_names_are_in_numbered_scheme() {
+        for cat in Category::ALL {
+            let name = vendor_category(ProductKind::Netsweeper, cat);
+            assert!(
+                netsweeper_catno(name).is_some(),
+                "{name} missing from numbered scheme"
+            );
+        }
+    }
+
+    #[test]
+    fn yemennet_blocked_categories_exist() {
+        // §4.4: "five categories were blocked: adult images, phishing,
+        // pornography, proxy anonymizers, and search keywords."
+        for name in ["Adult Images", "Phishing", "Pornography", "Proxy Anonymizer", "Search Keywords"] {
+            assert!(netsweeper_catno(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn vendor_categories_deduplicated() {
+        for product in ProductKind::ALL {
+            let cats = vendor_categories(product);
+            let set: BTreeSet<&str> = cats.iter().copied().collect();
+            assert_eq!(set.len(), cats.len(), "{product}");
+            assert!(cats.len() >= 15, "{product} scheme too small: {}", cats.len());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the vendor-cloud invariants.
+
+use filterwatch_http::Url;
+use filterwatch_netsim::SimTime;
+use filterwatch_products::{ProductKind, SubmitterProfile, VendorCloud};
+use filterwatch_urllists::Category;
+use proptest::prelude::*;
+
+fn any_product() -> impl Strategy<Value = ProductKind> {
+    prop_oneof![
+        Just(ProductKind::BlueCoat),
+        Just(ProductKind::SmartFilter),
+        Just(ProductKind::Netsweeper),
+        Just(ProductKind::Websense),
+    ]
+}
+
+fn any_category() -> impl Strategy<Value = Category> {
+    (0usize..40).prop_map(|i| Category::ALL[i])
+}
+
+proptest! {
+    /// Monotonicity: once a key is visible at time T it stays visible at
+    /// every later time.
+    #[test]
+    fn visibility_is_monotonic(product in any_product(), seed in any::<u64>(),
+                               cat in any_category(), day in 0u64..30) {
+        let cloud = VendorCloud::new(product, seed);
+        cloud.register_site_profile("probe.info", cat);
+        let url = Url::parse("http://probe.info/").unwrap();
+        let receipt = cloud.submit(&url, SubmitterProfile::COVERT, SimTime::from_days(day));
+        if let Some(at) = receipt.visible_after {
+            prop_assert!(receipt.accepted);
+            prop_assert!(cloud.lookup(&url, SimTime::from_secs(at.secs() - 1)).is_empty());
+            for extra in [0u64, 1, 10, 100] {
+                prop_assert!(!cloud.lookup(&url, at.plus_days(extra)).is_empty());
+            }
+        }
+    }
+
+    /// Review delays always land in the vendor's advertised window.
+    #[test]
+    fn review_delay_in_window(product in any_product(), seed in any::<u64>(), cat in any_category()) {
+        let cloud = VendorCloud::new(product, seed);
+        cloud.register_site_profile("window.info", cat);
+        let now = SimTime::from_days(3);
+        let receipt = cloud.submit(&Url::parse("http://window.info/").unwrap(), SubmitterProfile::COVERT, now);
+        if let Some(at) = receipt.visible_after {
+            let delay = at.days() - now.days();
+            prop_assert!((2..=5).contains(&delay), "delay {delay} for {product:?}");
+        }
+    }
+
+    /// Submissions are idempotent in outcome: the same domain submitted
+    /// twice yields the same acceptance decision and category.
+    #[test]
+    fn submission_outcome_is_stable(product in any_product(), seed in any::<u64>(), cat in any_category()) {
+        let cloud = VendorCloud::new(product, seed);
+        cloud.register_site_profile("stable.info", cat);
+        let url = Url::parse("http://stable.info/").unwrap();
+        let a = cloud.submit(&url, SubmitterProfile::COVERT, SimTime::ZERO);
+        let b = cloud.submit(&url, SubmitterProfile::COVERT, SimTime::ZERO);
+        prop_assert_eq!(a.accepted, b.accepted);
+        prop_assert_eq!(a.category, b.category);
+    }
+
+    /// Unknown domains are always rejected, never categorized.
+    #[test]
+    fn unknown_domains_rejected(product in any_product(), seed in any::<u64>(),
+                                stem in "[a-z]{3,12}") {
+        let cloud = VendorCloud::new(product, seed);
+        let url = Url::parse(&format!("http://{stem}.info/")).unwrap();
+        let receipt = cloud.submit(&url, SubmitterProfile::COVERT, SimTime::ZERO);
+        prop_assert!(!receipt.accepted);
+        prop_assert!(cloud.lookup(&url, SimTime::from_days(365)).is_empty());
+    }
+
+    /// The screening policy is exactly `is_flaggable`: covert always
+    /// passes, any leaky profile always fails.
+    #[test]
+    fn screening_matches_flaggability(product in any_product(), seed in any::<u64>(),
+                                      via_proxy in any::<bool>(), webmail in any::<bool>(),
+                                      hosting in any::<bool>()) {
+        let cloud = VendorCloud::new(product, seed);
+        cloud.set_reject_flaggable(true);
+        // Rule out ordinary review declines (Netsweeper's test-a-site is
+        // imperfect): this property is about the screening gate only.
+        cloud.set_acceptance_rate(1.0);
+        cloud.register_site_profile("screen.info", Category::Pornography);
+        let submitter = SubmitterProfile {
+            via_proxy,
+            webmail_address: webmail,
+            popular_hosting: hosting,
+        };
+        let receipt = cloud.submit(&Url::parse("http://screen.info/").unwrap(), submitter, SimTime::ZERO);
+        if submitter.is_flaggable() {
+            prop_assert!(!receipt.accepted);
+            prop_assert!(receipt.reason.contains("flagged"), "{}", receipt.reason);
+        } else {
+            prop_assert!(receipt.accepted, "{}", receipt.reason);
+        }
+    }
+
+    /// Lookups at subdomains equal lookups at the registrable domain
+    /// (hostname-granularity blocking, §4.6).
+    #[test]
+    fn hostname_granularity(product in any_product(), sub in "[a-z]{1,8}", cat in any_category()) {
+        let cloud = VendorCloud::new(product, 1);
+        cloud.register_site_profile("granular.info", cat);
+        cloud.submit(&Url::parse("http://granular.info/").unwrap(), SubmitterProfile::COVERT, SimTime::ZERO);
+        let later = SimTime::from_days(10);
+        let root = cloud.lookup(&Url::parse("http://granular.info/").unwrap(), later);
+        let deep = cloud.lookup(&Url::parse(&format!("http://{sub}.granular.info/a/b")).unwrap(), later);
+        prop_assert_eq!(root, deep);
+    }
+
+    /// The crawl queue never produces categories for unprofiled hosts
+    /// and never files duplicates.
+    #[test]
+    fn crawl_queue_safety(product in any_product(), seed in any::<u64>(), n in 1usize..6) {
+        let cloud = VendorCloud::new(product, seed);
+        cloud.register_site_profile("crawlme.info", Category::AnonymizersProxies);
+        for _ in 0..n {
+            cloud.queue_for_categorization("crawlme.info", SimTime::ZERO);
+            cloud.queue_for_categorization("ghost.info", SimTime::ZERO);
+        }
+        let later = SimTime::from_days(30);
+        prop_assert!(!cloud.lookup_host("crawlme.info", later).is_empty());
+        prop_assert!(cloud.lookup_host("ghost.info", later).is_empty());
+        let crawl_entries = cloud.intake_log().iter().filter(|r| r.source == "crawl").count();
+        prop_assert_eq!(crawl_entries, 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Scan-index serialization and longitudinal diffing.
+//!
+//! The paper's scans are point-in-time snapshots; its §2.2 history
+//! (Websense leaving Yemen, Blue Coat withdrawing Syrian updates) is a
+//! *longitudinal* story. This module makes that measurable:
+//!
+//! * [`ScanIndex::to_dump`] / [`ScanIndex::from_dump`] — a line-based,
+//!   versioned dump format (in the spirit of Shodan's data exports), so
+//!   snapshots can be archived and compared across campaigns;
+//! * [`diff`] — what appeared, disappeared, or changed banner between
+//!   two snapshots.
+
+use std::collections::BTreeMap;
+
+use filterwatch_netsim::SimTime;
+
+use crate::index::ScanIndex;
+use crate::record::ScanRecord;
+
+/// Format marker written as the first line of every dump.
+const MAGIC: &str = "filterwatch-scan-dump v1";
+
+/// Escape tabs/newlines/backslashes so any banner fits on one line.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => break,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl ScanIndex {
+    /// Serialize the index to the dump format.
+    pub fn to_dump(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        for r in self.records() {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                r.ip,
+                r.port,
+                escape(&r.path),
+                r.country.as_deref().unwrap_or("-"),
+                r.asn.map(|a| a.to_string()).unwrap_or_else(|| "-".into()),
+                escape(&r.hostnames.join(",")),
+                r.captured_at.secs(),
+                escape(&r.banner),
+                escape(&r.body_snippet),
+            ));
+        }
+        out
+    }
+
+    /// Parse a dump back into an index.
+    pub fn from_dump(text: &str) -> Result<ScanIndex, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(line) if line == MAGIC => {}
+            other => return Err(format!("bad dump header: {other:?}")),
+        }
+        let mut records = Vec::new();
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 9 {
+                return Err(format!(
+                    "line {}: expected 9 fields, got {}",
+                    lineno + 2,
+                    fields.len()
+                ));
+            }
+            records.push(ScanRecord {
+                ip: fields[0]
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 2))?,
+                port: fields[1]
+                    .parse()
+                    .map_err(|_| format!("line {}: bad port", lineno + 2))?,
+                path: unescape(fields[2]),
+                country: (fields[3] != "-").then(|| fields[3].to_string()),
+                asn: (fields[4] != "-")
+                    .then(|| fields[4].parse())
+                    .transpose()
+                    .map_err(|_| format!("line {}: bad asn", lineno + 2))?,
+                hostnames: {
+                    let h = unescape(fields[5]);
+                    if h.is_empty() {
+                        Vec::new()
+                    } else {
+                        h.split(',').map(String::from).collect()
+                    }
+                },
+                captured_at: SimTime::from_secs(
+                    fields[6]
+                        .parse()
+                        .map_err(|_| format!("line {}: bad timestamp", lineno + 2))?,
+                ),
+                banner: unescape(fields[7]),
+                body_snippet: unescape(fields[8]),
+            });
+        }
+        Ok(ScanIndex::from_records(records))
+    }
+}
+
+/// What changed between two scan snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct IndexDiff {
+    /// Endpoints present only in the newer snapshot.
+    pub appeared: Vec<String>,
+    /// Endpoints present only in the older snapshot.
+    pub disappeared: Vec<String>,
+    /// Endpoints present in both but with a different banner.
+    pub changed: Vec<String>,
+}
+
+impl IndexDiff {
+    /// Whether the two snapshots were identical.
+    pub fn is_empty(&self) -> bool {
+        self.appeared.is_empty() && self.disappeared.is_empty() && self.changed.is_empty()
+    }
+}
+
+/// Compare two snapshots by `(ip, port, path)` endpoint key.
+pub fn diff(older: &ScanIndex, newer: &ScanIndex) -> IndexDiff {
+    let key = |r: &ScanRecord| format!("{}:{}{}", r.ip, r.port, r.path);
+    let old: BTreeMap<String, &ScanRecord> =
+        older.records().iter().map(|r| (key(r), r)).collect();
+    let new: BTreeMap<String, &ScanRecord> =
+        newer.records().iter().map(|r| (key(r), r)).collect();
+
+    let mut out = IndexDiff::default();
+    for (k, rec) in &new {
+        match old.get(k) {
+            None => out.appeared.push(k.clone()),
+            Some(old_rec) if old_rec.banner != rec.banner => out.changed.push(k.clone()),
+            Some(_) => {}
+        }
+    }
+    for k in old.keys() {
+        if !new.contains_key(k) {
+            out.disappeared.push(k.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ip: &str, port: u16, banner: &str) -> ScanRecord {
+        ScanRecord {
+            ip: ip.parse().unwrap(),
+            port,
+            path: "/".into(),
+            banner: banner.into(),
+            body_snippet: "<title>x</title>\nline2\twith tab".into(),
+            hostnames: vec!["a.example".into(), "b.example".into()],
+            country: Some("QA".into()),
+            asn: Some(42298),
+            captured_at: SimTime::from_days(3),
+        }
+    }
+
+    #[test]
+    fn dump_round_trip() {
+        let index = ScanIndex::from_records(vec![
+            rec("5.0.0.1", 80, "HTTP/1.1 200 OK\r\nServer: x\r\n"),
+            rec("5.0.0.2", 8080, "HTTP/1.1 401 Unauthorized\r\nServer: netsweeper\r\n"),
+        ]);
+        let dump = index.to_dump();
+        let restored = ScanIndex::from_dump(&dump).unwrap();
+        assert_eq!(index.records(), restored.records());
+    }
+
+    #[test]
+    fn dump_rejects_garbage() {
+        assert!(ScanIndex::from_dump("").is_err());
+        assert!(ScanIndex::from_dump("not a dump\n").is_err());
+        let bad = format!("{MAGIC}\nonly\tthree\tfields\n");
+        assert!(ScanIndex::from_dump(&bad).is_err());
+    }
+
+    #[test]
+    fn diff_classifies_changes() {
+        let old = ScanIndex::from_records(vec![
+            rec("5.0.0.1", 80, "banner-a"),
+            rec("5.0.0.2", 80, "banner-b"),
+        ]);
+        let new = ScanIndex::from_records(vec![
+            rec("5.0.0.2", 80, "banner-b2"),
+            rec("5.0.0.3", 80, "banner-c"),
+        ]);
+        let d = diff(&old, &new);
+        assert_eq!(d.appeared, vec!["5.0.0.3:80/"]);
+        assert_eq!(d.disappeared, vec!["5.0.0.1:80/"]);
+        assert_eq!(d.changed, vec!["5.0.0.2:80/"]);
+        assert!(!d.is_empty());
+        assert!(diff(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["plain", "tab\there", "nl\nhere", "bs\\here", "\r\n\t\\"] {
+            assert_eq!(unescape(&escape(s)), s);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The banner-grab crawler.
+
+use filterwatch_http::{Request, Url};
+use filterwatch_netsim::{Internet, IpAddr};
+use parking_lot::Mutex;
+
+use crate::index::ScanIndex;
+use crate::record::ScanRecord;
+
+/// Probe targets: `(port, path)` pairs the crawler requests on every
+/// address. Port 8080's `/webadmin/` is probed because crawlers record
+/// well-known management-console paths (and Table 2's `8080/webadmin/`
+/// keyword needs them in the index).
+pub const DEFAULT_PROBES: &[(u16, &str)] = &[
+    (80, "/"),
+    (8080, "/"),
+    (8080, "/webadmin/"),
+    (15871, "/"),
+];
+
+/// How many bytes of body the index keeps per record.
+const SNIPPET_LEN: usize = 400;
+
+/// A parallel scan engine over the simulated address space.
+pub struct ScanEngine {
+    probes: Vec<(u16, String)>,
+    threads: usize,
+}
+
+impl Default for ScanEngine {
+    fn default() -> Self {
+        ScanEngine::new()
+    }
+}
+
+impl ScanEngine {
+    /// An engine with the default probe set and parallelism.
+    pub fn new() -> Self {
+        ScanEngine {
+            probes: DEFAULT_PROBES
+                .iter()
+                .map(|&(port, path)| (port, path.to_string()))
+                .collect(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        }
+    }
+
+    /// Override the probe set.
+    pub fn with_probes(mut self, probes: &[(u16, &str)]) -> Self {
+        self.probes = probes
+            .iter()
+            .map(|&(port, path)| (port, path.to_string()))
+            .collect();
+        self
+    }
+
+    /// Use exactly `n` scanning threads (1 = sequential).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Scan every allocated prefix of the simulated Internet and build
+    /// the index. Country/ASN metadata comes from the registry ground
+    /// truth (as Shodan's geolocation feed would supply).
+    pub fn scan(&self, net: &Internet) -> ScanIndex {
+        let ips: Vec<IpAddr> = net
+            .registry()
+            .prefixes()
+            .iter()
+            .flat_map(|(cidr, _)| cidr.iter())
+            .collect();
+        let records = Mutex::new(Vec::new());
+
+        let chunk = ips.len().div_ceil(self.threads).max(1);
+        {
+            let records = &records;
+            crossbeam::thread::scope(|scope| {
+                for slice in ips.chunks(chunk) {
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for &ip in slice {
+                            self.probe_ip(net, ip, &mut local);
+                        }
+                        records.lock().extend(local);
+                    });
+                }
+            })
+            .expect("scan worker panicked");
+        }
+
+        let mut records = records.into_inner();
+        records.sort_by(|a, b| (a.ip, a.port, &a.path).cmp(&(b.ip, b.port, &b.path)));
+        ScanIndex::from_records(records)
+    }
+
+    fn probe_ip(&self, net: &Internet, ip: IpAddr, out: &mut Vec<ScanRecord>) {
+        for (port, path) in &self.probes {
+            let url = Url::http_at(&ip.to_string(), *port, path);
+            let req = Request::get(url);
+            let Some(resp) = net.probe(ip, *port, &req).into_response() else {
+                continue;
+            };
+            // Crawlers index live endpoints, not error paths: a 404 on a
+            // probed path leaves no record (this is what keeps a
+            // deny-only console invisible, §6.1).
+            if resp.status.code() == 404 {
+                continue;
+            }
+            let body = resp.body_text();
+            let snippet: String = body.chars().take(SNIPPET_LEN).collect();
+            out.push(ScanRecord {
+                ip,
+                port: *port,
+                path: path.clone(),
+                banner: resp.banner(),
+                body_snippet: snippet,
+                hostnames: net
+                    .host(ip)
+                    .map(|h| h.hostnames.clone())
+                    .unwrap_or_default(),
+                country: net.registry().country_of(ip).map(|c| c.to_string()),
+                asn: net.registry().asn_of(ip).map(|a| a.0),
+                captured_at: net.now(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterwatch_netsim::service::StaticSite;
+    use filterwatch_netsim::NetworkSpec;
+
+    fn world() -> Internet {
+        let mut net = Internet::new(11);
+        net.registry_mut().register_country("QA", "Qatar", "qa");
+        let asn = net.registry_mut().register_as(42298, "OOREDOO", "QA");
+        let prefix = net.registry_mut().allocate_prefix(asn, 1).unwrap();
+        let isp = net.add_network(NetworkSpec::new("ooredoo", asn, "QA").with_cidr(prefix));
+        let ip = net.alloc_ip(isp).unwrap();
+        net.add_host(ip, isp, &["gw.ooredoo.qa"]);
+        net.add_service(
+            ip,
+            8080,
+            Box::new(StaticSite::new("Netsweeper WebAdmin", "<p>login</p>").with_server("netsweeper/5.1")),
+        );
+        let web_ip = net.alloc_ip(isp).unwrap();
+        net.add_host(web_ip, isp, &["www.ooredoo.qa"]);
+        net.add_service(web_ip, 80, Box::new(StaticSite::new("Ooredoo", "<p>portal</p>")));
+        net
+    }
+
+    #[test]
+    fn scan_finds_only_bound_endpoints() {
+        let net = world();
+        let index = ScanEngine::new().with_threads(2).scan(&net);
+        // Console answers on 8080 for both "/" and "/webadmin/", portal on 80.
+        assert_eq!(index.len(), 3);
+        let texts: Vec<String> = index.records().iter().map(|r| r.text()).collect();
+        assert!(texts.iter().any(|t| t.contains("8080/webadmin/")));
+        assert!(texts.iter().any(|t| t.contains("Ooredoo")));
+    }
+
+    #[test]
+    fn records_carry_geo_metadata() {
+        let net = world();
+        let index = ScanEngine::new().with_threads(1).scan(&net);
+        for r in index.records() {
+            assert_eq!(r.country.as_deref(), Some("QA"));
+            assert_eq!(r.asn, Some(42298));
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_scans_agree() {
+        let net = world();
+        let a = ScanEngine::new().with_threads(1).scan(&net);
+        let b = ScanEngine::new().with_threads(4).scan(&net);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn custom_probe_set() {
+        let net = world();
+        let index = ScanEngine::new().with_probes(&[(80, "/")]).scan(&net);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.records()[0].port, 80);
+    }
+}

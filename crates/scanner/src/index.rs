@@ -1,0 +1,199 @@
+//! The keyword-searchable scan index.
+
+use std::collections::BTreeMap;
+
+use filterwatch_netsim::IpAddr;
+use filterwatch_pattern::Pattern;
+
+use crate::record::ScanRecord;
+
+/// A built scan index (the Shodan analog).
+#[derive(Debug, Clone, Default)]
+pub struct ScanIndex {
+    records: Vec<ScanRecord>,
+}
+
+/// Aggregate statistics about an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of records (responsive `ip:port/path` endpoints).
+    pub records: usize,
+    /// Number of distinct addresses.
+    pub addresses: usize,
+    /// Records per country code.
+    pub by_country: BTreeMap<String, usize>,
+}
+
+impl ScanIndex {
+    /// Build an index from crawler records.
+    pub fn from_records(records: Vec<ScanRecord>) -> Self {
+        ScanIndex { records }
+    }
+
+    /// All records, in `(ip, port, path)` order.
+    pub fn records(&self) -> &[ScanRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Keyword search: case-insensitive substring match over each
+    /// record's searchable text (banner, body snippet, hostnames,
+    /// `port/path`).
+    pub fn search(&self, keyword: &str) -> Vec<&ScanRecord> {
+        let pattern = Pattern::literal(keyword);
+        self.records
+            .iter()
+            .filter(|r| pattern.is_match(&r.text()))
+            .collect()
+    }
+
+    /// Keyword search restricted to one country's footprint — the
+    /// paper's "keyword + ccTLD" query form. A record qualifies when the
+    /// keyword matches *and* either a hostname carries the ccTLD or the
+    /// crawler's country metadata matches `country_code`.
+    pub fn search_in_country(
+        &self,
+        keyword: &str,
+        country_code: &str,
+        cctld: &str,
+    ) -> Vec<&ScanRecord> {
+        let cc = country_code.to_ascii_uppercase();
+        let suffix = format!(".{}", cctld.trim_start_matches('.').to_ascii_lowercase());
+        self.search(keyword)
+            .into_iter()
+            .filter(|r| {
+                r.country.as_deref() == Some(cc.as_str())
+                    || r.hostnames.iter().any(|h| h.to_ascii_lowercase().ends_with(&suffix))
+            })
+            .collect()
+    }
+
+    /// Union of `search_in_country` over a whole ccTLD table, as the
+    /// paper runs each keyword against every country code. Returns
+    /// distinct addresses in order.
+    pub fn search_all_countries<'a, I>(&self, keyword: &str, cctlds: I) -> Vec<&ScanRecord>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for (cc, tld) in cctlds {
+            for rec in self.search_in_country(keyword, cc, tld) {
+                if seen.insert((rec.ip, rec.port, rec.path.clone())) {
+                    out.push(rec);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct addresses matching `keyword`.
+    pub fn matching_ips(&self, keyword: &str) -> Vec<IpAddr> {
+        let mut out: Vec<IpAddr> = self.search(keyword).into_iter().map(|r| r.ip).collect();
+        out.dedup();
+        out
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> IndexStats {
+        let mut by_country: BTreeMap<String, usize> = BTreeMap::new();
+        let mut addresses = std::collections::BTreeSet::new();
+        for r in &self.records {
+            addresses.insert(r.ip);
+            if let Some(c) = &r.country {
+                *by_country.entry(c.clone()).or_default() += 1;
+            }
+        }
+        IndexStats {
+            records: self.records.len(),
+            addresses: addresses.len(),
+            by_country,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use filterwatch_netsim::SimTime;
+
+    fn rec(ip: &str, port: u16, banner: &str, host: &str, country: &str) -> ScanRecord {
+        ScanRecord {
+            ip: ip.parse().unwrap(),
+            port,
+            path: "/".into(),
+            banner: banner.into(),
+            body_snippet: String::new(),
+            hostnames: vec![host.into()],
+            country: Some(country.into()),
+            asn: Some(1),
+            captured_at: SimTime::ZERO,
+        }
+    }
+
+    fn index() -> ScanIndex {
+        ScanIndex::from_records(vec![
+            rec("5.0.0.1", 80, "Server: ProxySG", "gw.example.sy", "SY"),
+            rec("5.0.1.1", 8080, "Server: netsweeper/5.1", "gw.isp.qa", "QA"),
+            rec("5.0.2.1", 80, "Server: Apache", "www.plain.se", "SE"),
+            rec("5.0.3.1", 80, "Server: ProxySG", "proxy.corp.us", "US"),
+        ])
+    }
+
+    #[test]
+    fn keyword_search_is_case_insensitive() {
+        let idx = index();
+        assert_eq!(idx.search("proxysg").len(), 2);
+        assert_eq!(idx.search("NETSWEEPER").len(), 1);
+        assert_eq!(idx.search("nothing").len(), 0);
+    }
+
+    #[test]
+    fn country_scoped_search() {
+        let idx = index();
+        let sy = idx.search_in_country("proxysg", "SY", "sy");
+        assert_eq!(sy.len(), 1);
+        assert_eq!(sy[0].ip.to_string(), "5.0.0.1");
+        // ccTLD match works even if metadata were missing: the .qa
+        // hostname qualifies the record for QA.
+        let qa = idx.search_in_country("netsweeper", "QA", "qa");
+        assert_eq!(qa.len(), 1);
+        assert!(idx.search_in_country("proxysg", "QA", "qa").is_empty());
+    }
+
+    #[test]
+    fn union_over_cctlds_deduplicates() {
+        let idx = index();
+        let hits = idx.search_all_countries("proxysg", [("SY", "sy"), ("US", "us"), ("SY", "sy")]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn stats() {
+        let s = index().stats();
+        assert_eq!(s.records, 4);
+        assert_eq!(s.addresses, 4);
+        assert_eq!(s.by_country["SY"], 1);
+        assert_eq!(s.by_country.len(), 4);
+    }
+
+    #[test]
+    fn matching_ips_deduplicates_ports() {
+        let mut records = vec![
+            rec("5.0.0.1", 80, "x proxysg", "a", "SY"),
+            rec("5.0.0.1", 8080, "y proxysg", "a", "SY"),
+        ];
+        records.sort_by_key(|a| (a.ip, a.port));
+        let idx = ScanIndex::from_records(records);
+        assert_eq!(idx.matching_ips("proxysg").len(), 1);
+    }
+}

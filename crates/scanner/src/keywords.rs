@@ -1,0 +1,70 @@
+//! The Table 2 Shodan keyword table.
+//!
+//! "By manually analyzing results from the ONI tests, we were able to
+//! identify commonly appearing keywords and headers for the products we
+//! consider." The table below is the left column of Table 2, verbatim.
+
+/// Shodan keywords for one product, as in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductKeywords {
+    /// Product slug (matches `ProductKind::slug` in the products crate).
+    pub product: &'static str,
+    /// The keywords searched, combined with every ccTLD.
+    pub keywords: &'static [&'static str],
+}
+
+/// The full Table 2 keyword table.
+pub const KEYWORD_TABLE: &[ProductKeywords] = &[
+    ProductKeywords {
+        product: "bluecoat",
+        keywords: &["proxysg", "cfru="],
+    },
+    ProductKeywords {
+        product: "smartfilter",
+        keywords: &["mcafee web gateway", "url blocked"],
+    },
+    ProductKeywords {
+        product: "netsweeper",
+        keywords: &["netsweeper", "webadmin", "webadmin/deny", "8080/webadmin/"],
+    },
+    ProductKeywords {
+        product: "websense",
+        keywords: &["blockpage.cgi", "gateway websense"],
+    },
+];
+
+/// Keywords for one product slug.
+pub fn keywords_for(product_slug: &str) -> Option<&'static [&'static str]> {
+    KEYWORD_TABLE
+        .iter()
+        .find(|p| p.product == product_slug)
+        .map(|p| p.keywords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_products_in_table() {
+        assert_eq!(KEYWORD_TABLE.len(), 4);
+    }
+
+    #[test]
+    fn table2_contents() {
+        assert_eq!(keywords_for("bluecoat"), Some(&["proxysg", "cfru="][..]));
+        assert!(keywords_for("netsweeper").unwrap().contains(&"8080/webadmin/"));
+        assert!(keywords_for("websense").unwrap().contains(&"blockpage.cgi"));
+        assert!(keywords_for("smartfilter").unwrap().contains(&"mcafee web gateway"));
+        assert_eq!(keywords_for("unknown"), None);
+    }
+
+    #[test]
+    fn keywords_are_lowercase() {
+        for entry in KEYWORD_TABLE {
+            for kw in entry.keywords {
+                assert_eq!(*kw, kw.to_ascii_lowercase(), "{kw}");
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Internet-wide scanning and the keyword-searchable scan index.
+//!
+//! §3.1: "The Shodan search engine indexes the IP addresses of externally
+//! visible devices on the Internet. Entries in Shodan consist of an IP
+//! address, along with meta-data and HTTP headers observed when the IP
+//! address was accessed by the search engine. ... We search for these
+//! keywords, in combination with each of the two letter country-code
+//! top-level domains, to maximize the set of results we obtain."
+//!
+//! This crate is the Shodan analog for the simulated Internet:
+//!
+//! * [`ScanEngine`] — a parallel banner-grab crawler that walks every
+//!   allocated prefix, probing the HTTP ports (and the `/webadmin/` path
+//!   on 8080, as crawlers that follow links would record) and capturing
+//!   status line + headers + a body snippet per responsive endpoint;
+//! * [`ScanIndex`] — the resulting keyword-searchable index, with
+//!   country/ccTLD-scoped queries;
+//! * [`keywords`] — the Table 2 keyword table per product.
+//!
+//! Snapshots serialize via [`dump`] for longitudinal comparison (what
+//! appeared/disappeared between campaigns — the §2.2 vendor-withdrawal
+//! stories are diffs of exactly this kind).
+//!
+//! Like the real thing, the index only ever sees **externally visible**
+//! services — a filter whose console binds to internal address space
+//! never appears, which is exactly the §6.1 limitation.
+
+pub mod census;
+pub mod dump;
+pub mod engine;
+pub mod index;
+pub mod keywords;
+mod record;
+
+pub use census::{enrich, CensusRecord, CensusSweep};
+pub use dump::{diff, IndexDiff};
+pub use engine::ScanEngine;
+pub use index::{IndexStats, ScanIndex};
+pub use record::ScanRecord;

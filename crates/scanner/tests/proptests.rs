@@ -1,0 +1,87 @@
+//! Property-based tests for the scan index, its dump format and diffs.
+
+use filterwatch_netsim::SimTime;
+use filterwatch_scanner::{diff, ScanIndex, ScanRecord};
+use proptest::prelude::*;
+
+fn any_record() -> impl Strategy<Value = ScanRecord> {
+    (
+        any::<u32>(),
+        1u16..=65535,
+        "(/[a-z0-9]{0,6}){0,3}",
+        "[ -~]{0,60}",
+        "\\PC{0,60}",
+        proptest::collection::vec("[a-z]{1,8}\\.[a-z]{2,3}", 0..3),
+        proptest::option::of("[A-Z]{2}"),
+        proptest::option::of(1u32..100_000),
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(ip, port, path, banner, body, hostnames, country, asn, at)| ScanRecord {
+                ip: filterwatch_netsim::IpAddr(ip),
+                port,
+                path: if path.is_empty() { "/".into() } else { path },
+                banner,
+                body_snippet: body,
+                hostnames,
+                country,
+                asn,
+                captured_at: SimTime::from_secs(at),
+            },
+        )
+}
+
+proptest! {
+    /// Dump → restore is the identity for any record set.
+    #[test]
+    fn dump_round_trip(records in proptest::collection::vec(any_record(), 0..20)) {
+        let index = ScanIndex::from_records(records);
+        let restored = ScanIndex::from_dump(&index.to_dump()).unwrap();
+        prop_assert_eq!(index.records(), restored.records());
+    }
+
+    /// Self-diff is always empty; diff against empty lists everything.
+    #[test]
+    fn diff_identities(records in proptest::collection::vec(any_record(), 0..15)) {
+        let index = ScanIndex::from_records(records.clone());
+        prop_assert!(diff(&index, &index).is_empty());
+        let empty = ScanIndex::from_records(Vec::new());
+        let d = diff(&empty, &index);
+        let distinct: std::collections::BTreeSet<(u32, u16, String)> = records
+            .iter()
+            .map(|r| (r.ip.value(), r.port, r.path.clone()))
+            .collect();
+        prop_assert_eq!(d.appeared.len(), distinct.len());
+        prop_assert!(d.disappeared.is_empty());
+        let d2 = diff(&index, &empty);
+        prop_assert_eq!(d2.disappeared.len(), distinct.len());
+    }
+
+    /// Keyword search results are always a subset of the records and
+    /// every hit's text really contains the keyword.
+    #[test]
+    fn search_soundness(records in proptest::collection::vec(any_record(), 0..15), kw in "[a-z]{2,6}") {
+        let index = ScanIndex::from_records(records);
+        for hit in index.search(&kw) {
+            prop_assert!(hit.text().to_ascii_lowercase().contains(&kw));
+        }
+    }
+
+    /// Stats totals agree with the record list.
+    #[test]
+    fn stats_consistency(records in proptest::collection::vec(any_record(), 0..15)) {
+        let index = ScanIndex::from_records(records.clone());
+        let stats = index.stats();
+        prop_assert_eq!(stats.records, records.len());
+        let by_country_total: usize = stats.by_country.values().sum();
+        let with_country = records.iter().filter(|r| r.country.is_some()).count();
+        prop_assert_eq!(by_country_total, with_country);
+        prop_assert!(stats.addresses <= stats.records.max(1));
+    }
+
+    /// The dump parser never panics on arbitrary text.
+    #[test]
+    fn dump_parser_total(text in "\\PC{0,300}") {
+        let _ = ScanIndex::from_dump(&text);
+    }
+}

@@ -1,0 +1,1 @@
+//! (under construction)

@@ -1,0 +1,207 @@
+//! The 40-category / 4-theme ONI content taxonomy.
+//!
+//! The paper: "Each of the URLs on these lists was assigned to one of 40
+//! content categories (e.g. 'human rights' or 'gambling') under four
+//! general themes: political, social, Internet tools and
+//! conflict/security content." The exact 40-category list is the ONI
+//! testing taxonomy; the enumeration here follows the published ONI
+//! methodology categories.
+
+/// One of the four general testing themes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Theme {
+    /// Oppositional/critical politics, rights, reform.
+    Political,
+    /// Social and cultural content (sexuality, religion, vice).
+    Social,
+    /// Tools that enable access and communication.
+    InternetTools,
+    /// Conflict, security and militancy content.
+    ConflictSecurity,
+}
+
+impl Theme {
+    /// All themes, in canonical order.
+    pub const ALL: [Theme; 4] = [
+        Theme::Political,
+        Theme::Social,
+        Theme::InternetTools,
+        Theme::ConflictSecurity,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Theme::Political => "Political",
+            Theme::Social => "Social",
+            Theme::InternetTools => "Internet tools",
+            Theme::ConflictSecurity => "Conflict/Security",
+        }
+    }
+}
+
+impl std::fmt::Display for Theme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+macro_rules! categories {
+    ($(($variant:ident, $name:literal, $slug:literal, $theme:ident)),+ $(,)?) => {
+        /// One of the 40 ONI content categories.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum Category {
+            $(
+                #[doc = $name]
+                $variant,
+            )+
+        }
+
+        impl Category {
+            /// All 40 categories, in canonical order.
+            pub const ALL: [Category; count!($($variant)+)] = [
+                $(Category::$variant,)+
+            ];
+
+            /// Human-readable name (as used in reports).
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $(Category::$variant => $name,)+
+                }
+            }
+
+            /// URL-safe slug used in synthetic hostnames.
+            pub fn slug(&self) -> &'static str {
+                match self {
+                    $(Category::$variant => $slug,)+
+                }
+            }
+
+            /// The theme this category belongs to.
+            pub fn theme(&self) -> Theme {
+                match self {
+                    $(Category::$variant => Theme::$theme,)+
+                }
+            }
+
+            /// Look a category up by its slug.
+            pub fn from_slug(slug: &str) -> Option<Category> {
+                match slug {
+                    $($slug => Some(Category::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+macro_rules! count {
+    () => (0usize);
+    ($head:tt $($tail:tt)*) => (1usize + count!($($tail)*));
+}
+
+categories! {
+    // ---- Political (11) ----
+    (HumanRights,          "Human rights",                 "human-rights",        Political),
+    (PoliticalReform,      "Political reform",             "political-reform",    Political),
+    (OppositionParties,    "Opposition parties",           "opposition",          Political),
+    (MediaFreedom,         "Media freedom / independent media", "media-freedom",  Political),
+    (CriticismOfGovernment,"Criticism of government",      "gov-criticism",       Political),
+    (PoliticalSatire,      "Political satire",             "satire",              Political),
+    (Corruption,           "Corruption reporting",         "corruption",          Political),
+    (Elections,            "Elections monitoring",         "elections",           Political),
+    (WomensRights,         "Women's rights",               "womens-rights",       Political),
+    (MinorityGroups,       "Minority groups and religions","minority-groups",     Political),
+    (EnvironmentalActivism,"Environmental activism",       "environment",         Political),
+    // ---- Social (12) ----
+    (Pornography,          "Pornography",                  "pornography",         Social),
+    (ProvocativeAttire,    "Provocative attire",           "attire",              Social),
+    (Gambling,             "Gambling",                     "gambling",            Social),
+    (Alcohol,              "Alcohol and drugs marketing",  "alcohol",             Social),
+    (Drugs,                "Illegal drugs",                "drugs",               Social),
+    (Lgbt,                 "Gay and lesbian content (non-pornographic)", "lgbt",  Social),
+    (SexEducation,         "Sex education",                "sex-ed",              Social),
+    (Dating,               "Dating",                       "dating",              Social),
+    (ReligiousCriticism,   "Religious criticism",          "religious-criticism", Social),
+    (MinorityFaiths,       "Minority faiths",              "minority-faiths",     Social),
+    (ReligiousConversion,  "Religious conversion",         "conversion",          Social),
+    (OnlineGaming,         "Online gaming",                "gaming",              Social),
+    // ---- Internet tools (10) ----
+    (AnonymizersProxies,   "Anonymizers and proxies",      "proxy",               InternetTools),
+    (Vpn,                  "VPN services",                 "vpn",                 InternetTools),
+    (Translation,          "Translation services",         "translation",         InternetTools),
+    (EmailProviders,       "Free e-mail providers",        "email",               InternetTools),
+    (Hosting,              "Hosting and blogging platforms","hosting",            InternetTools),
+    (SearchEngines,        "Search engines",               "search",              InternetTools),
+    (P2pFileSharing,       "Peer-to-peer file sharing",    "p2p",                 InternetTools),
+    (MultimediaSharing,    "Multimedia sharing",           "multimedia",          InternetTools),
+    (SocialNetworking,     "Social networking",            "social-networking",   InternetTools),
+    (Hacking,              "Hacking tools",                "hacking",             InternetTools),
+    // ---- Conflict / security (7) ----
+    (ArmedConflict,        "Armed conflict and separatism","armed-conflict",      ConflictSecurity),
+    (Extremism,            "Extremism",                    "extremism",           ConflictSecurity),
+    (Militancy,            "Militancy and militant groups","militancy",           ConflictSecurity),
+    (Weapons,              "Weapons",                      "weapons",             ConflictSecurity),
+    (Terrorism,            "Terrorism",                    "terrorism",           ConflictSecurity),
+    (ForeignRelations,     "Foreign relations disputes",   "foreign-relations",   ConflictSecurity),
+    (SecurityServices,     "Security services criticism",  "security-services",   ConflictSecurity),
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn exactly_forty_categories() {
+        assert_eq!(Category::ALL.len(), 40);
+    }
+
+    #[test]
+    fn all_four_themes_populated() {
+        for theme in Theme::ALL {
+            assert!(
+                Category::ALL.iter().any(|c| c.theme() == theme),
+                "theme {theme} has no categories"
+            );
+        }
+    }
+
+    #[test]
+    fn slugs_are_unique_and_round_trip() {
+        let slugs: BTreeSet<&str> = Category::ALL.iter().map(|c| c.slug()).collect();
+        assert_eq!(slugs.len(), 40);
+        for c in Category::ALL {
+            assert_eq!(Category::from_slug(c.slug()), Some(c));
+        }
+        assert_eq!(Category::from_slug("not-a-slug"), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: BTreeSet<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 40);
+    }
+
+    #[test]
+    fn paper_examples_present() {
+        // "(e.g. 'human rights' or 'gambling')"
+        assert_eq!(Category::HumanRights.theme(), Theme::Political);
+        assert_eq!(Category::Gambling.theme(), Theme::Social);
+        // Categories used in the case studies.
+        assert_eq!(Category::AnonymizersProxies.theme(), Theme::InternetTools);
+        assert_eq!(Category::Pornography.theme(), Theme::Social);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(Category::Lgbt.to_string(), "Gay and lesbian content (non-pornographic)");
+        assert_eq!(Theme::InternetTools.to_string(), "Internet tools");
+    }
+}

@@ -1,0 +1,102 @@
+//! Researcher-controlled test domain generation.
+//!
+//! §4.3: "These domains had the form of two random (non-profane) words
+//! registered with the '.info' top-level domain (e.g. starwasher.info)".
+//! The forge is seeded, never repeats a domain, and supports other TLDs
+//! for completeness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::words::WORDS;
+
+/// Deterministic generator of fresh two-word domains.
+#[derive(Debug)]
+pub struct DomainForge {
+    rng: StdRng,
+    issued: BTreeSet<String>,
+    tld: String,
+}
+
+impl DomainForge {
+    /// A forge minting `.info` domains (the paper's choice).
+    pub fn new(seed: u64) -> Self {
+        DomainForge {
+            rng: StdRng::seed_from_u64(seed),
+            issued: BTreeSet::new(),
+            tld: "info".to_string(),
+        }
+    }
+
+    /// Use a different TLD (without the dot).
+    pub fn with_tld(mut self, tld: &str) -> Self {
+        self.tld = tld.trim_start_matches('.').to_ascii_lowercase();
+        self
+    }
+
+    /// Mint one fresh domain (never previously issued by this forge).
+    pub fn mint(&mut self) -> String {
+        loop {
+            let a = WORDS[self.rng.gen_range(0..WORDS.len())];
+            let b = WORDS[self.rng.gen_range(0..WORDS.len())];
+            if a == b {
+                continue;
+            }
+            let domain = format!("{a}{b}.{}", self.tld);
+            if self.issued.insert(domain.clone()) {
+                return domain;
+            }
+        }
+    }
+
+    /// Mint `n` fresh domains.
+    pub fn mint_many(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.mint()).collect()
+    }
+
+    /// Domains issued so far, in sorted order.
+    pub fn issued(&self) -> impl Iterator<Item = &str> {
+        self.issued.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = DomainForge::new(42).mint_many(5);
+        let b = DomainForge::new(42).mint_many(5);
+        assert_eq!(a, b);
+        let c = DomainForge::new(43).mint_many(5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domains_are_well_formed() {
+        let mut forge = DomainForge::new(1);
+        for d in forge.mint_many(50) {
+            assert!(d.ends_with(".info"), "{d}");
+            let host = d.strip_suffix(".info").unwrap();
+            assert!(host.chars().all(|c| c.is_ascii_lowercase()), "{d}");
+            assert!(host.len() >= 6, "{d}");
+        }
+    }
+
+    #[test]
+    fn no_duplicates_across_many_mints() {
+        let mut forge = DomainForge::new(9);
+        let domains = forge.mint_many(500);
+        let set: BTreeSet<&String> = domains.iter().collect();
+        assert_eq!(set.len(), domains.len());
+        assert_eq!(forge.issued().count(), 500);
+    }
+
+    #[test]
+    fn custom_tld() {
+        let mut forge = DomainForge::new(3).with_tld(".ORG");
+        assert!(forge.mint().ends_with(".org"));
+    }
+}

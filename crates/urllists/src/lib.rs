@@ -1,0 +1,33 @@
+//! ONI-style URL test lists and researcher-controlled domains.
+//!
+//! Section 5 of the paper characterizes censored content by fetching two
+//! URL lists from each country — a **global list** "of internationally
+//! relevant content which is constant for all countries" and a **local
+//! list** "designed for each country by regional experts" — where every
+//! URL carries one of **40 content categories** grouped under **four
+//! themes** (political, social, Internet tools, conflict/security).
+//!
+//! Section 4's confirmation methodology additionally needs fresh
+//! researcher-controlled domains: "two random (non-profane) words
+//! registered with the `.info` top-level domain (e.g. starwasher.info)".
+//!
+//! This crate provides all three:
+//!
+//! * [`Category`] / [`Theme`] — the 40-category, 4-theme taxonomy;
+//! * [`lists`] — deterministic synthetic global and per-country local
+//!   lists, category-labelled;
+//! * [`controlled`] — the two-random-word `.info` domain forge.
+//!
+//! URLs are synthetic (the real ONI lists contain live sites that cannot
+//! be redistributed), but structurally faithful: stable hostnames, one
+//! category per URL, local lists biased toward locally sensitive
+//! categories.
+
+pub mod category;
+pub mod controlled;
+pub mod lists;
+mod words;
+
+pub use category::{Category, Theme};
+pub use controlled::DomainForge;
+pub use lists::{ListKind, TestList, TestUrl};

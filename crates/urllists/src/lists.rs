@@ -1,0 +1,264 @@
+//! Global and per-country local test lists.
+//!
+//! §4.1/§5: "Two lists of URLs were tested in each country; a 'global
+//! list' of internationally relevant content which is constant for all
+//! countries, and a 'local list' of locally relevant content which is
+//! designed for each country by regional experts and is unique for each
+//! country tested."
+//!
+//! The synthetic lists here are deterministic functions of their inputs:
+//! the global list is identical everywhere; a local list depends only on
+//! the country code, and biases toward the categories regional experts
+//! emphasize (political, religious and rights content), with hostnames
+//! carrying the country code so the origin of each URL is auditable.
+
+use crate::category::Category;
+
+/// Which list a URL belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListKind {
+    /// The single worldwide list.
+    Global,
+    /// The per-country list (two-letter code, uppercase).
+    Local(String),
+}
+
+/// One category-labelled test URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestUrl {
+    /// Absolute URL text (always parseable by `filterwatch_http::Url`).
+    pub url: String,
+    /// The content category assigned to this URL.
+    pub category: Category,
+    /// List membership.
+    pub list: ListKind,
+}
+
+/// A complete test list.
+#[derive(Debug, Clone)]
+pub struct TestList {
+    /// Which list this is.
+    pub kind: ListKind,
+    /// The URLs, in stable order.
+    pub urls: Vec<TestUrl>,
+}
+
+impl TestList {
+    /// The worldwide list: `per_category` URLs for each of the 40
+    /// categories. Hostnames are `www.<slug><i>-glb.example` (distinct registrable domains, so hostname-granularity blocking cannot conflate list entries).
+    pub fn global(per_category: usize) -> TestList {
+        let mut urls = Vec::with_capacity(Category::ALL.len() * per_category);
+        for cat in Category::ALL {
+            for i in 0..per_category {
+                urls.push(TestUrl {
+                    url: format!("http://www.{}{}-glb.example/", cat.slug(), i),
+                    category: cat,
+                    list: ListKind::Global,
+                });
+            }
+        }
+        TestList {
+            kind: ListKind::Global,
+            urls,
+        }
+    }
+
+    /// A country's local list: `per_category` URLs for each locally
+    /// emphasized category. Hostnames are `www.<slug><i>-<cc>.example`.
+    pub fn local(country_code: &str, per_category: usize) -> TestList {
+        let cc = country_code.to_ascii_lowercase();
+        let mut urls = Vec::new();
+        for cat in Self::local_focus() {
+            for i in 0..per_category {
+                urls.push(TestUrl {
+                    url: format!("http://www.{}{}-{}.example/", cat.slug(), i, cc),
+                    category: cat,
+                    list: ListKind::Local(country_code.to_ascii_uppercase()),
+                });
+            }
+        }
+        TestList {
+            kind: ListKind::Local(country_code.to_ascii_uppercase()),
+            urls,
+        }
+    }
+
+    /// The categories regional experts emphasize on local lists — the
+    /// locally sensitive political/social content that Table 4 reports
+    /// on, plus circumvention tooling.
+    pub fn local_focus() -> [Category; 12] {
+        [
+            Category::HumanRights,
+            Category::PoliticalReform,
+            Category::OppositionParties,
+            Category::MediaFreedom,
+            Category::CriticismOfGovernment,
+            Category::MinorityGroups,
+            Category::WomensRights,
+            Category::Lgbt,
+            Category::ReligiousCriticism,
+            Category::MinorityFaiths,
+            Category::AnonymizersProxies,
+            Category::Pornography,
+        ]
+    }
+
+    /// Number of URLs.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// URLs in one category.
+    pub fn in_category(&self, cat: Category) -> Vec<&TestUrl> {
+        self.urls.iter().filter(|u| u.category == cat).collect()
+    }
+
+    /// Serialize in the interchange format testing partners exchange:
+    /// one `url<TAB>category-slug` row per line, preceded by a header
+    /// naming the list.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        match &self.kind {
+            ListKind::Global => out.push_str("# list: global\n"),
+            ListKind::Local(cc) => out.push_str(&format!("# list: local {cc}\n")),
+        }
+        for u in &self.urls {
+            out.push_str(&format!("{}\t{}\n", u.url, u.category.slug()));
+        }
+        out
+    }
+
+    /// Parse the interchange format back into a list.
+    pub fn from_text(text: &str) -> Result<TestList, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty list file")?;
+        let kind = if header == "# list: global" {
+            ListKind::Global
+        } else if let Some(cc) = header.strip_prefix("# list: local ") {
+            if cc.len() != 2 {
+                return Err(format!("bad country code {cc:?}"));
+            }
+            ListKind::Local(cc.to_ascii_uppercase())
+        } else {
+            return Err(format!("bad header {header:?}"));
+        };
+        let mut urls = Vec::new();
+        for (n, line) in lines.enumerate() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (url, slug) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("line {}: missing tab", n + 2))?;
+            let category = Category::from_slug(slug)
+                .ok_or_else(|| format!("line {}: unknown category {slug:?}", n + 2))?;
+            urls.push(TestUrl {
+                url: url.to_string(),
+                category,
+                list: kind.clone(),
+            });
+        }
+        Ok(TestList { kind, urls })
+    }
+
+    /// Distinct hostnames on the list, in list order.
+    pub fn hostnames(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for u in &self.urls {
+            // Strip scheme and path: "http://HOST/..."
+            let host = u
+                .url
+                .trim_start_matches("http://")
+                .split('/')
+                .next()
+                .unwrap_or("")
+                .to_string();
+            if seen.insert(host.clone()) {
+                out.push(host);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_list_covers_all_categories() {
+        let list = TestList::global(2);
+        assert_eq!(list.len(), 80);
+        for cat in Category::ALL {
+            assert_eq!(list.in_category(cat).len(), 2, "{cat}");
+        }
+    }
+
+    #[test]
+    fn global_list_is_constant() {
+        assert_eq!(TestList::global(3).urls, TestList::global(3).urls);
+    }
+
+    #[test]
+    fn local_lists_differ_by_country_only() {
+        let qa1 = TestList::local("QA", 2);
+        let qa2 = TestList::local("qa", 2);
+        let ye = TestList::local("YE", 2);
+        assert_eq!(qa1.urls, qa2.urls);
+        assert_ne!(qa1.urls, ye.urls);
+        assert!(qa1.urls[0].url.contains("-qa.example/"));
+        assert_eq!(qa1.kind, ListKind::Local("QA".into()));
+    }
+
+    #[test]
+    fn local_focus_is_subset_of_taxonomy() {
+        for cat in TestList::local_focus() {
+            assert!(Category::ALL.contains(&cat));
+        }
+        assert_eq!(TestList::local("ae", 1).len(), 12);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        for list in [TestList::global(2), TestList::local("YE", 1)] {
+            let text = list.to_text();
+            let restored = TestList::from_text(&text).unwrap();
+            assert_eq!(restored.kind, list.kind);
+            assert_eq!(restored.urls, list.urls);
+        }
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(TestList::from_text("").is_err());
+        assert!(TestList::from_text("# not a list\nrow").is_err());
+        assert!(TestList::from_text("# list: local QAT\n").is_err());
+        assert!(TestList::from_text("# list: global\nhttp://x/ no-tab-here").is_err());
+        assert!(TestList::from_text("# list: global\nhttp://x/\tnot-a-slug").is_err());
+    }
+
+    #[test]
+    fn from_text_skips_comments_and_blanks() {
+        let text = "# list: global\n\n# comment\nhttp://a.example/\thuman-rights\n";
+        let list = TestList::from_text(text).unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.urls[0].category, Category::HumanRights);
+    }
+
+    #[test]
+    fn hostnames_are_unique_and_parseable() {
+        let list = TestList::global(1);
+        let hosts = list.hostnames();
+        assert_eq!(hosts.len(), list.len());
+        for (h, u) in hosts.iter().zip(&list.urls) {
+            assert!(u.url.contains(h));
+            assert!(h.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'));
+        }
+    }
+}

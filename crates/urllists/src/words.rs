@@ -1,0 +1,56 @@
+//! Word stock for the two-random-word domain forge.
+//!
+//! The paper registered domains of the form "two random (non-profane)
+//! words ... with the '.info' top-level domain (e.g. starwasher.info)".
+//! This list is ordinary household/nature vocabulary — deliberately
+//! bland, like the paper's.
+
+/// Non-profane everyday words used to mint controlled domains.
+pub const WORDS: &[&str] = &[
+    "acorn", "amber", "anchor", "apple", "arrow", "aspen", "autumn", "badger",
+    "bamboo", "barley", "basket", "beacon", "birch", "bison", "blossom", "breeze",
+    "brook", "butter", "candle", "canyon", "carrot", "cedar", "cherry", "cliff",
+    "clover", "cobble", "copper", "coral", "cotton", "cradle", "cricket", "crystal",
+    "daisy", "dapple", "dawn", "drift", "ember", "fable", "falcon", "feather",
+    "fern", "fiddle", "flint", "forest", "fountain", "garden", "gentle", "ginger",
+    "glacier", "grove", "harbor", "hazel", "heather", "hollow", "honey", "horizon",
+    "island", "ivory", "jasper", "juniper", "kettle", "lagoon", "lantern", "laurel",
+    "lilac", "linen", "lunar", "maple", "marble", "meadow", "mellow", "mineral",
+    "mist", "morning", "moss", "mountain", "nectar", "nimble", "oak", "ocean",
+    "olive", "orchard", "otter", "pearl", "pebble", "pepper", "pine", "plume",
+    "pond", "poplar", "prairie", "quill", "rain", "raven", "reed", "ripple",
+    "river", "robin", "rustic", "saffron", "sage", "sand", "shadow", "shell",
+    "silver", "sleet", "slope", "snow", "sparrow", "spring", "spruce", "star",
+    "stone", "stream", "summer", "sunset", "swan", "thistle", "timber", "topaz",
+    "trellis", "tulip", "umber", "valley", "velvet", "violet", "walnut", "washer",
+    "willow", "winter", "wren", "zephyr",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn words_are_unique_lowercase_alpha() {
+        let set: BTreeSet<&str> = WORDS.iter().copied().collect();
+        assert_eq!(set.len(), WORDS.len());
+        for w in WORDS {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 3, "{w}");
+        }
+    }
+
+    #[test]
+    fn enough_words_for_many_domains() {
+        // n*(n-1) ordered pairs must comfortably exceed any experiment's needs.
+        assert!(WORDS.len() >= 100);
+    }
+
+    #[test]
+    fn paper_example_is_constructible() {
+        // "starwasher.info"
+        assert!(WORDS.contains(&"star"));
+        assert!(WORDS.contains(&"washer"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Replicate all ten Table 3 case studies, with the §4 challenges
+//! narrated along the way.
+//!
+//! ```text
+//! cargo run -p filterwatch-suite --example case_studies
+//! ```
+
+use filterwatch_core::confirm::{render_table3, run_table3};
+use filterwatch_core::probes::category_probe;
+use filterwatch_core::{World, DEFAULT_SEED};
+use filterwatch_products::ProductKind;
+use filterwatch_urllists::Category;
+
+fn main() {
+    let mut world = World::paper(DEFAULT_SEED);
+
+    // Challenge 1 first: before creating test sites in Saudi Arabia we
+    // must learn which SmartFilter categories its deployment enables.
+    println!("--- Challenge 1: which categories does Saudi Arabia block? ---");
+    let probe = category_probe(
+        &world,
+        "bayanat",
+        ProductKind::SmartFilter,
+        &[Category::AnonymizersProxies, Category::Pornography],
+    );
+    for row in &probe {
+        println!(
+            "  {:<12} ({}): {}",
+            row.vendor_category,
+            row.url,
+            if row.blocked { "BLOCKED" } else { "accessible" }
+        );
+    }
+    println!("  -> proxy sites are useless as probes in Saudi Arabia; use pornography.\n");
+
+    println!("--- Running the ten Table 3 case studies ---\n");
+    let results = run_table3(&mut world);
+    print!("{}", render_table3(&results));
+
+    println!("\n--- Reading the table ---");
+    for r in &results {
+        let note = match (r.spec.product, r.confirmed) {
+            (ProductKind::BlueCoat, false) => {
+                "Challenge 3: the Blue Coat proxy is present but SmartFilter does the filtering"
+            }
+            (ProductKind::SmartFilter, false) => {
+                "Qatar filters with Netsweeper; SmartFilter's database is not consulted there"
+            }
+            (ProductKind::Netsweeper, true) if r.spec.isp == "yemennet" => {
+                "Challenge 2: license-limited filtering needed repeated retests"
+            }
+            (_, true) => "vendor submission channel drove the blocking — product confirmed",
+            _ => "not confirmed",
+        };
+        println!("  {:<55} {}", r.spec.label, note);
+    }
+}

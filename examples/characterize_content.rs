@@ -1,0 +1,58 @@
+//! Characterize what confirmed deployments block (§5, Table 4) and
+//! enumerate enabled Netsweeper categories via the deny-page test site
+//! (§4.4).
+//!
+//! ```text
+//! cargo run -p filterwatch-suite --example characterize_content
+//! ```
+
+use filterwatch_core::characterize::{characterize, render_table4, run_table4, Table4Column};
+use filterwatch_core::probes::run_denypagetests;
+use filterwatch_core::{World, DEFAULT_SEED};
+
+fn main() {
+    let world = World::paper(DEFAULT_SEED);
+
+    println!("--- Table 4: content themes blocked in confirmed networks ---\n");
+    let rows = run_table4(&world, 2);
+    print!("{}", render_table4(&rows));
+
+    println!("\n--- Per-category detail for Etisalat (AS 5384) ---");
+    let ch = characterize(&world, "etisalat", 2, 1);
+    let mut cats: Vec<_> = ch.per_category.iter().collect();
+    cats.sort_by_key(|(_, (blocked, _))| std::cmp::Reverse(*blocked));
+    for (cat, (blocked, tested)) in cats.iter().take(12) {
+        if *blocked > 0 {
+            println!("  {blocked}/{tested}  {cat}");
+        }
+    }
+    println!(
+        "  marked themes: {}",
+        ch.marked_columns()
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    println!("\n--- Netsweeper deny-page category test site, per ISP ---");
+    for isp in ["yemennet", "du", "ooredoo"] {
+        let result = run_denypagetests(&world, isp, 4);
+        println!(
+            "  {isp}: {} blocked categories: {}",
+            result.blocked.len(),
+            result.blocked_names().join(", ")
+        );
+    }
+
+    println!("\n--- Human-rights reading ---");
+    println!("Every network blocks at least one theme protected by Article 19:");
+    for (product, ch) in &rows {
+        let themes: Vec<&str> = Table4Column::ALL
+            .into_iter()
+            .filter(|&c| ch.column_marked(c))
+            .map(|c| c.name())
+            .collect();
+        println!("  {product} in {} (AS {}): {}", ch.country, ch.asn, themes.join(", "));
+    }
+}

@@ -1,0 +1,22 @@
+//! Run the paper's entire measurement campaign with one call and emit a
+//! publishable markdown report.
+//!
+//! ```text
+//! cargo run -p filterwatch-suite --example full_campaign > report.md
+//! ```
+
+use filterwatch_core::{Campaign, DEFAULT_SEED};
+
+fn main() {
+    let report = Campaign::standard(DEFAULT_SEED).run();
+    eprintln!(
+        "campaign done: {} installations identified, {} of {} case studies confirmed, \
+         {} networks characterized (virtual day {})",
+        report.identification.installations.len(),
+        report.confirmed_count(),
+        report.confirmations.len(),
+        report.characterizations.len(),
+        report.finished_at_day,
+    );
+    print!("{}", report.to_markdown());
+}

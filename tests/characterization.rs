@@ -1,0 +1,134 @@
+//! Integration tests for the §5 characterization stage (Table 4) and the
+//! deny-page category test site (§4.4).
+
+use filterwatch_core::characterize::{characterize, run_table4, Table4Column};
+use filterwatch_core::probes::run_denypagetests;
+use filterwatch_core::{World, DEFAULT_SEED};
+use filterwatch_urllists::{Category, TestList};
+
+#[test]
+fn table4_marks_match_configured_policies() {
+    let world = World::paper(DEFAULT_SEED);
+    let rows = run_table4(&world, 2);
+    let marks: Vec<(String, Vec<&str>)> = rows
+        .iter()
+        .map(|(p, ch)| {
+            (
+                format!("{p}@{}", ch.asn),
+                ch.marked_columns().iter().map(|c| c.name()).collect(),
+            )
+        })
+        .collect();
+
+    let find = |key: &str| -> &Vec<&str> {
+        &marks.iter().find(|(k, _)| k.contains(key)).unwrap().1
+    };
+
+    // Etisalat (SmartFilter): news, politics, lifestyle categories on.
+    let etisalat = find("5384");
+    for theme in ["Media Freedom", "Human Rights", "Political Reform", "LGBT"] {
+        assert!(etisalat.contains(&theme), "etisalat missing {theme}: {etisalat:?}");
+    }
+    // YemenNet: operator custom denies for media/rights/reform.
+    let yemen = find("12486");
+    for theme in ["Media Freedom", "Human Rights", "Political Reform"] {
+        assert!(yemen.contains(&theme), "yemen missing {theme}: {yemen:?}");
+    }
+    assert!(!yemen.contains(&"LGBT"));
+    // Du: politics, religion, LGBT.
+    let du = find("15802");
+    for theme in ["Political Reform", "LGBT", "Religious Criticism"] {
+        assert!(du.contains(&theme), "du missing {theme}: {du:?}");
+    }
+    // Ooredoo: LGBT + human rights.
+    let ooredoo = find("42298");
+    assert!(ooredoo.contains(&"LGBT"));
+    assert!(ooredoo.contains(&"Human Rights"));
+}
+
+#[test]
+fn characterization_counts_are_consistent() {
+    let world = World::paper(DEFAULT_SEED);
+    let ch = characterize(&world, "etisalat", 2, 1);
+    let total_tested: usize = ch.per_category.values().map(|&(_, t)| t).sum();
+    let total_blocked: usize = ch.per_category.values().map(|&(b, _)| b).sum();
+    assert_eq!(total_tested, ch.urls_tested);
+    assert_eq!(total_blocked, ch.urls_blocked);
+    // Global list (40*2) + AE local list (12*2).
+    assert_eq!(ch.urls_tested, 104);
+    for (cat, &(blocked, tested)) in &ch.per_category {
+        assert!(blocked <= tested, "{cat}: {blocked}/{tested}");
+    }
+}
+
+#[test]
+fn local_lists_surface_country_specific_blocking() {
+    // Yemen's custom denies only target Yemeni local-list domains; the
+    // same categories on the *global* list stay reachable.
+    let world = World::paper(DEFAULT_SEED);
+    let ch = characterize(&world, "yemennet", 2, 3);
+    let global = TestList::global(2);
+    let client = filterwatch_measure::MeasurementClient::new(
+        world.field("yemennet"),
+        world.lab(),
+    );
+    for cat in [Category::MediaFreedom, Category::HumanRights] {
+        // Blocked overall (via the local list)…
+        assert!(ch.per_category[&cat].0 > 0, "{cat}");
+        // …but the global-list representatives load fine.
+        for u in global.in_category(cat) {
+            let url = filterwatch_http::Url::parse(&u.url).unwrap();
+            let mut blocked = false;
+            for _ in 0..3 {
+                if client.test_url(&world.net, &url).verdict.is_blocked() {
+                    blocked = true;
+                }
+            }
+            assert!(!blocked, "global {} should not be custom-denied", u.url);
+        }
+    }
+}
+
+#[test]
+fn denypagetests_enumerates_enabled_categories() {
+    let world = World::paper(DEFAULT_SEED);
+    let yemen = run_denypagetests(&world, "yemennet", 4);
+    assert_eq!(yemen.blocked.len(), 5);
+    assert_eq!(yemen.open, 61);
+    let names = yemen.blocked_names();
+    for expected in [
+        "Adult Images",
+        "Phishing",
+        "Pornography",
+        "Proxy Anonymizer",
+        "Search Keywords",
+    ] {
+        assert!(names.contains(&expected), "{names:?}");
+    }
+    // The lab sees all 66 pages (control).
+    let lab_like = run_denypagetests(&world, "toronto-lab", 1);
+    assert_eq!(lab_like.blocked.len(), 0);
+    assert_eq!(lab_like.open, 66);
+}
+
+#[test]
+fn all_six_themes_blocked_somewhere_and_union_is_wide() {
+    let world = World::paper(DEFAULT_SEED);
+    let rows = run_table4(&world, 1);
+    for col in Table4Column::ALL {
+        assert!(
+            rows.iter().any(|(_, ch)| ch.column_marked(col)),
+            "theme {} never blocked",
+            col.name()
+        );
+    }
+    // Every confirmed network blocks at least two protected themes.
+    for (product, ch) in &rows {
+        assert!(
+            ch.marked_columns().len() >= 2,
+            "{product} in {} blocks too little: {:?}",
+            ch.country,
+            ch.marked_columns()
+        );
+    }
+}

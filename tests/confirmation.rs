@@ -1,0 +1,200 @@
+//! Integration tests for the §4 confirmation methodology (Table 3),
+//! its challenges, and the submission-channel mechanics.
+
+use filterwatch_core::confirm::{run_case_study, run_table3, table3_specs, CaseStudySpec};
+use filterwatch_core::probes::{category_probe, inconsistency_probe};
+use filterwatch_core::world::SiteKind;
+use filterwatch_core::{World, WorldOptions, DEFAULT_SEED};
+use filterwatch_measure::MeasurementClient;
+use filterwatch_products::{ProductKind, SubmitterProfile};
+use filterwatch_urllists::Category;
+
+#[test]
+fn table3_reproduces_paper_rows_exactly() {
+    let mut world = World::paper(DEFAULT_SEED);
+    let results = run_table3(&mut world);
+
+    let expect: [(&str, usize, usize, bool); 10] = [
+        ("Blue Coat / UAE / Etisalat", 3, 0, false),
+        ("Blue Coat / Qatar / Ooredoo", 3, 0, false),
+        ("McAfee SmartFilter / Qatar / Ooredoo", 5, 0, false),
+        ("McAfee SmartFilter / Saudi Arabia / Bayanat Al-Oula", 5, 5, true),
+        ("McAfee SmartFilter / Saudi Arabia / Nournet", 5, 5, true),
+        ("McAfee SmartFilter / UAE / Etisalat", 5, 5, true),
+        ("McAfee SmartFilter / UAE / Etisalat", 5, 5, true),
+        ("Netsweeper / Qatar / Ooredoo", 6, 6, true),
+        ("Netsweeper / UAE / Du", 6, 5, true),
+        ("Netsweeper / Yemen / YemenNet", 6, 6, true),
+    ];
+    for (r, (label, n_submit, blocked, confirmed)) in results.iter().zip(expect) {
+        assert_eq!(r.spec.label, label);
+        assert_eq!(r.spec.n_submit, n_submit, "{label}");
+        assert_eq!(r.submitted_blocked, blocked, "{label}");
+        assert_eq!(r.confirmed, confirmed, "{label}");
+    }
+}
+
+#[test]
+fn holdout_sites_stay_unblocked_at_retest() {
+    // The unsubmitted half is the experiment's control: with the pinned
+    // seed none of it is blocked at retest time.
+    let mut world = World::paper(DEFAULT_SEED);
+    for r in run_table3(&mut world) {
+        assert_eq!(r.holdout_blocked, 0, "{}", r.spec.label);
+    }
+}
+
+#[test]
+fn smartfilter_blocks_appear_only_after_review_delay() {
+    let mut world = World::paper(DEFAULT_SEED);
+    let sites = world.create_controlled_sites(SiteKind::AdultImages, 2);
+    let client = MeasurementClient::new(world.field("nournet"), world.lab());
+    let cloud = world.cloud(ProductKind::SmartFilter).clone();
+
+    for s in &sites {
+        assert!(client.test_url(&world.net, &s.test_url()).verdict.is_accessible());
+    }
+    let receipt = cloud.submit(&sites[0].submit_url(), SubmitterProfile::NAIVE, world.net.now());
+    assert!(receipt.accepted);
+
+    // One day later: review still pending, both accessible.
+    world.net.advance_days(1);
+    assert!(client.test_url(&world.net, &sites[0].test_url()).verdict.is_accessible());
+
+    // After the review window: submitted blocked, holdout untouched.
+    world.net.advance_days(4);
+    assert!(client.test_url(&world.net, &sites[0].test_url()).verdict.is_blocked());
+    assert!(client.test_url(&world.net, &sites[1].test_url()).verdict.is_accessible());
+}
+
+#[test]
+fn challenge1_category_probe_drives_site_choice() {
+    let world = World::paper(DEFAULT_SEED);
+    let cats = [Category::AnonymizersProxies, Category::Pornography];
+    let saudi = category_probe(&world, "nournet", ProductKind::SmartFilter, &cats);
+    // Proxy category open, pornography blocked: the paper's exact pivot.
+    assert!(!saudi[0].blocked);
+    assert!(saudi[1].blocked);
+}
+
+#[test]
+fn challenge2_repeated_retests_stabilize_yemen() {
+    // A single-run retest can under-count in YemenNet; three runs with
+    // the pinned seed recover all six.
+    let mut single = World::paper(DEFAULT_SEED);
+    let mut spec: CaseStudySpec = table3_specs()[9].clone();
+    spec.retest_runs = 3;
+    let stable = run_case_study(&mut single, &spec);
+    assert_eq!(stable.submitted_blocked, 6);
+
+    // And the inconsistency is observable directly.
+    let world = World::paper(DEFAULT_SEED);
+    let probe = inconsistency_probe(&world, "yemennet", 10);
+    assert!(probe.inconsistent_urls() > 0);
+}
+
+#[test]
+fn challenge3_stacked_products_blue_coat_unused() {
+    let mut world = World::paper(DEFAULT_SEED);
+    // Blue Coat's channel accepts the submissions...
+    let bc = run_case_study(&mut world, &table3_specs()[0]);
+    assert_eq!(bc.submissions_accepted, 3);
+    assert_eq!(bc.submitted_blocked, 0);
+    // ...while SmartFilter's channel in the same ISP drives blocking.
+    let sf = run_case_study(&mut world, &table3_specs()[5]);
+    assert_eq!(sf.submitted_blocked, 5);
+    assert!(sf.confirmed);
+}
+
+#[test]
+fn netsweeper_queueing_blocks_holdouts_eventually() {
+    // §4.4: accessed sites are queued for categorization; long after the
+    // retest window even the unsubmitted sites become blocked.
+    let mut world = World::paper(DEFAULT_SEED);
+    let spec = table3_specs()[7].clone(); // Ooredoo
+    let _ = run_case_study(&mut world, &spec);
+    // run_case_study advanced 4 days; give the crawl queue its 6-10.
+    world.net.advance_days(10);
+    // Create a fresh client and re-test a fresh site that was never
+    // submitted but was accessed: model by a new experiment's holdouts.
+    let sites = world.create_controlled_sites(SiteKind::ProxyService, 2);
+    let client = MeasurementClient::new(world.field("ooredoo"), world.lab());
+    for s in &sites {
+        let _ = client.test_url(&world.net, &s.test_url()); // access => queue
+    }
+    world.net.advance_days(11);
+    let blocked = sites
+        .iter()
+        .filter(|s| client.test_url(&world.net, &s.test_url()).verdict.is_blocked())
+        .count();
+    assert_eq!(blocked, 2, "accessed-but-never-submitted sites were queued and blocked");
+}
+
+#[test]
+fn submission_screening_defeats_naive_but_not_covert() {
+    let probe = |submitter, reject| {
+        let mut world = World::build(WorldOptions {
+            seed: DEFAULT_SEED,
+            reject_flaggable_submissions: reject,
+            ..WorldOptions::default()
+        });
+        let mut spec = table3_specs()[4].clone(); // Nournet
+        spec.submitter = submitter;
+        run_case_study(&mut world, &spec).confirmed
+    };
+    assert!(probe(SubmitterProfile::NAIVE, false));
+    assert!(!probe(SubmitterProfile::NAIVE, true));
+    assert!(probe(SubmitterProfile::COVERT, true));
+}
+
+#[test]
+fn confirmation_works_over_the_http_portal() {
+    // The full §4.2 loop through the vendor's actual web form instead of
+    // the API: create site, POST to the portal from the lab (proxied
+    // profile comes from *not* being on the research prefix... so submit
+    // from the field vantage, which the vendor does not screen), wait,
+    // retest.
+    use filterwatch_http::Request;
+    let mut world = World::paper(DEFAULT_SEED);
+    let site = world.create_controlled_site(SiteKind::AdultImages);
+    let client = MeasurementClient::new(world.field("nournet"), world.lab());
+    assert!(client.test_url(&world.net, &site.test_url()).verdict.is_accessible());
+
+    let portal = filterwatch_core::World::portal_host(ProductKind::SmartFilter);
+    let form = format!(
+        "url=http://{}/&email=tester@freemail.example&host_ip={}",
+        site.domain, site.ip
+    );
+    let req = Request::post_form(
+        filterwatch_http::Url::parse(&format!("http://{portal}/submit")).unwrap(),
+        &form,
+    );
+    let resp = world
+        .net
+        .fetch_request(world.field("nournet"), &req)
+        .into_response()
+        .expect("portal reachable");
+    assert!(resp.status.is_success(), "{resp:?}");
+
+    world.net.advance_days(5);
+    assert!(
+        client.test_url(&world.net, &site.test_url()).verdict.is_blocked(),
+        "portal-submitted site should be blocked after review"
+    );
+}
+
+#[test]
+fn ethics_benign_object_suffices() {
+    // §4.6: testers fetch the benign object; blocking is
+    // hostname-granular, so the verdict matches the full site's fate.
+    let mut world = World::paper(DEFAULT_SEED);
+    let site = world.create_controlled_site(SiteKind::AdultImages);
+    let client = MeasurementClient::new(world.field("nournet"), world.lab());
+    let cloud = world.cloud(ProductKind::SmartFilter).clone();
+    cloud.submit(&site.submit_url(), SubmitterProfile::NAIVE, world.net.now());
+    world.net.advance_days(5);
+    let via_benign = client.test_url(&world.net, &site.test_url());
+    let via_root = client.test_url(&world.net, &site.submit_url());
+    assert!(via_benign.verdict.is_blocked());
+    assert!(via_root.verdict.is_blocked());
+}

@@ -1,0 +1,92 @@
+//! Full-pipeline integration: identify → confirm → characterize on one
+//! world, checking the stages agree with each other.
+
+use filterwatch_core::characterize::characterize;
+use filterwatch_core::confirm::{run_case_study, table3_specs};
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_core::{World, DEFAULT_SEED};
+use filterwatch_products::ProductKind;
+
+#[test]
+fn identification_and_confirmation_agree_on_ooredoo() {
+    let mut world = World::paper(DEFAULT_SEED);
+
+    // Identification sees a Netsweeper install in AS 42298.
+    let report = IdentifyPipeline::new().run(&world.net);
+    let install = report
+        .installations
+        .iter()
+        .find(|i| i.product == ProductKind::Netsweeper && i.country == "QA")
+        .expect("Netsweeper install in Qatar");
+    assert_eq!(install.asn, Some(42298));
+
+    // Confirmation proves the same product actually censors there.
+    let spec = table3_specs()
+        .into_iter()
+        .find(|s| s.isp == "ooredoo" && s.product == ProductKind::Netsweeper)
+        .unwrap();
+    let result = run_case_study(&mut world, &spec);
+    assert!(result.confirmed);
+    assert_eq!(result.attributed_products, vec!["netsweeper".to_string()]);
+
+    // Characterization attributes blocking to the same product.
+    let ch = characterize(&world, "ooredoo", 1, 1);
+    assert!(ch.attributed_products.contains(&"netsweeper".to_string()));
+}
+
+#[test]
+fn negative_control_network_shows_nothing() {
+    let world = World::paper(DEFAULT_SEED);
+    // The Toronto lab does not filter: every tested URL accessible.
+    let ch = characterize(&world, "toronto-lab", 1, 1);
+    assert_eq!(ch.urls_blocked, 0, "{ch:?}");
+    assert!(ch.attributed_products.is_empty());
+}
+
+#[test]
+fn confirmation_works_without_identification() {
+    // §6: "the confirmation methodology alone is enough" — run it on a
+    // world where nothing is externally visible.
+    let mut world = World::build(filterwatch_core::WorldOptions {
+        seed: DEFAULT_SEED,
+        hidden_consoles: true,
+        ..filterwatch_core::WorldOptions::default()
+    });
+    let report = IdentifyPipeline::new().run(&world.net);
+    assert_eq!(report.installations.len(), 0);
+
+    let spec = table3_specs()
+        .into_iter()
+        .find(|s| s.isp == "bayanat")
+        .unwrap();
+    let result = run_case_study(&mut world, &spec);
+    assert!(result.confirmed, "{result:?}");
+}
+
+#[test]
+fn world_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mut world = World::paper(seed);
+        let specs = table3_specs();
+        let r = run_case_study(&mut world, &specs[7]);
+        (r.submitted_blocked, r.holdout_blocked, r.submissions_accepted)
+    };
+    assert_eq!(run(99), run(99));
+    // And the identification pipeline is too.
+    let fig = |seed: u64| {
+        let world = World::paper(seed);
+        IdentifyPipeline::new().run(&world.net).installations
+    };
+    assert_eq!(fig(42), fig(42));
+}
+
+#[test]
+fn clock_advances_only_through_experiments() {
+    let mut world = World::paper(1);
+    assert_eq!(world.net.now().days(), 0);
+    let spec = table3_specs()[3].clone();
+    run_case_study(&mut world, &spec);
+    assert_eq!(world.net.now().days(), spec.wait_days);
+    run_case_study(&mut world, &spec);
+    assert_eq!(world.net.now().days(), 2 * spec.wait_days);
+}

@@ -1,0 +1,114 @@
+//! Integration tests for the §6 / Table 5 evasion scenarios.
+
+use filterwatch_core::evade::{run_scenario, run_table5};
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_core::{World, WorldOptions, DEFAULT_SEED};
+use filterwatch_products::SubmitterProfile;
+use filterwatch_scanner::ScanEngine;
+
+#[test]
+fn table5_suite_reproduces_the_papers_argument() {
+    let scenarios = run_table5(DEFAULT_SEED);
+    assert_eq!(scenarios.len(), 5);
+
+    // Identification is evadable…
+    assert!(scenarios[0].installations_found > 0);
+    assert_eq!(scenarios[1].installations_found, 0);
+    assert_eq!(scenarios[2].installations_found, 0);
+    // …confirmation is not (except by screening, which is counterable).
+    assert!(scenarios[0].confirmation_succeeded);
+    assert!(scenarios[1].confirmation_succeeded);
+    assert!(scenarios[2].confirmation_succeeded);
+    assert!(!scenarios[3].confirmation_succeeded);
+    assert!(scenarios[4].confirmation_succeeded);
+}
+
+#[test]
+fn header_stripping_also_defeats_blockpage_attribution() {
+    let scenarios = run_table5(DEFAULT_SEED);
+    let stripped = &scenarios[2];
+    assert!(stripped.confirmation_succeeded);
+    // Generic block pages: censorship observable, vendor not named —
+    // only the submission channel pins the product.
+    assert!(!stripped.vendor_attributed);
+}
+
+#[test]
+fn stripped_world_still_serves_explicit_denials() {
+    use filterwatch_measure::MeasurementClient;
+    let world = World::build(WorldOptions {
+        seed: DEFAULT_SEED,
+        strip_branding: true,
+        ..WorldOptions::default()
+    });
+    let client = MeasurementClient::new(world.field("bayanat"), world.lab());
+    let v = client.test_url(
+        &world.net,
+        &filterwatch_http::Url::parse("http://www.pornography0-glb.example/").unwrap(),
+    );
+    // Blocked, explicitly, but with no vendor fingerprint.
+    assert!(v.verdict.is_blocked(), "{:?}", v.verdict);
+    assert_eq!(v.verdict.blocked_by(), None);
+}
+
+#[test]
+fn keyword_search_is_empty_against_stripped_banners() {
+    let world = World::build(WorldOptions {
+        seed: DEFAULT_SEED,
+        strip_branding: true,
+        ..WorldOptions::default()
+    });
+    let index = ScanEngine::new().scan(&world.net);
+    // Consoles still answer (same endpoint count order of magnitude)…
+    assert!(!index.is_empty());
+    // …but the product keywords find only vendor-web mentions, which
+    // validation rejects.
+    let report = IdentifyPipeline::new().run(&world.net);
+    assert_eq!(report.installations.len(), 0);
+}
+
+#[test]
+fn all_tactics_combined_cannot_hide_censorship_from_covert_probe() {
+    let s = run_scenario(
+        "max-evasion",
+        "all",
+        WorldOptions {
+            seed: DEFAULT_SEED,
+            hidden_consoles: true,
+            strip_branding: true,
+            reject_flaggable_submissions: true,
+            ..WorldOptions::default()
+        },
+        SubmitterProfile::COVERT,
+    );
+    assert_eq!(s.installations_found, 0);
+    assert!(s.confirmation_succeeded);
+}
+
+#[test]
+fn partial_covert_profiles_still_get_flagged() {
+    for submitter in [
+        SubmitterProfile {
+            via_proxy: true,
+            webmail_address: true,
+            popular_hosting: false,
+        },
+        SubmitterProfile {
+            via_proxy: false,
+            webmail_address: true,
+            popular_hosting: true,
+        },
+    ] {
+        let s = run_scenario(
+            "partial",
+            "screening",
+            WorldOptions {
+                seed: DEFAULT_SEED,
+                reject_flaggable_submissions: true,
+                ..WorldOptions::default()
+            },
+            submitter,
+        );
+        assert!(!s.confirmation_succeeded, "{submitter:?}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-seed property tests over the whole pipeline: the invariants of
+//! the methodology that must hold for *every* world, not just the pinned
+//! default seed.
+
+use filterwatch_core::confirm::{run_case_study, table3_specs};
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_core::probes::run_denypagetests;
+use filterwatch_core::{World, WorldOptions};
+use filterwatch_products::ProductKind;
+use proptest::prelude::*;
+
+proptest! {
+    // World construction and full-pipeline runs are expensive; keep the
+    // case count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The deterministic Table 3 rows hold at any seed: SmartFilter rows
+    /// always confirm 5/5, Blue Coat and Qatar-SmartFilter rows always
+    /// fail 0/N. (The Netsweeper rows vary with per-domain review draws
+    /// and are pinned separately for the default seed.)
+    #[test]
+    fn seed_independent_table3_rows(seed in any::<u64>()) {
+        let mut world = World::paper(seed);
+        let specs = table3_specs();
+        for idx in [0usize, 2] {
+            let r = run_case_study(&mut world, &specs[idx]);
+            prop_assert_eq!(r.submitted_blocked, 0, "{}", specs[idx].label);
+            prop_assert!(!r.confirmed);
+        }
+        for idx in [3usize, 6] {
+            let r = run_case_study(&mut world, &specs[idx]);
+            prop_assert_eq!(r.submitted_blocked, 5, "{}", specs[idx].label);
+            prop_assert_eq!(r.holdout_blocked, 0, "{}", specs[idx].label);
+            prop_assert!(r.confirmed);
+        }
+    }
+
+    /// Identification finds all four products at full visibility and
+    /// nothing with hidden consoles, at any seed.
+    #[test]
+    fn seed_independent_identification(seed in any::<u64>()) {
+        let visible = World::paper(seed);
+        let report = IdentifyPipeline::new().run(&visible.net);
+        for product in ProductKind::ALL {
+            prop_assert!(
+                report.installations.iter().any(|i| i.product == product),
+                "{product} missing at seed {seed}"
+            );
+        }
+        let hidden = World::build(WorldOptions {
+            seed,
+            hidden_consoles: true,
+            ..WorldOptions::default()
+        });
+        prop_assert_eq!(IdentifyPipeline::new().run(&hidden.net).installations.len(), 0);
+    }
+
+    /// The YemenNet deny-page category set is a configuration fact, not
+    /// a draw: exactly the paper's five categories at any seed (given
+    /// enough repetitions to ride out license flicker).
+    #[test]
+    fn seed_independent_denypagetests(seed in any::<u64>()) {
+        let world = World::paper(seed);
+        let result = run_denypagetests(&world, "yemennet", 8);
+        prop_assert_eq!(result.blocked.len(), 5, "{:?}", result.blocked);
+        let names = result.blocked_names();
+        for expected in ["Adult Images", "Pornography", "Phishing", "Proxy Anonymizer", "Search Keywords"] {
+            prop_assert!(names.contains(&expected), "{names:?}");
+        }
+    }
+
+    /// Two builds of the same seed produce byte-identical scan dumps.
+    #[test]
+    fn world_build_is_reproducible(seed in any::<u64>()) {
+        use filterwatch_scanner::ScanEngine;
+        let a = ScanEngine::new().with_threads(2).scan(&World::paper(seed).net).to_dump();
+        let b = ScanEngine::new().with_threads(4).scan(&World::paper(seed).net).to_dump();
+        prop_assert_eq!(a, b);
+    }
+}
