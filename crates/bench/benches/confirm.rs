@@ -25,7 +25,9 @@ fn bench_confirm(c: &mut Criterion) {
         })
     });
 
-    c.bench_function("confirm/world-build", |b| b.iter(|| World::paper(DEFAULT_SEED)));
+    c.bench_function("confirm/world-build", |b| {
+        b.iter(|| World::paper(DEFAULT_SEED))
+    });
 }
 
 criterion_group! {

@@ -17,7 +17,9 @@ fn bench_codec(c: &mut Criterion) {
     .with_header("Server", "MWG/7.3.2");
     let resp_wire = codec::encode_response(&resp);
 
-    c.bench_function("http/encode-request", |b| b.iter(|| codec::encode_request(black_box(&req))));
+    c.bench_function("http/encode-request", |b| {
+        b.iter(|| codec::encode_request(black_box(&req)))
+    });
     c.bench_function("http/decode-request", |b| {
         b.iter(|| codec::decode_request(black_box(&req_wire)).unwrap())
     });

@@ -10,7 +10,9 @@ fn bench_identify(c: &mut Criterion) {
     let world = bench_world();
     let pipeline = IdentifyPipeline::new();
 
-    c.bench_function("identify/full-pipeline", |b| b.iter(|| pipeline.run(&world.net)));
+    c.bench_function("identify/full-pipeline", |b| {
+        b.iter(|| pipeline.run(&world.net))
+    });
 
     let index = ScanEngine::new().with_threads(4).scan(&world.net);
     c.bench_function("identify/search-validate-geolocate", |b| {

@@ -25,7 +25,12 @@ fn bench_scan(c: &mut Criterion) {
     c.bench_function("scan/keyword-search", |b| {
         b.iter(|| {
             let mut hits = 0;
-            for kw in ["proxysg", "netsweeper", "blockpage.cgi", "mcafee web gateway"] {
+            for kw in [
+                "proxysg",
+                "netsweeper",
+                "blockpage.cgi",
+                "mcafee web gateway",
+            ] {
                 hits += index.search(kw).len();
             }
             hits

@@ -1,0 +1,43 @@
+//! Cost of telemetry on the fetch hot path: `fetch_as` with a disabled
+//! handle (the default) against one recording counters, dispositions
+//! and the wall-latency histogram. The disabled path must stay within
+//! noise of the seed's uninstrumented fetch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use filterwatch_http::Url;
+use filterwatch_netsim::service::StaticSite;
+use filterwatch_netsim::{Internet, NetworkSpec, VantageId};
+use filterwatch_telemetry::TelemetryHandle;
+
+fn small_net() -> (Internet, VantageId, Url) {
+    let mut net = Internet::new(3);
+    net.registry_mut().register_country("XX", "Testland", "xx");
+    let asn = net.registry_mut().register_as(64512, "TEST", "XX");
+    let prefix = net.registry_mut().allocate_prefix(asn, 1).unwrap();
+    let netid = net.add_network(NetworkSpec::new("lab", asn, "XX").with_cidr(prefix));
+    let ip = net.alloc_ip(netid).unwrap();
+    net.add_host(ip, netid, &["site.xx"]);
+    net.add_service(ip, 80, Box::new(StaticSite::new("T", "<p>x</p>")));
+    let vp = net.add_vantage("v", netid);
+    (net, vp, Url::parse("http://site.xx/").unwrap())
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let (net, vp, url) = small_net();
+    c.bench_function("telemetry/fetch-disabled", |b| {
+        b.iter(|| black_box(net.fetch(vp, &url)))
+    });
+
+    let (mut net, vp, url) = small_net();
+    net.set_telemetry(TelemetryHandle::enabled());
+    c.bench_function("telemetry/fetch-recording", |b| {
+        b.iter(|| black_box(net.fetch(vp, &url)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_telemetry
+}
+criterion_main!(benches);

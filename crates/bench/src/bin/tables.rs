@@ -7,17 +7,18 @@
 //! ```
 //!
 //! Artifacts: `table1` `table2` `figure1` `table3` `table4` `table5`
-//! `denypagetests` `challenge1` `challenge2` `all`.
+//! `denypagetests` `challenge1` `challenge2` `ablation` `websense2009`
+//! `telemetry` `report` `all`.
 
 use filterwatch_core::ablate::{
     acceptance_sweep, geo_error_sweep, license_sweep, render_acceptance, render_geo_error,
     render_license, render_visibility, visibility_sweep,
 };
 use filterwatch_core::characterize::{render_table4, run_table4};
-use filterwatch_core::legacy::vendor_withdrawal;
 use filterwatch_core::confirm::{render_table3, run_table3};
 use filterwatch_core::evade::{render_table5, run_table5};
 use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_core::legacy::vendor_withdrawal;
 use filterwatch_core::probes::{category_probe, inconsistency_probe, run_denypagetests};
 use filterwatch_core::report::TextTable;
 use filterwatch_core::{World, DEFAULT_SEED};
@@ -71,6 +72,7 @@ fn main() {
     artifact!("challenge2", challenge2(seed));
     artifact!("ablation", ablation(seed));
     artifact!("websense2009", websense2009(seed));
+    artifact!("telemetry", telemetry(seed));
     if artifact == "report" {
         ran = true;
         report(seed);
@@ -84,14 +86,19 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|report|all] [--seed N]"
+        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|all] [--seed N]"
     );
     std::process::exit(2);
 }
 
 /// Table 1: summary of products considered.
 fn table1() {
-    let mut t = TextTable::new(["Company", "Headquarters", "Product description", "Previously observed"]);
+    let mut t = TextTable::new([
+        "Company",
+        "Headquarters",
+        "Product description",
+        "Previously observed",
+    ]);
     for product in ProductKind::ALL {
         let info = product.info();
         t.row([
@@ -226,7 +233,11 @@ fn challenge1(seed: u64) {
                 isp.to_string(),
                 row.vendor_category,
                 row.url,
-                if row.blocked { "yes".into() } else { "no".to_string() },
+                if row.blocked {
+                    "yes".into()
+                } else {
+                    "no".to_string()
+                },
             ]);
         }
     }
@@ -291,16 +302,43 @@ fn websense2009(seed: u64) {
     println!("vendor froze updates at day {}", r.frozen_at_day);
     println!(
         "site categorized before the freeze: {}",
-        if r.old_entry_blocks { "still blocked (snapshot persists)" } else { "NOT blocked" }
+        if r.old_entry_blocks {
+            "still blocked (snapshot persists)"
+        } else {
+            "NOT blocked"
+        }
     );
     println!(
         "site categorized after the freeze:  {}",
-        if r.new_entry_blocks { "blocked" } else { "not blocked (updates never arrive)" }
+        if r.new_entry_blocks {
+            "blocked"
+        } else {
+            "not blocked (updates never arrive)"
+        }
     );
     println!(
         "scan-diff after the operator decommissioned the gateway: {} endpoint(s) disappeared",
         r.endpoints_disappeared
     );
+}
+
+/// Telemetry readout of the standard campaign: per-stage span timings
+/// (virtual + wall), counters (per-vendor middlebox verdicts among
+/// them), the fetch-latency histogram, and the auditable event log.
+fn telemetry(seed: u64) {
+    use filterwatch_telemetry::render;
+    let report = filterwatch_core::Campaign::standard(seed).run();
+    let snap = &report.telemetry;
+    print!("{}", render::text_report(snap));
+    println!();
+    println!("event log:");
+    print!("{}", render::events_log(snap));
+    println!();
+    println!("csv exports:");
+    println!("--- spans.csv ---");
+    print!("{}", render::spans_csv(snap));
+    println!("--- metrics.csv ---");
+    print!("{}", render::metrics_csv(snap));
 }
 
 /// The full campaign as one markdown report (`report` artifact).

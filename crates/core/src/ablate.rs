@@ -144,7 +144,12 @@ pub struct LicenseRow {
 
 /// Sweep license-pool sizing and compare empirical bypass rates with the
 /// analytic expectation.
-pub fn license_sweep(seed: u64, peak: u32, licensed_steps: &[u32], samples: usize) -> Vec<LicenseRow> {
+pub fn license_sweep(
+    seed: u64,
+    peak: u32,
+    licensed_steps: &[u32],
+    samples: usize,
+) -> Vec<LicenseRow> {
     licensed_steps
         .iter()
         .map(|&licensed| {
@@ -208,11 +213,7 @@ pub fn geo_error_sweep(seed: u64, error_rates: &[f64]) -> Vec<GeoErrorRow> {
 /// Build a geolocation database where each prefix's country is swapped
 /// for another registered country with probability `error_rate`
 /// (deterministically per `(seed, prefix)`).
-fn corrupted_geodb(
-    registry: &filterwatch_netsim::Registry,
-    seed: u64,
-    error_rate: f64,
-) -> GeoDb {
+fn corrupted_geodb(registry: &filterwatch_netsim::Registry, seed: u64, error_rate: f64) -> GeoDb {
     let countries: Vec<String> = registry
         .countries()
         .map(|c| c.code.as_str().to_string())
@@ -223,8 +224,7 @@ fn corrupted_geodb(
             continue;
         };
         let label = format!("geo-error/{cidr}");
-        let draw =
-            (filterwatch_netsim::rng::mix(seed, &label) >> 11) as f64 / (1u64 << 53) as f64;
+        let draw = (filterwatch_netsim::rng::mix(seed, &label) >> 11) as f64 / (1u64 << 53) as f64;
         let country = if draw < error_rate {
             // Pick a deterministic *different* country.
             let idx = (filterwatch_netsim::rng::mix(seed, &format!("{label}/pick"))
@@ -246,7 +246,12 @@ fn corrupted_geodb(
 
 /// Render the geolocation-error sweep as a text table.
 pub fn render_geo_error(rows: &[GeoErrorRow]) -> String {
-    let mut t = TextTable::new(["DB error rate", "Installations found", "Correct country", "Attribution accuracy"]);
+    let mut t = TextTable::new([
+        "DB error rate",
+        "Installations found",
+        "Correct country",
+        "Attribution accuracy",
+    ]);
     for r in rows {
         t.row([
             format!("{:.0}%", r.error_rate * 100.0),
@@ -270,7 +275,11 @@ pub fn render_visibility(rows: &[VisibilityRow]) -> String {
             format!("{:.0}%", r.visibility * 100.0),
             r.identified.to_string(),
             format!("{:.2}", r.recall),
-            if r.confirmed { "confirmed".into() } else { "FAILED".to_string() },
+            if r.confirmed {
+                "confirmed".into()
+            } else {
+                "FAILED".to_string()
+            },
         ]);
     }
     t.render()
@@ -283,7 +292,11 @@ pub fn render_acceptance(rows: &[AcceptanceRow]) -> String {
         t.row([
             format!("{:.2}", r.acceptance),
             r.submitted_blocked.to_string(),
-            if r.confirmed { "yes".into() } else { "no".to_string() },
+            if r.confirmed {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     t.render()
@@ -291,7 +304,12 @@ pub fn render_acceptance(rows: &[AcceptanceRow]) -> String {
 
 /// Render the license sweep as a text table.
 pub fn render_license(rows: &[LicenseRow]) -> String {
-    let mut t = TextTable::new(["Licensed", "Peak demand", "Observed bypass", "Expected bypass"]);
+    let mut t = TextTable::new([
+        "Licensed",
+        "Peak demand",
+        "Observed bypass",
+        "Expected bypass",
+    ]);
     for r in rows {
         t.row([
             r.licensed.to_string(),
@@ -352,7 +370,10 @@ mod tests {
         // Perfect DB: perfect attribution; full corruption: none correct.
         assert_eq!(rows[0].correct_country, total);
         assert_eq!(rows[2].correct_country, 0);
-        assert!(rows[1].correct_country > 0 && rows[1].correct_country < total, "{rows:?}");
+        assert!(
+            rows[1].correct_country > 0 && rows[1].correct_country < total,
+            "{rows:?}"
+        );
     }
 
     #[test]

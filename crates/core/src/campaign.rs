@@ -9,6 +9,7 @@
 //! bespoke studies.
 
 use filterwatch_products::ProductKind;
+use filterwatch_telemetry::{stage, Snapshot, TelemetryHandle};
 
 use crate::characterize::{characterize, Characterization, Table4Column};
 use crate::confirm::{run_case_study, table3_specs, CaseStudyResult, CaseStudySpec};
@@ -47,6 +48,14 @@ impl Campaign {
     pub fn run(self) -> CampaignReport {
         let mut world = World::build(self.options.clone());
 
+        // Campaigns are the auditable entry point, so they always record
+        // telemetry; the staged functions inherit whatever handle the
+        // world's Internet carries (disabled by default).
+        let telemetry = TelemetryHandle::enabled();
+        world.net.set_telemetry(telemetry.clone());
+        let campaign_span =
+            telemetry.span_start(stage::CAMPAIGN, "standard campaign", world.net.now().secs());
+
         // Stage 1: identify.
         let identification = IdentifyPipeline::new().run(&world.net);
 
@@ -69,10 +78,17 @@ impl Campaign {
             .map(|(isp, product)| {
                 (
                     *product,
-                    characterize(&world, isp, self.list_urls_per_category, self.characterize_runs),
+                    characterize(
+                        &world,
+                        isp,
+                        self.list_urls_per_category,
+                        self.characterize_runs,
+                    ),
                 )
             })
             .collect();
+
+        telemetry.span_end(campaign_span, world.net.now().secs());
 
         CampaignReport {
             seed: self.options.seed,
@@ -80,6 +96,7 @@ impl Campaign {
             identification,
             confirmations,
             characterizations,
+            telemetry: telemetry.snapshot(),
         }
     }
 }
@@ -97,6 +114,10 @@ pub struct CampaignReport {
     pub confirmations: Vec<CaseStudyResult>,
     /// Stage 3 outputs for each confirmed ISP.
     pub characterizations: Vec<(ProductKind, Characterization)>,
+    /// Everything the campaign's telemetry collector recorded: spans per
+    /// stage, counters (per-vendor verdicts among them), histograms and
+    /// the event log.
+    pub telemetry: Snapshot,
 }
 
 impl CampaignReport {
@@ -149,12 +170,21 @@ impl CampaignReport {
         }
         out.push_str("\n|---|---|---|---|---|---|---|---|\n");
         for (product, ch) in &self.characterizations {
-            out.push_str(&format!("| {} | {} (AS{}) |", product.name(), ch.country, ch.asn));
+            out.push_str(&format!(
+                "| {} | {} (AS{}) |",
+                product.name(),
+                ch.country,
+                ch.asn
+            ));
             for col in Table4Column::ALL {
                 out.push_str(if ch.column_marked(col) { " x |" } else { "  |" });
             }
             out.push('\n');
         }
+
+        out.push_str("\n## Telemetry\n\n```text\n");
+        out.push_str(&filterwatch_telemetry::render::text_report(&self.telemetry));
+        out.push_str("```\n");
         out
     }
 }
@@ -188,7 +218,10 @@ mod tests {
         assert!(md.contains("**yes**"));
         // Markdown tables stay rectangular: every themes row has the
         // right number of columns.
-        for line in md.lines().filter(|l| l.starts_with("| McAfee") || l.starts_with("| Netsweeper")) {
+        for line in md
+            .lines()
+            .filter(|l| l.starts_with("| McAfee") || l.starts_with("| Netsweeper"))
+        {
             if line.contains("(AS") {
                 assert_eq!(line.matches('|').count(), 9, "{line}");
             }

@@ -122,13 +122,24 @@ impl Characterization {
 /// A URL counts as blocked if any run blocks it — the paper repeats
 /// tests because license-limited deployments filter intermittently
 /// (§4.4 Challenge 2).
-pub fn characterize(world: &World, isp: &str, per_category: usize, runs: usize) -> Characterization {
+pub fn characterize(
+    world: &World,
+    isp: &str,
+    per_category: usize,
+    runs: usize,
+) -> Characterization {
     let network = world
         .net
         .network_by_name(isp)
         .unwrap_or_else(|| panic!("unknown ISP {isp:?}"));
     let country = network.country.as_str().to_string();
     let asn = network.asn.0;
+    let telemetry = world.net.telemetry().clone();
+    let span = telemetry.span_start(
+        filterwatch_telemetry::stage::CHARACTERIZE,
+        isp,
+        world.net.now().secs(),
+    );
 
     let client = MeasurementClient::new(world.field(isp), world.lab());
     let mut urls: Vec<(Url, Category)> = Vec::new();
@@ -166,6 +177,21 @@ pub fn characterize(world: &World, isp: &str, per_category: usize, runs: usize) 
         }
     }
 
+    if telemetry.is_enabled() {
+        telemetry.counter_add("characterize.urls_tested", isp, urls_tested as u64);
+        telemetry.counter_add("characterize.urls_blocked", isp, urls_blocked as u64);
+        telemetry.event(
+            world.net.now().secs(),
+            "characterize.done",
+            &[
+                ("isp", isp),
+                ("tested", &urls_tested.to_string()),
+                ("blocked", &urls_blocked.to_string()),
+            ],
+        );
+    }
+    telemetry.span_end(span, world.net.now().secs());
+
     Characterization {
         isp: isp.to_string(),
         country,
@@ -191,7 +217,12 @@ pub fn table4_networks() -> Vec<(&'static str, &'static str)> {
 pub fn run_table4(world: &World, per_category: usize) -> Vec<(String, Characterization)> {
     table4_networks()
         .into_iter()
-        .map(|(isp, product)| (product.to_string(), characterize(world, isp, per_category, 3)))
+        .map(|(isp, product)| {
+            (
+                product.to_string(),
+                characterize(world, isp, per_category, 3),
+            )
+        })
         .collect()
 }
 
@@ -201,12 +232,13 @@ pub fn render_table4(rows: &[(String, Characterization)]) -> String {
     headers.extend(Table4Column::ALL.iter().map(|c| c.name().to_string()));
     let mut table = TextTable::new(headers);
     for (product, ch) in rows {
-        let mut cells = vec![
-            product.clone(),
-            format!("{} (AS {})", ch.country, ch.asn),
-        ];
+        let mut cells = vec![product.clone(), format!("{} (AS {})", ch.country, ch.asn)];
         for col in Table4Column::ALL {
-            cells.push(if ch.column_marked(col) { "x".into() } else { String::new() });
+            cells.push(if ch.column_marked(col) {
+                "x".into()
+            } else {
+                String::new()
+            });
         }
         table.row(cells);
     }

@@ -81,7 +81,16 @@ impl CaseStudyResult {
 
 /// Run one case study against the world, advancing its virtual clock.
 pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResult {
-    assert!(spec.n_submit <= spec.n_sites, "cannot submit more than created");
+    assert!(
+        spec.n_submit <= spec.n_sites,
+        "cannot submit more than created"
+    );
+    let telemetry = world.net.telemetry().clone();
+    let submit_span = telemetry.span_start(
+        filterwatch_telemetry::stage::CONFIRM_SUBMIT,
+        &spec.label,
+        world.net.now().secs(),
+    );
     let sites = world.create_controlled_sites(spec.site_kind, spec.n_sites);
     let client = MeasurementClient::new(world.field(&spec.isp), world.lab());
 
@@ -89,7 +98,12 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
     let accessible_before = if spec.pre_verify {
         let accessible = sites
             .iter()
-            .filter(|s| client.test_url(&world.net, &s.test_url()).verdict.is_accessible())
+            .filter(|s| {
+                client
+                    .test_url(&world.net, &s.test_url())
+                    .verdict
+                    .is_accessible()
+            })
             .count();
         Some(accessible)
     } else {
@@ -115,9 +129,28 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         }
     }
 
+    // Submissions accepted by the vendor now sit in its review queue
+    // until the retest observes the outcome.
+    telemetry.counter_add(
+        "confirm.submissions",
+        spec.product.slug(),
+        submissions_accepted as u64,
+    );
+    telemetry.gauge_set(
+        "confirm.queue_depth",
+        spec.product.slug(),
+        submissions_accepted as i64,
+    );
+    telemetry.span_end(submit_span, world.net.now().secs());
+
     // Wait out the review period.
     world.net.advance_days(spec.wait_days);
 
+    let retest_span = telemetry.span_start(
+        filterwatch_telemetry::stage::CONFIRM_RETEST,
+        &spec.label,
+        world.net.now().secs(),
+    );
     // Retest: a site is blocked if any retest run blocks it.
     let mut blocked = vec![false; sites.len()];
     let mut attributed: Vec<String> = Vec::new();
@@ -144,6 +177,19 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
 
     // Confirmation: the majority of submitted sites became blocked.
     let confirmed = submitted_blocked * 2 > spec.n_submit;
+
+    telemetry.gauge_set("confirm.queue_depth", spec.product.slug(), 0);
+    telemetry.event(
+        world.net.now().secs(),
+        "confirm.verdict",
+        &[
+            ("case", &spec.label.to_lowercase().replace([' ', '/'], "-")),
+            ("blocked", &submitted_blocked.to_string()),
+            ("submitted", &spec.n_submit.to_string()),
+            ("confirmed", if confirmed { "yes" } else { "no" }),
+        ],
+    );
+    telemetry.span_end(retest_span, world.net.now().secs());
 
     CaseStudyResult {
         spec: spec.clone(),
@@ -334,7 +380,11 @@ pub fn render_table3(results: &[CaseStudyResult]) -> String {
             r.submitted_of_created(),
             r.spec.category_label.clone(),
             r.blocked_of_submitted(),
-            if r.confirmed { "yes".into() } else { "no".to_string() },
+            if r.confirmed {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     table.render()
@@ -380,7 +430,10 @@ mod tests {
         // standalone run asserts the confirmation verdict, not an exact
         // count; the pinned-seed full-table test checks exact counts.
         assert!(r.submitted_blocked >= 4, "{r:?}");
-        assert_eq!(r.accessible_before, None, "Netsweeper skips pre-verification");
+        assert_eq!(
+            r.accessible_before, None,
+            "Netsweeper skips pre-verification"
+        );
     }
 
     #[test]

@@ -146,8 +146,16 @@ pub fn render_table5(scenarios: &[EvasionScenario]) -> String {
             s.label.clone(),
             s.tactic.to_string(),
             s.installations_found.to_string(),
-            if s.confirmation_succeeded { "yes".into() } else { "no".to_string() },
-            if s.vendor_attributed { "yes".into() } else { "no".to_string() },
+            if s.confirmation_succeeded {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
+            if s.vendor_attributed {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     table.render()
@@ -186,7 +194,10 @@ mod tests {
         // Tactic 3: naive submissions are discarded → not confirmed;
         // the §6.2 counter-evasion restores confirmation.
         assert!(!screened_naive.confirmation_succeeded, "{screened_naive:?}");
-        assert!(screened_covert.confirmation_succeeded, "{screened_covert:?}");
+        assert!(
+            screened_covert.confirmation_succeeded,
+            "{screened_covert:?}"
+        );
 
         let text = render_table5(&scenarios);
         assert!(text.contains("Evasion tactic"));

@@ -103,8 +103,16 @@ impl IdentifyPipeline {
 
     /// Run the full pipeline against a simulated Internet.
     pub fn run(&self, net: &Internet) -> IdentificationReport {
+        let telemetry = net.telemetry().clone();
+        let span = telemetry.span_start(
+            filterwatch_telemetry::stage::IDENTIFY,
+            "scan + keyword search + validate",
+            net.now().secs(),
+        );
         let index = self.scanner.scan(net);
-        self.run_on_index(net, &index)
+        let report = self.run_on_index(net, &index);
+        telemetry.span_end(span, net.now().secs());
+        report
     }
 
     /// Run search+validate+geolocate against an existing scan index,
@@ -174,10 +182,7 @@ impl IdentifyPipeline {
                     installations.push(Installation {
                         ip,
                         product: found,
-                        country: geo
-                            .lookup(ip.value())
-                            .unwrap_or("??")
-                            .to_string(),
+                        country: geo.lookup(ip.value()).unwrap_or("??").to_string(),
                         asn,
                         as_name,
                         keywords: kws.clone(),
@@ -187,9 +192,27 @@ impl IdentifyPipeline {
             }
         }
 
-        installations.sort_by(|a, b| {
-            (a.product, &a.country, a.ip).cmp(&(b.product, &b.country, b.ip))
-        });
+        installations
+            .sort_by(|a, b| (a.product, &a.country, a.ip).cmp(&(b.product, &b.country, b.ip)));
+
+        let telemetry = net.telemetry();
+        if telemetry.is_enabled() {
+            for (product, &n) in &candidates {
+                telemetry.counter_add("identify.candidates", product.slug(), n as u64);
+            }
+            for inst in &installations {
+                telemetry.counter_add("identify.installations", inst.product.slug(), 1);
+            }
+            telemetry.event(
+                net.now().secs(),
+                "identify.done",
+                &[
+                    ("index_records", &index.len().to_string()),
+                    ("installations", &installations.len().to_string()),
+                ],
+            );
+        }
+
         IdentificationReport {
             installations,
             candidates,

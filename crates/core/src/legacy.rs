@@ -42,8 +42,14 @@ pub fn vendor_withdrawal(seed: u64) -> WithdrawalReport {
     net.registry_mut().register_country("CA", "Canada", "ca");
     let lab_as = net.registry_mut().register_as(239, "UTORONTO", "CA");
     let isp_as = net.registry_mut().register_as(12486, "YEMENNET", "YE");
-    let lab_p = net.registry_mut().allocate_prefix(lab_as, 1).expect("prefix");
-    let isp_p = net.registry_mut().allocate_prefix(isp_as, 1).expect("prefix");
+    let lab_p = net
+        .registry_mut()
+        .allocate_prefix(lab_as, 1)
+        .expect("prefix");
+    let isp_p = net
+        .registry_mut()
+        .allocate_prefix(isp_as, 1)
+        .expect("prefix");
     let lab_net = net.add_network(NetworkSpec::new("lab", lab_as, "CA").with_cidr(lab_p));
     let isp = net.add_network(NetworkSpec::new("yemennet-2008", isp_as, "YE").with_cidr(isp_p));
 
@@ -84,11 +90,17 @@ pub fn vendor_withdrawal(seed: u64) -> WithdrawalReport {
     // categorization.
     net.advance_days(100);
     let old_entry_blocks = client
-        .test_url(&net, &Url::parse("http://www.old-adult.example/").expect("url"))
+        .test_url(
+            &net,
+            &Url::parse("http://www.old-adult.example/").expect("url"),
+        )
         .verdict
         .is_blocked();
     let new_entry_blocks = client
-        .test_url(&net, &Url::parse("http://www.new-adult.example/").expect("url"))
+        .test_url(
+            &net,
+            &Url::parse("http://www.new-adult.example/").expect("url"),
+        )
         .verdict
         .is_blocked();
 

@@ -206,7 +206,10 @@ mod tests {
         let w = World::paper(DEFAULT_SEED);
         let cats = [Category::AnonymizersProxies, Category::Pornography];
         let saudi = category_probe(&w, "bayanat", ProductKind::SmartFilter, &cats);
-        assert!(!saudi[0].blocked, "Saudi should not block proxies: {saudi:?}");
+        assert!(
+            !saudi[0].blocked,
+            "Saudi should not block proxies: {saudi:?}"
+        );
         assert!(saudi[1].blocked, "Saudi should block pornography");
         let uae = category_probe(&w, "etisalat", ProductKind::SmartFilter, &cats);
         assert!(uae[0].blocked, "Etisalat blocks anonymizers");
@@ -218,7 +221,11 @@ mod tests {
     fn challenge2_yemen_is_inconsistent_saudi_is_not() {
         let w = World::paper(DEFAULT_SEED);
         let yemen = inconsistency_probe(&w, "yemennet", 10);
-        assert!(yemen.inconsistent_urls() > 0, "{:?}", yemen.per_run_blocked());
+        assert!(
+            yemen.inconsistent_urls() > 0,
+            "{:?}",
+            yemen.per_run_blocked()
+        );
         let runs = yemen.per_run_blocked();
         assert!(runs.iter().any(|&n| n < yemen.urls.len()), "{runs:?}");
 

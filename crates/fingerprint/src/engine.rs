@@ -59,7 +59,8 @@ impl FingerprintEngine {
             for target in &plugin.targets {
                 responses.entry(target.clone()).or_insert_with(|| {
                     let url = Url::http_at(&ip.to_string(), target.port, &target.path);
-                    net.probe(ip, target.port, &Request::get(url)).into_response()
+                    net.probe(ip, target.port, &Request::get(url))
+                        .into_response()
                 });
             }
         }
@@ -86,14 +87,25 @@ impl FingerprintEngine {
                 });
             }
         }
+
+        let telemetry = net.telemetry();
+        if telemetry.is_enabled() {
+            telemetry.register_histogram(
+                "fingerprint.evidence",
+                &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0],
+            );
+            telemetry.counter_add("fingerprint.profiled", "", 1);
+            for f in &findings {
+                telemetry.counter_add("fingerprint.findings", f.product, 1);
+                telemetry.observe("fingerprint.evidence", "", f.evidence.len() as f64);
+            }
+        }
         findings
     }
 
     /// Profile many addresses; returns findings in input order.
     pub fn identify_all(&self, net: &Internet, ips: &[IpAddr]) -> Vec<Finding> {
-        ips.iter()
-            .flat_map(|&ip| self.identify(net, ip))
-            .collect()
+        ips.iter().flat_map(|&ip| self.identify(net, ip)).collect()
     }
 }
 
@@ -105,7 +117,8 @@ mod tests {
 
     fn world_with_console(title: &str, server: &str, port: u16) -> (Internet, IpAddr) {
         let mut net = Internet::new(5);
-        net.registry_mut().register_country("US", "United States", "us");
+        net.registry_mut()
+            .register_country("US", "United States", "us");
         let asn = net.registry_mut().register_as(7018, "ATT", "US");
         let prefix = net.registry_mut().allocate_prefix(asn, 1).unwrap();
         let n = net.add_network(NetworkSpec::new("att", asn, "US").with_cidr(prefix));

@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn header_matchers() {
-        assert!(Matcher::HeaderExists("via-proxy").evaluate(&resp()).is_some());
+        assert!(Matcher::HeaderExists("via-proxy")
+            .evaluate(&resp())
+            .is_some());
         assert!(Matcher::HeaderExists("X-Nope").evaluate(&resp()).is_none());
         let m = Matcher::HeaderMatches("Via-Proxy", Pattern::parse("mwg").unwrap());
         assert!(m.evaluate(&resp()).unwrap().contains("Via-Proxy"));

@@ -50,7 +50,9 @@ pub fn netsweeper() -> Plugin {
         .probing(8080, "/webadmin/")
         .matching(Matcher::HeaderMatches("Server", pat("netsweeper")))
         .matching(Matcher::TitleMatches(pat("netsweeper webadmin")))
-        .matching(Matcher::BodyMatches(pat("webadmin/deny|netsweeper webadmin")))
+        .matching(Matcher::BodyMatches(pat(
+            "webadmin/deny|netsweeper webadmin",
+        )))
 }
 
 /// Websense: a redirect to port 15871 carrying a `ws-session` parameter;
@@ -73,7 +75,10 @@ mod tests {
         let plugins = table2_plugins();
         assert_eq!(plugins.len(), 4);
         let products: Vec<&str> = plugins.iter().map(|p| p.product).collect();
-        assert_eq!(products, vec!["bluecoat", "smartfilter", "netsweeper", "websense"]);
+        assert_eq!(
+            products,
+            vec!["bluecoat", "smartfilter", "netsweeper", "websense"]
+        );
     }
 
     #[test]
@@ -91,9 +96,11 @@ mod tests {
     fn smartfilter_signatures() {
         let p = smartfilter();
         let with_header = Response::new(Status::OK).with_header("Via-Proxy", "anything");
-        assert!(p.matchers.iter().any(|m| m.evaluate(&with_header).is_some()));
-        let with_title =
-            Response::html(html::page("McAfee Web Gateway - Notification", ""));
+        assert!(p
+            .matchers
+            .iter()
+            .any(|m| m.evaluate(&with_header).is_some()));
+        let with_title = Response::html(html::page("McAfee Web Gateway - Notification", ""));
         assert!(p.matchers.iter().any(|m| m.evaluate(&with_title).is_some()));
     }
 
@@ -103,10 +110,12 @@ mod tests {
         let good = Response::redirect("http://gw:15871/cgi-bin/blockpage.cgi?ws-session=9");
         assert!(p.matchers.iter().any(|m| m.evaluate(&good).is_some()));
         let wrong_port = Response::redirect("http://gw:8080/cgi-bin/blockpage.cgi?ws-session=9");
-        assert!(!p
-            .matchers
-            .iter()
-            .any(|m| matches!(m, Matcher::LocationMatches(_)) && m.evaluate(&wrong_port).is_some()));
+        assert!(
+            !p.matchers
+                .iter()
+                .any(|m| matches!(m, Matcher::LocationMatches(_))
+                    && m.evaluate(&wrong_port).is_some())
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, HttpError> {
     let status = parse_status_line(status_line)?;
     let headers = parse_header_lines(lines)?;
     let body = frame_body(&headers, bytes, body_start)?;
-    Ok(Response { status, headers, body })
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
 }
 
 /// Parse a complete request from `bytes`. The target URL is reconstructed
@@ -96,7 +100,12 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, HttpError> {
         Url::parse(&format!("http://{host}{target}"))?
     };
     let body = frame_body(&headers, bytes, body_start)?;
-    Ok(Request { method, url, headers, body })
+    Ok(Request {
+        method,
+        url,
+        headers,
+        body,
+    })
 }
 
 /// Find the end of the message head. Accepts both CRLFCRLF and LFLF.
@@ -116,9 +125,7 @@ fn split_head(bytes: &[u8]) -> Result<(String, usize), HttpError> {
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 fn parse_status_line(line: &str) -> Result<Status, HttpError> {
@@ -126,7 +133,9 @@ fn parse_status_line(line: &str) -> Result<Status, HttpError> {
     let mut parts = line.splitn(3, ' ');
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::MalformedHead(format!("bad status line {line:?}")));
+        return Err(HttpError::MalformedHead(format!(
+            "bad status line {line:?}"
+        )));
     }
     let code: u16 = parts
         .next()
@@ -146,7 +155,9 @@ fn parse_header_lines<'a, I: Iterator<Item = &'a str>>(lines: I) -> Result<Heade
             .split_once(':')
             .ok_or_else(|| HttpError::MalformedHead(format!("bad header line {line:?}")))?;
         if name.trim() != name || name.is_empty() {
-            return Err(HttpError::MalformedHead(format!("bad header name {name:?}")));
+            return Err(HttpError::MalformedHead(format!(
+                "bad header name {name:?}"
+            )));
         }
         headers.append(name, value.trim());
     }
@@ -175,8 +186,7 @@ mod tests {
 
     #[test]
     fn response_round_trip() {
-        let resp = Response::html("<title>Deny</title>")
-            .with_header("Server", "netsweeper/5.0");
+        let resp = Response::html("<title>Deny</title>").with_header("Server", "netsweeper/5.0");
         let wire = encode_response(&resp);
         let parsed = decode_response(&wire).unwrap();
         assert_eq!(parsed.status, Status::OK);
@@ -223,13 +233,19 @@ mod tests {
 
     #[test]
     fn missing_head_terminator_is_truncated() {
-        assert_eq!(decode_response(b"HTTP/1.1 200 OK\r\nServer: x\r\n"), Err(HttpError::Truncated));
+        assert_eq!(
+            decode_response(b"HTTP/1.1 200 OK\r\nServer: x\r\n"),
+            Err(HttpError::Truncated)
+        );
     }
 
     #[test]
     fn bad_content_length_is_error() {
         let wire = b"HTTP/1.1 200 OK\r\nContent-Length: ten\r\n\r\n";
-        assert!(matches!(decode_response(wire), Err(HttpError::BadContentLength(_))));
+        assert!(matches!(
+            decode_response(wire),
+            Err(HttpError::BadContentLength(_))
+        ));
     }
 
     #[test]

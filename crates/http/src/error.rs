@@ -35,8 +35,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(HttpError::InvalidUrl("no host".into()).to_string().contains("no host"));
+        assert!(HttpError::InvalidUrl("no host".into())
+            .to_string()
+            .contains("no host"));
         assert!(HttpError::Truncated.to_string().contains("truncated"));
-        assert!(HttpError::BadContentLength("x".into()).to_string().contains("Content-Length"));
+        assert!(HttpError::BadContentLength("x".into())
+            .to_string()
+            .contains("Content-Length"));
     }
 }

@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn visible_text_strips_tags() {
-        let text = visible_text("<html><body><h1>Access  Denied</h1>\n<p>by policy</p></body></html>");
+        let text =
+            visible_text("<html><body><h1>Access  Denied</h1>\n<p>by policy</p></body></html>");
         assert_eq!(text, "Access Denied by policy");
     }
 }

@@ -111,8 +111,8 @@ mod tests {
 
     #[test]
     fn explicit_host_header_wins() {
-        let r = Request::get(Url::parse("http://a.example/").unwrap())
-            .with_header("Host", "b.example");
+        let r =
+            Request::get(Url::parse("http://a.example/").unwrap()).with_header("Host", "b.example");
         assert_eq!(r.host(), "b.example");
     }
 

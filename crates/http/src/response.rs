@@ -108,7 +108,10 @@ mod tests {
     fn html_sets_content_type() {
         let r = Response::html("<html><title>T</title></html>");
         assert!(r.status.is_success());
-        assert_eq!(r.headers.get("content-type"), Some("text/html; charset=utf-8"));
+        assert_eq!(
+            r.headers.get("content-type"),
+            Some("text/html; charset=utf-8")
+        );
         assert_eq!(r.title(), Some("T".into()));
     }
 

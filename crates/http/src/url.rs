@@ -59,10 +59,7 @@ impl Url {
                     .map_err(|_| HttpError::InvalidUrl(format!("bad port {p:?}")))?;
                 (h, port)
             }
-            None => (
-                authority,
-                if scheme == "https" { 443 } else { 80 },
-            ),
+            None => (authority, if scheme == "https" { 443 } else { 80 }),
         };
         if host.is_empty() {
             return Err(HttpError::InvalidUrl("missing host".into()));
@@ -192,8 +189,8 @@ impl Url {
 
 impl std::fmt::Display for Url {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let default_port =
-            (self.scheme == "http" && self.port == 80) || (self.scheme == "https" && self.port == 443);
+        let default_port = (self.scheme == "http" && self.port == 80)
+            || (self.scheme == "https" && self.port == 443);
         write!(f, "{}://{}", self.scheme, self.host)?;
         if !default_port {
             write!(f, ":{}", self.port)?;
@@ -265,17 +262,35 @@ mod tests {
     #[test]
     fn registrable_domain() {
         assert_eq!(
-            Url::parse("http://www.blog.example.info/").unwrap().registrable_domain(),
+            Url::parse("http://www.blog.example.info/")
+                .unwrap()
+                .registrable_domain(),
             "example.info"
         );
-        assert_eq!(Url::parse("http://example.info/").unwrap().registrable_domain(), "example.info");
-        assert_eq!(Url::parse("http://localhost/").unwrap().registrable_domain(), "localhost");
-        assert_eq!(Url::parse("http://10.1.2.3/").unwrap().registrable_domain(), "10.1.2.3");
+        assert_eq!(
+            Url::parse("http://example.info/")
+                .unwrap()
+                .registrable_domain(),
+            "example.info"
+        );
+        assert_eq!(
+            Url::parse("http://localhost/")
+                .unwrap()
+                .registrable_domain(),
+            "localhost"
+        );
+        assert_eq!(
+            Url::parse("http://10.1.2.3/").unwrap().registrable_domain(),
+            "10.1.2.3"
+        );
     }
 
     #[test]
     fn tld() {
-        assert_eq!(Url::parse("http://x.example.qa/").unwrap().tld(), Some("qa"));
+        assert_eq!(
+            Url::parse("http://x.example.qa/").unwrap().tld(),
+            Some("qa")
+        );
         assert_eq!(Url::parse("http://10.0.0.1/").unwrap().tld(), None);
     }
 

@@ -118,7 +118,9 @@ mod tests {
             ),
         ];
         for (text, expected) in cases {
-            let m = lib.classify(text).unwrap_or_else(|| panic!("no match for {expected}"));
+            let m = lib
+                .classify(text)
+                .unwrap_or_else(|| panic!("no match for {expected}"));
             assert_eq!(m.product.as_deref(), Some(expected), "{text}");
         }
     }
@@ -135,7 +137,9 @@ mod tests {
     #[test]
     fn ordinary_pages_do_not_match() {
         let lib = BlockPageLibrary::standard();
-        assert!(lib.classify("<title>Free Web Proxy</title> surf anonymously").is_none());
+        assert!(lib
+            .classify("<title>Free Web Proxy</title> surf anonymously")
+            .is_none());
         assert!(lib.classify("<title>News of the day</title>").is_none());
     }
 

@@ -103,9 +103,9 @@ impl MeasurementClient {
         for _ in 0..=self.max_redirects {
             let outcome = net.fetch(vantage, &current);
             let next = match &outcome {
-                FetchOutcome::Ok(resp) if resp.status.is_redirect() =>
-
-                    resp.location().and_then(|loc| self.resolve_location(&current, loc)),
+                FetchOutcome::Ok(resp) if resp.status.is_redirect() => resp
+                    .location()
+                    .and_then(|loc| self.resolve_location(&current, loc)),
                 FetchOutcome::Ok(_) => None,
                 _failure => {
                     hops.push((current, outcome));
@@ -159,7 +159,10 @@ impl MeasurementClient {
     /// Compare a field observation against the lab control.
     pub fn compare(&self, field: &Observation, lab: &Observation) -> Verdict {
         // Lab failure first: no control, no conclusion.
-        let Observation::Reached { trace: lab_trace, .. } = lab else {
+        let Observation::Reached {
+            trace: lab_trace, ..
+        } = lab
+        else {
             let Observation::Failed { error } = lab else {
                 unreachable!()
             };
@@ -260,7 +263,11 @@ mod tests {
         // Origin site (outside the ISP).
         let site_ip = net.alloc_ip(lab).unwrap();
         net.add_host(site_ip, lab, &["www.blocked-news.org"]);
-        net.add_service(site_ip, 80, Box::new(StaticSite::new("News", "<p>stories</p>")));
+        net.add_service(
+            site_ip,
+            80,
+            Box::new(StaticSite::new("News", "<p>stories</p>")),
+        );
         let ok_ip = net.alloc_ip(lab).unwrap();
         net.add_host(ok_ip, lab, &["www.fine.org"]);
         net.add_service(ok_ip, 80, Box::new(StaticSite::new("Fine", "<p>ok</p>")));
@@ -271,7 +278,10 @@ mod tests {
         net.add_service(
             deny_ip,
             8080,
-            Box::new(StaticSite::new("Web Page Blocked", "<p>netsweeper deny</p>")),
+            Box::new(StaticSite::new(
+                "Web Page Blocked",
+                "<p>netsweeper deny</p>",
+            )),
         );
         net.attach_middlebox(
             isp,
@@ -306,13 +316,21 @@ mod tests {
         let (net, client) = world();
         let v = client.test_url(&net, &Url::parse("http://no-such-host.example/").unwrap());
         // Lab can't reach it either → no conclusion.
-        assert!(matches!(v.verdict, Verdict::Unavailable { .. }), "{:?}", v.verdict);
+        assert!(
+            matches!(v.verdict, Verdict::Unavailable { .. }),
+            "{:?}",
+            v.verdict
+        );
     }
 
     #[test]
     fn trace_records_hops() {
         let (net, client) = world();
-        let obs = client.fetch(&net, client.field(), &Url::parse("http://www.blocked-news.org/").unwrap());
+        let obs = client.fetch(
+            &net,
+            client.field(),
+            &Url::parse("http://www.blocked-news.org/").unwrap(),
+        );
         let Observation::Reached { status, trace } = obs else {
             panic!("expected reach");
         };

@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn disjoint_bodies_score_zero() {
-        assert_eq!(body_similarity("<p>alpha beta</p>", "<p>gamma delta</p>"), 0.0);
+        assert_eq!(
+            body_similarity("<p>alpha beta</p>", "<p>gamma delta</p>"),
+            0.0
+        );
     }
 
     #[test]

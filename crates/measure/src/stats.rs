@@ -94,9 +94,11 @@ pub fn to_csv(verdicts: &[UrlVerdict]) -> String {
                 m.product.clone().unwrap_or_default(),
                 m.evidence.clone(),
             ),
-            Verdict::Modified { similarity } => {
-                ("modified", String::new(), format!("similarity={similarity:.2}"))
-            }
+            Verdict::Modified { similarity } => (
+                "modified",
+                String::new(),
+                format!("similarity={similarity:.2}"),
+            ),
             Verdict::Inaccessible { field_error } => {
                 ("inaccessible", String::new(), field_error.clone())
             }

@@ -86,8 +86,14 @@ mod tests {
     fn exact_resolution_case_insensitive() {
         let mut dns = Dns::new();
         dns.register("WWW.Example.INFO", "5.0.0.1".parse().unwrap());
-        assert_eq!(dns.resolve("www.example.info"), Some("5.0.0.1".parse().unwrap()));
-        assert_eq!(dns.resolve("www.example.info."), Some("5.0.0.1".parse().unwrap()));
+        assert_eq!(
+            dns.resolve("www.example.info"),
+            Some("5.0.0.1".parse().unwrap())
+        );
+        assert_eq!(
+            dns.resolve("www.example.info."),
+            Some("5.0.0.1".parse().unwrap())
+        );
         assert_eq!(dns.resolve("other.example.info"), None);
     }
 
@@ -101,8 +107,14 @@ mod tests {
     fn wildcard_matches_any_depth() {
         let mut dns = Dns::new();
         dns.register_wildcard("pool.example", "5.0.0.9".parse().unwrap());
-        assert_eq!(dns.resolve("a.pool.example"), Some("5.0.0.9".parse().unwrap()));
-        assert_eq!(dns.resolve("x.y.pool.example"), Some("5.0.0.9".parse().unwrap()));
+        assert_eq!(
+            dns.resolve("a.pool.example"),
+            Some("5.0.0.9".parse().unwrap())
+        );
+        assert_eq!(
+            dns.resolve("x.y.pool.example"),
+            Some("5.0.0.9".parse().unwrap())
+        );
         // The bare suffix itself is not covered by the wildcard.
         assert_eq!(dns.resolve("pool.example"), None);
     }
@@ -112,7 +124,10 @@ mod tests {
         let mut dns = Dns::new();
         dns.register_wildcard("zone.example", "5.0.0.1".parse().unwrap());
         dns.register("special.zone.example", "5.0.0.2".parse().unwrap());
-        assert_eq!(dns.resolve("special.zone.example"), Some("5.0.0.2".parse().unwrap()));
+        assert_eq!(
+            dns.resolve("special.zone.example"),
+            Some("5.0.0.2".parse().unwrap())
+        );
     }
 
     #[test]

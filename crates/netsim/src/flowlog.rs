@@ -6,9 +6,23 @@
 //! [`FlowRecord`] — who asked for what, what happened, and which
 //! middlebox (if any) rendered the verdict. Experiments and reports can
 //! then reconstruct their own history instead of re-measuring.
+//!
+//! Records encode to a *stable* tab-separated line format that parses
+//! back losslessly ([`FlowRecord::to_line`] / [`FlowRecord::parse_line`]),
+//! so logs survive being written to disk and read by other tools:
+//!
+//! ```text
+//! day 2 00:00:00\t5.0.0.9\tetisalat\thttp://x.info/\tintercepted:smartfilter:403
+//! ```
+//!
+//! Dispositions are single colon-joined tokens (`origin:200`,
+//! `dropped:<name>`, `pathfault:timeout`, `dnsfail`, …); free-text
+//! fields use the same `\\`/`\t`/`\n` escaping as the telemetry event
+//! log.
 
 use crate::ip::IpAddr;
 use crate::time::SimTime;
+use filterwatch_telemetry::event::{escape, unescape};
 
 /// How a logged flow ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,10 +55,65 @@ impl FlowDisposition {
                 | FlowDisposition::ResetBy(_)
         )
     }
+
+    /// Encode as a single stable token.
+    pub fn to_token(&self) -> String {
+        match self {
+            FlowDisposition::Origin(status) => format!("origin:{status}"),
+            FlowDisposition::Intercepted { middlebox, status } => {
+                format!("intercepted:{}:{status}", escape(middlebox))
+            }
+            FlowDisposition::DroppedBy(name) => format!("dropped:{}", escape(name)),
+            FlowDisposition::ResetBy(name) => format!("reset:{}", escape(name)),
+            FlowDisposition::PathFault(kind) => format!("pathfault:{kind}"),
+            FlowDisposition::DnsFailure => "dnsfail".to_string(),
+            FlowDisposition::ConnectFailed => "connectfail".to_string(),
+        }
+    }
+
+    /// Parse a token produced by [`FlowDisposition::to_token`].
+    pub fn parse_token(token: &str) -> Result<Self, String> {
+        let unescape_name = |name: &str| {
+            unescape(name).ok_or_else(|| format!("bad escape in middlebox name {name:?}"))
+        };
+        if let Some(status) = token.strip_prefix("origin:") {
+            let status = status
+                .parse()
+                .map_err(|e| format!("bad status in {token:?}: {e}"))?;
+            return Ok(FlowDisposition::Origin(status));
+        }
+        if let Some(rest) = token.strip_prefix("intercepted:") {
+            // The status is the last colon field, so middlebox names may
+            // themselves contain colons.
+            let (middlebox, status) = rest
+                .rsplit_once(':')
+                .ok_or_else(|| format!("missing status in {token:?}"))?;
+            let status = status
+                .parse()
+                .map_err(|e| format!("bad status in {token:?}: {e}"))?;
+            return Ok(FlowDisposition::Intercepted {
+                middlebox: unescape_name(middlebox)?,
+                status,
+            });
+        }
+        if let Some(name) = token.strip_prefix("dropped:") {
+            return Ok(FlowDisposition::DroppedBy(unescape_name(name)?));
+        }
+        if let Some(name) = token.strip_prefix("reset:") {
+            return Ok(FlowDisposition::ResetBy(unescape_name(name)?));
+        }
+        match token {
+            "pathfault:timeout" => Ok(FlowDisposition::PathFault("timeout")),
+            "pathfault:reset" => Ok(FlowDisposition::PathFault("reset")),
+            "dnsfail" => Ok(FlowDisposition::DnsFailure),
+            "connectfail" => Ok(FlowDisposition::ConnectFailed),
+            _ => Err(format!("unknown disposition token {token:?}")),
+        }
+    }
 }
 
 /// One logged flow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowRecord {
     /// Virtual time of the request.
     pub at: SimTime,
@@ -59,12 +128,37 @@ pub struct FlowRecord {
 }
 
 impl FlowRecord {
-    /// Render as a log line (tab-separated).
+    /// Render as a stable, machine-parseable log line (tab-separated:
+    /// time, client, network, URL, disposition token).
     pub fn to_line(&self) -> String {
         format!(
-            "{}\t{}\t{}\t{}\t{:?}",
-            self.at, self.client, self.network, self.url, self.disposition
+            "{}\t{}\t{}\t{}\t{}",
+            self.at,
+            self.client,
+            escape(&self.network),
+            escape(&self.url),
+            self.disposition.to_token()
         )
+    }
+
+    /// Parse a line produced by [`FlowRecord::to_line`].
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let [at, client, network, url, token] = fields.as_slice() else {
+            return Err(format!(
+                "expected 5 tab-separated fields, got {}: {line:?}",
+                fields.len()
+            ));
+        };
+        Ok(FlowRecord {
+            at: at.parse()?,
+            client: client
+                .parse()
+                .map_err(|e| format!("bad client address {client:?}: {e}"))?,
+            network: unescape(network).ok_or_else(|| format!("bad escape in {network:?}"))?,
+            url: unescape(url).ok_or_else(|| format!("bad escape in {url:?}"))?,
+            disposition: FlowDisposition::parse_token(token)?,
+        })
     }
 }
 
@@ -98,5 +192,65 @@ mod tests {
         assert!(line.contains("5.0.0.9"));
         assert!(line.contains("etisalat"));
         assert!(line.contains("http://x.info/"));
+        assert!(line.ends_with("origin:200"));
+    }
+
+    #[test]
+    fn every_disposition_token_round_trips() {
+        let cases = [
+            FlowDisposition::Origin(200),
+            FlowDisposition::Intercepted {
+                middlebox: "smartfilter".into(),
+                status: 403,
+            },
+            FlowDisposition::Intercepted {
+                middlebox: "odd:name\twith\ttabs".into(),
+                status: 302,
+            },
+            FlowDisposition::DroppedBy("netsweeper".into()),
+            FlowDisposition::ResetBy("bluecoat".into()),
+            FlowDisposition::PathFault("timeout"),
+            FlowDisposition::PathFault("reset"),
+            FlowDisposition::DnsFailure,
+            FlowDisposition::ConnectFailed,
+        ];
+        for d in cases {
+            let token = d.to_token();
+            assert!(!token.contains('\t'), "token must be tab-free: {token:?}");
+            assert_eq!(FlowDisposition::parse_token(&token).unwrap(), d, "{token}");
+        }
+    }
+
+    #[test]
+    fn record_line_round_trips() {
+        let rec = FlowRecord {
+            at: SimTime::from_days(3).plus_secs(61),
+            client: "5.0.0.9".parse().unwrap(),
+            network: "a net\twith tab".into(),
+            url: "http://x.info/a\tb?c=1".into(),
+            disposition: FlowDisposition::Intercepted {
+                middlebox: "smartfilter".into(),
+                status: 403,
+            },
+        };
+        assert_eq!(FlowRecord::parse_line(&rec.to_line()).unwrap(), rec);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(FlowRecord::parse_line("").is_err());
+        assert!(FlowRecord::parse_line("day 0 00:00:00\t1.2.3.4\tnet\turl").is_err());
+        assert!(
+            FlowRecord::parse_line("day 0 00:00:00\tnot-an-ip\tnet\thttp://u/\torigin:200")
+                .is_err()
+        );
+        assert!(
+            FlowRecord::parse_line("day 0 00:00:00\t1.2.3.4\tnet\thttp://u/\torigin:xx").is_err()
+        );
+        assert!(
+            FlowRecord::parse_line("day 0 00:00:00\t1.2.3.4\tnet\thttp://u/\tpathfault:flood")
+                .is_err()
+        );
+        assert!(FlowRecord::parse_line("day 0 00:00:00\t1.2.3.4\tnet\thttp://u/\tnope").is_err());
     }
 }

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use filterwatch_http::{Request, Response, Url};
+use filterwatch_telemetry::TelemetryHandle;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
@@ -119,6 +120,7 @@ pub struct Internet {
     vantages: Vec<Vantage>,
     flow_log: Mutex<Vec<FlowRecord>>,
     flow_log_enabled: std::sync::atomic::AtomicBool,
+    telemetry: TelemetryHandle,
 }
 
 /// Source address used for scanner probes (outside all simulated networks).
@@ -138,7 +140,20 @@ impl Internet {
             vantages: Vec::new(),
             flow_log: Mutex::new(Vec::new()),
             flow_log_enabled: std::sync::atomic::AtomicBool::new(false),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attach a telemetry collector; fetches then record per-network
+    /// counters, per-vendor verdict counts and a wall-clock latency
+    /// histogram. The default handle is disabled and records nothing.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle (cheap to clone; disabled by default).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// Enable or disable flow logging (disabled by default; logging
@@ -160,7 +175,35 @@ impl Internet {
         n
     }
 
-    fn log_flow(&self, net: &Network, client: IpAddr, url: &filterwatch_http::Url, disposition: FlowDisposition) {
+    fn log_flow(
+        &self,
+        net: &Network,
+        client: IpAddr,
+        url: &filterwatch_http::Url,
+        disposition: FlowDisposition,
+    ) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_add("fetch.total", &net.name, 1);
+            let kind = match &disposition {
+                FlowDisposition::Origin(_) => "origin",
+                FlowDisposition::Intercepted { .. } => "intercepted",
+                FlowDisposition::DroppedBy(_) => "dropped",
+                FlowDisposition::ResetBy(_) => "reset",
+                FlowDisposition::PathFault(_) => "pathfault",
+                FlowDisposition::DnsFailure => "dnsfail",
+                FlowDisposition::ConnectFailed => "connectfail",
+            };
+            self.telemetry.counter_add("fetch.disposition", kind, 1);
+            match &disposition {
+                FlowDisposition::Intercepted { middlebox, .. }
+                | FlowDisposition::DroppedBy(middlebox)
+                | FlowDisposition::ResetBy(middlebox) => {
+                    self.telemetry
+                        .counter_add("middlebox.verdict", middlebox, 1);
+                }
+                _ => {}
+            }
+        }
         if self.flow_log_enabled.load(Ordering::Relaxed) {
             self.flow_log.lock().push(FlowRecord {
                 at: self.now(),
@@ -254,9 +297,7 @@ impl Internet {
         let network = &self.networks[net.0];
         for cidr in &network.cidrs {
             for ip in cidr.iter() {
-                if !self.hosts.contains_key(&ip)
-                    && !self.vantages.iter().any(|v| v.ip == ip)
-                {
+                if !self.hosts.contains_key(&ip) && !self.vantages.iter().any(|v| v.ip == ip) {
                     return Some(ip);
                 }
             }
@@ -308,7 +349,10 @@ impl Internet {
     /// # Panics
     /// If the host does not exist or the port is taken.
     pub fn add_service(&mut self, ip: IpAddr, port: u16, service: Box<dyn Service>) {
-        let host = self.hosts.get_mut(&ip).unwrap_or_else(|| panic!("no host at {ip}"));
+        let host = self
+            .hosts
+            .get_mut(&ip)
+            .unwrap_or_else(|| panic!("no host at {ip}"));
         assert!(
             !host.services.contains_key(&port),
             "port {port} on {ip} already bound"
@@ -333,9 +377,12 @@ impl Internet {
 
     /// Register a vantage point (tester) inside `net`.
     pub fn add_vantage(&mut self, name: &str, net: NetworkId) -> VantageId {
-        let ip = self
-            .alloc_ip(net)
-            .unwrap_or_else(|| panic!("network {:?} has no free addresses", self.networks[net.0].name));
+        let ip = self.alloc_ip(net).unwrap_or_else(|| {
+            panic!(
+                "network {:?} has no free addresses",
+                self.networks[net.0].name
+            )
+        });
         let id = VantageId(self.vantages.len());
         self.vantages.push(Vantage::new(name, net, ip));
         id
@@ -362,6 +409,17 @@ impl Internet {
 
     /// Fetch a request as a client at `client_ip` inside `net`.
     pub fn fetch_as(&self, net: NetworkId, client_ip: IpAddr, req: &Request) -> FetchOutcome {
+        if !self.telemetry.is_enabled() {
+            return self.fetch_as_inner(net, client_ip, req);
+        }
+        let started = std::time::Instant::now();
+        let outcome = self.fetch_as_inner(net, client_ip, req);
+        self.telemetry
+            .observe("fetch.wall_nanos", "", started.elapsed().as_nanos() as f64);
+        outcome
+    }
+
+    fn fetch_as_inner(&self, net: NetworkId, client_ip: IpAddr, req: &Request) -> FetchOutcome {
         let network = &self.networks[net.0];
 
         // 1. DNS.
@@ -376,7 +434,12 @@ impl Internet {
                 Fault::Timeout => (FetchOutcome::Timeout, "timeout"),
                 Fault::Reset => (FetchOutcome::Reset, "reset"),
             };
-            self.log_flow(network, client_ip, &req.url, FlowDisposition::PathFault(label));
+            self.log_flow(
+                network,
+                client_ip,
+                &req.url,
+                FlowDisposition::PathFault(label),
+            );
             return outcome;
         }
 
@@ -386,7 +449,14 @@ impl Internet {
             client_ip,
         };
         let (verdict, passed) = network.chain.run_request(req, &flow);
-        let decider = || network.chain.names().get(passed).map(|s| s.to_string()).unwrap_or_default();
+        let decider = || {
+            network
+                .chain
+                .names()
+                .get(passed)
+                .map(|s| s.to_string())
+                .unwrap_or_default()
+        };
         match verdict {
             Verdict::Forward => {}
             Verdict::Respond(resp) => {
@@ -403,11 +473,21 @@ impl Internet {
                 return FetchOutcome::Ok(resp);
             }
             Verdict::Drop => {
-                self.log_flow(network, client_ip, &req.url, FlowDisposition::DroppedBy(decider()));
+                self.log_flow(
+                    network,
+                    client_ip,
+                    &req.url,
+                    FlowDisposition::DroppedBy(decider()),
+                );
                 return FetchOutcome::Timeout;
             }
             Verdict::Reset => {
-                self.log_flow(network, client_ip, &req.url, FlowDisposition::ResetBy(decider()));
+                self.log_flow(
+                    network,
+                    client_ip,
+                    &req.url,
+                    FlowDisposition::ResetBy(decider()),
+                );
                 return FetchOutcome::Reset;
             }
         }
@@ -660,11 +740,17 @@ mod tests {
             net.fetch(vp, &Url::parse("http://www.resetme.ca/").unwrap()),
             FetchOutcome::Reset
         );
-        assert!(net.fetch(vp, &Url::parse("http://www.okay.ca/").unwrap()).is_ok());
+        assert!(net
+            .fetch(vp, &Url::parse("http://www.okay.ca/").unwrap())
+            .is_ok());
         let log = net.flow_log();
         use crate::flowlog::FlowDisposition;
-        assert!(matches!(&log[0].disposition, FlowDisposition::DroppedBy(n) if n == "silent-dropper"));
-        assert!(matches!(&log[1].disposition, FlowDisposition::ResetBy(n) if n == "silent-dropper"));
+        assert!(
+            matches!(&log[0].disposition, FlowDisposition::DroppedBy(n) if n == "silent-dropper")
+        );
+        assert!(
+            matches!(&log[1].disposition, FlowDisposition::ResetBy(n) if n == "silent-dropper")
+        );
     }
 
     #[test]
@@ -699,6 +785,39 @@ mod tests {
         assert!(log[0].to_line().contains("www.site.ca"));
         assert_eq!(net.clear_flow_log(), 3);
         assert!(net.flow_log().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_fetches_and_verdicts() {
+        let (mut net, lab, isp) = world();
+        let ip = net.alloc_ip(lab).unwrap();
+        net.add_host(ip, lab, &["www.site.ca"]);
+        net.add_service(ip, 80, Box::new(StaticSite::new("Site", "")));
+        net.attach_middlebox(isp, Arc::new(BlockAll));
+        net.set_telemetry(filterwatch_telemetry::TelemetryHandle::enabled());
+        let field = net.add_vantage("field", isp);
+        let lab_vp = net.add_vantage("lab", lab);
+
+        let url = Url::parse("http://www.site.ca/").unwrap();
+        let _ = net.fetch(lab_vp, &url);
+        let _ = net.fetch(field, &url);
+        let _ = net.fetch(field, &url);
+
+        let snap = net.telemetry().snapshot();
+        assert_eq!(
+            snap.counters_named("fetch.total"),
+            vec![("isp", 2), ("lab", 1)]
+        );
+        assert_eq!(
+            snap.counters_named("middlebox.verdict"),
+            vec![("block-all", 2)]
+        );
+        assert_eq!(
+            snap.counters_named("fetch.disposition"),
+            vec![("intercepted", 2), ("origin", 1)]
+        );
+        let lat = snap.histogram_named("fetch.wall_nanos").unwrap();
+        assert_eq!(lat.total, 3);
     }
 
     #[test]

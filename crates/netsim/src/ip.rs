@@ -50,7 +50,9 @@ impl std::str::FromStr for IpAddr {
         for (i, p) in parts.iter().enumerate() {
             octets[i] = p.parse().map_err(|_| format!("bad octet {p:?} in {s:?}"))?;
         }
-        Ok(IpAddr::from_octets(octets[0], octets[1], octets[2], octets[3]))
+        Ok(IpAddr::from_octets(
+            octets[0], octets[1], octets[2], octets[3],
+        ))
     }
 }
 
@@ -124,7 +126,9 @@ impl std::str::FromStr for Cidr {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let (ip, len) = s.split_once('/').ok_or_else(|| format!("bad CIDR {s:?}"))?;
         let ip: IpAddr = ip.parse()?;
-        let len: u8 = len.parse().map_err(|_| format!("bad prefix length in {s:?}"))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| format!("bad prefix length in {s:?}"))?;
         if len > 32 {
             return Err(format!("prefix length {len} > 32"));
         }

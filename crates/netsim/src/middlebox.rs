@@ -122,7 +122,9 @@ impl Chain {
 
 impl std::fmt::Debug for Chain {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Chain").field("boxes", &self.names()).finish()
+        f.debug_struct("Chain")
+            .field("boxes", &self.names())
+            .finish()
     }
 }
 

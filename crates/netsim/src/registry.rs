@@ -131,7 +131,10 @@ impl Registry {
     /// Allocations are sequential and deterministic: the first call
     /// always returns `5.0.0.0/24`-based space regardless of seed.
     pub fn allocate_prefix(&mut self, asn: Asn, size_p24: u32) -> Option<Cidr> {
-        assert!(size_p24.is_power_of_two(), "size must be a power of two /24s");
+        assert!(
+            size_p24.is_power_of_two(),
+            "size must be a power of two /24s"
+        );
         if !self.ases.contains_key(&asn) {
             return None;
         }

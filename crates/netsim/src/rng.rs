@@ -41,8 +41,14 @@ mod tests {
 
     #[test]
     fn same_inputs_same_stream() {
-        let a: Vec<u32> = labelled_rng(7, "x").sample_iter(rand::distributions::Standard).take(5).collect();
-        let b: Vec<u32> = labelled_rng(7, "x").sample_iter(rand::distributions::Standard).take(5).collect();
+        let a: Vec<u32> = labelled_rng(7, "x")
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
+        let b: Vec<u32> = labelled_rng(7, "x")
+            .sample_iter(rand::distributions::Standard)
+            .take(5)
+            .collect();
         assert_eq!(a, b);
     }
 

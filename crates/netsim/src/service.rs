@@ -124,7 +124,8 @@ impl AdultImageSite {
 
     /// Take the explicit image down (post-experiment cleanup).
     pub fn remove_image(&self) {
-        self.removed.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.removed
+            .store(true, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -132,15 +133,17 @@ impl Service for AdultImageSite {
     fn handle(&self, req: &Request, _ctx: &ServiceCtx) -> Response {
         let removed = self.removed.load(std::sync::atomic::Ordering::Relaxed);
         match req.url.path() {
-            "/benign.png" => {
-                Response::text(filterwatch_http::Status::OK, "PNG placeholder: benign test object")
-                    .with_header("Content-Type", "image/png")
-            }
-            "/image.jpg" if !removed => {
-                Response::text(filterwatch_http::Status::OK, "JPEG placeholder: explicit-content marker")
-                    .with_header("Content-Type", "image/jpeg")
-                    .with_header("X-Content-Marker", "adult")
-            }
+            "/benign.png" => Response::text(
+                filterwatch_http::Status::OK,
+                "PNG placeholder: benign test object",
+            )
+            .with_header("Content-Type", "image/png"),
+            "/image.jpg" if !removed => Response::text(
+                filterwatch_http::Status::OK,
+                "JPEG placeholder: explicit-content marker",
+            )
+            .with_header("Content-Type", "image/jpeg")
+            .with_header("X-Content-Marker", "adult"),
             "/image.jpg" => Response::not_found(),
             _ => Response::html(html::page(
                 "Image gallery",
@@ -216,7 +219,10 @@ mod tests {
             .status
             .is_success());
         s.remove_image();
-        assert!(s.handle(&get("http://i.info/image.jpg"), &ctx()).status.is_error());
+        assert!(s
+            .handle(&get("http://i.info/image.jpg"), &ctx())
+            .status
+            .is_error());
         // Benign object survives cleanup.
         assert!(s
             .handle(&get("http://i.info/benign.png"), &ctx())

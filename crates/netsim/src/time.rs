@@ -58,7 +58,44 @@ impl std::fmt::Display for SimTime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let day = self.days();
         let rem = self.0 % SECS_PER_DAY;
-        write!(f, "day {day} {:02}:{:02}:{:02}", rem / 3600, (rem % 3600) / 60, rem % 60)
+        write!(
+            f,
+            "day {day} {:02}:{:02}:{:02}",
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
+    }
+}
+
+impl std::str::FromStr for SimTime {
+    type Err = String;
+
+    /// Parse the `Display` form, `day D hh:mm:ss`.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let rest = s
+            .strip_prefix("day ")
+            .ok_or_else(|| format!("SimTime must start with 'day ': {s:?}"))?;
+        let (day, clock) = rest
+            .split_once(' ')
+            .ok_or_else(|| format!("missing clock part in {s:?}"))?;
+        let day: u64 = day.parse().map_err(|e| format!("bad day in {s:?}: {e}"))?;
+        let mut parts = clock.split(':');
+        let mut next = |what: &str| -> Result<u64, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("missing {what} in {s:?}"))?
+                .parse()
+                .map_err(|e| format!("bad {what} in {s:?}: {e}"))
+        };
+        let (h, m, sec) = (next("hours")?, next("minutes")?, next("seconds")?);
+        if parts.next().is_some() {
+            return Err(format!("trailing clock fields in {s:?}"));
+        }
+        if h >= 24 || m >= 60 || sec >= 60 {
+            return Err(format!("clock fields out of range in {s:?}"));
+        }
+        Ok(SimTime::from_days(day).plus_secs(h * 3600 + m * 60 + sec))
     }
 }
 
@@ -81,7 +118,27 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(SimTime::from_days(2).plus_secs(3723).to_string(), "day 2 01:02:03");
+        assert_eq!(
+            SimTime::from_days(2).plus_secs(3723).to_string(),
+            "day 2 01:02:03"
+        );
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for t in [
+            SimTime::ZERO,
+            SimTime::from_days(2).plus_secs(3723),
+            SimTime::from_secs(86_399),
+        ] {
+            let parsed: SimTime = t.to_string().parse().unwrap();
+            assert_eq!(parsed, t);
+        }
+        assert!("2 01:02:03".parse::<SimTime>().is_err());
+        assert!("day x 01:02:03".parse::<SimTime>().is_err());
+        assert!("day 1 25:00:00".parse::<SimTime>().is_err());
+        assert!("day 1 01:02".parse::<SimTime>().is_err());
+        assert!("day 1 01:02:03:04".parse::<SimTime>().is_err());
     }
 
     #[test]

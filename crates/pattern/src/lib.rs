@@ -121,7 +121,11 @@ impl Pattern {
                 Some(span) => {
                     n += 1;
                     // Ensure forward progress on empty matches.
-                    at = if span.end > span.start { span.end } else { span.end + 1 };
+                    at = if span.end > span.start {
+                        span.end
+                    } else {
+                        span.end + 1
+                    };
                 }
                 None => break,
             }

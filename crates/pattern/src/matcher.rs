@@ -51,7 +51,11 @@ pub(crate) fn find_at(pattern: &Pattern, text: &str, from: usize) -> Option<Matc
 
 fn find_branch(branch: &Branch, text: &str, from: usize, fold: bool) -> Option<MatchSpan> {
     let starts: Vec<usize> = if branch.anchored_start {
-        if from == 0 { vec![0] } else { vec![] }
+        if from == 0 {
+            vec![0]
+        } else {
+            vec![]
+        }
     } else {
         // All char boundaries at or after `from`.
         let mut v: Vec<usize> = text
@@ -66,9 +70,11 @@ fn find_branch(branch: &Branch, text: &str, from: usize, fold: bool) -> Option<M
     };
 
     for start in starts {
-        if let Some(end) = match_tokens(&branch.tokens, &text[start..], fold, branch.anchored_end)
-        {
-            return Some(MatchSpan { start, end: start + end });
+        if let Some(end) = match_tokens(&branch.tokens, &text[start..], fold, branch.anchored_end) {
+            return Some(MatchSpan {
+                start,
+                end: start + end,
+            });
         }
     }
     None

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "pattern parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "pattern parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -70,7 +74,10 @@ fn split_alternation(source: &str) -> Result<Vec<BranchSrc>, ParseError> {
                 cur.push(c);
             }
             '|' if !in_class => {
-                out.push(BranchSrc { text: std::mem::take(&mut cur), offset: cur_start });
+                out.push(BranchSrc {
+                    text: std::mem::take(&mut cur),
+                    offset: cur_start,
+                });
                 cur_start = i + 1;
             }
             _ => cur.push(c),
@@ -82,7 +89,10 @@ fn split_alternation(source: &str) -> Result<Vec<BranchSrc>, ParseError> {
             message: "unterminated character class".into(),
         });
     }
-    out.push(BranchSrc { text: cur, offset: cur_start });
+    out.push(BranchSrc {
+        text: cur,
+        offset: cur_start,
+    });
     Ok(out)
 }
 
@@ -137,7 +147,11 @@ fn parse_branch(src: &BranchSrc, _full: &str) -> Result<Branch, ParseError> {
     }
     flush_literal(&mut tokens, &mut lit);
 
-    Ok(Branch { tokens, anchored_start, anchored_end })
+    Ok(Branch {
+        tokens,
+        anchored_start,
+        anchored_end,
+    })
 }
 
 fn ends_with_escaped_dollar(text: &str) -> bool {
@@ -239,11 +253,14 @@ mod tests {
 
     #[test]
     fn star_collapsing() {
-        assert_eq!(tokens("a**b"), vec![
-            Token::Literal("a".into()),
-            Token::AnyRun,
-            Token::Literal("b".into()),
-        ]);
+        assert_eq!(
+            tokens("a**b"),
+            vec![
+                Token::Literal("a".into()),
+                Token::AnyRun,
+                Token::Literal("b".into()),
+            ]
+        );
     }
 
     #[test]

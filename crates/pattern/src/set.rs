@@ -132,7 +132,10 @@ mod tests {
     fn iter_preserves_order() {
         let set = sample();
         let names: Vec<&str> = set.iter().map(|(n, _)| n).collect();
-        assert_eq!(names, vec!["bluecoat", "bluecoat", "netsweeper", "websense"]);
+        assert_eq!(
+            names,
+            vec!["bluecoat", "bluecoat", "netsweeper", "websense"]
+        );
     }
 
     #[test]

@@ -111,12 +111,7 @@ mod tests {
 
     #[test]
     fn base64_round_trip() {
-        for input in [
-            &b"http://starwasher.info/"[..],
-            b"",
-            b"a",
-            b"\x00\xff\x7f",
-        ] {
+        for input in [&b"http://starwasher.info/"[..], b"", b"a", b"\x00\xff\x7f"] {
             let enc = base64(input);
             assert_eq!(base64_decode(&enc).unwrap(), input, "{enc}");
         }

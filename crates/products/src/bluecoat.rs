@@ -214,7 +214,11 @@ mod tests {
         let req = Request::get(Url::parse("http://proxyhub.example/").unwrap());
         assert_eq!(bc.process_request(&req, &flow()), Verdict::Forward);
         let resp = bc.process_response(&req, Response::new(Status::OK), &flow());
-        assert!(resp.headers.get("Via").unwrap().contains("Blue Coat ProxySG"));
+        assert!(resp
+            .headers
+            .get("Via")
+            .unwrap()
+            .contains("Blue Coat ProxySG"));
         assert!(resp.headers.contains("X-BlueCoat-Via"));
     }
 

@@ -239,7 +239,8 @@ impl VendorCloud {
         }
 
         let (min, max) = inner.review_days;
-        let delay = min + filterwatch_netsim::rng::mix(inner.seed, &format!("delay/{key}")) % (max - min + 1);
+        let delay = min
+            + filterwatch_netsim::rng::mix(inner.seed, &format!("delay/{key}")) % (max - min + 1);
         let apply_at = now.plus_days(delay);
         inner.pending.push(Pending {
             key: key.clone(),
@@ -289,7 +290,9 @@ impl VendorCloud {
             return;
         }
         let (min, max) = inner.crawl_days;
-        let delay = min + filterwatch_netsim::rng::mix(inner.seed, &format!("crawl-delay/{key}")) % (max - min + 1);
+        let delay = min
+            + filterwatch_netsim::rng::mix(inner.seed, &format!("crawl-delay/{key}"))
+                % (max - min + 1);
         let apply_at = now.plus_days(delay);
         inner.pending.push(Pending {
             key: key.clone(),
@@ -362,7 +365,10 @@ impl Inner {
         while i < self.pending.len() {
             if self.pending[i].apply_at <= now {
                 let p = self.pending.swap_remove(i);
-                self.db.entry(p.key).or_default().push((p.category, p.apply_at));
+                self.db
+                    .entry(p.key)
+                    .or_default()
+                    .push((p.category, p.apply_at));
             } else {
                 i += 1;
             }
@@ -444,11 +450,17 @@ mod tests {
         );
         assert!(receipt.accepted, "{}", receipt.reason);
         let visible = receipt.visible_after.unwrap();
-        assert!((3..=4).contains(&visible.days()), "delay {} days", visible.days());
+        assert!(
+            (3..=4).contains(&visible.days()),
+            "delay {} days",
+            visible.days()
+        );
         assert_eq!(receipt.category.as_deref(), Some("Anonymizers"));
 
         // Before the review completes: uncategorized.
-        assert!(c.lookup(&url("http://starwasher.info/"), SimTime::from_days(1)).is_empty());
+        assert!(c
+            .lookup(&url("http://starwasher.info/"), SimTime::from_days(1))
+            .is_empty());
         // After: categorized.
         let after = c.lookup(&url("http://starwasher.info/"), SimTime::from_days(5));
         assert!(after.contains("Anonymizers"));
@@ -457,7 +469,11 @@ mod tests {
     #[test]
     fn submission_for_unknown_site_rejected() {
         let c = cloud();
-        let receipt = c.submit(&url("http://ghost.info/"), SubmitterProfile::NAIVE, SimTime::ZERO);
+        let receipt = c.submit(
+            &url("http://ghost.info/"),
+            SubmitterProfile::NAIVE,
+            SimTime::ZERO,
+        );
         assert!(!receipt.accepted);
         assert!(receipt.reason.contains("reviewer"));
     }
@@ -467,9 +483,17 @@ mod tests {
         let c = cloud();
         c.register_site_profile("target.info", Category::Pornography);
         c.set_reject_flaggable(true);
-        let naive = c.submit(&url("http://target.info/"), SubmitterProfile::NAIVE, SimTime::ZERO);
+        let naive = c.submit(
+            &url("http://target.info/"),
+            SubmitterProfile::NAIVE,
+            SimTime::ZERO,
+        );
         assert!(!naive.accepted);
-        let covert = c.submit(&url("http://target.info/"), SubmitterProfile::COVERT, SimTime::ZERO);
+        let covert = c.submit(
+            &url("http://target.info/"),
+            SubmitterProfile::COVERT,
+            SimTime::ZERO,
+        );
         assert!(covert.accepted, "{}", covert.reason);
     }
 
@@ -478,8 +502,12 @@ mod tests {
         let c = cloud();
         c.seed_categorization_at("newsite.info", "Pornography", SimTime::from_days(10));
         // A deployment frozen at day 5 never sees it.
-        assert!(c.lookup(&url("http://newsite.info/"), SimTime::from_days(5)).is_empty());
-        assert!(!c.lookup(&url("http://newsite.info/"), SimTime::from_days(10)).is_empty());
+        assert!(c
+            .lookup(&url("http://newsite.info/"), SimTime::from_days(5))
+            .is_empty());
+        assert!(!c
+            .lookup(&url("http://newsite.info/"), SimTime::from_days(10))
+            .is_empty());
     }
 
     #[test]
@@ -514,17 +542,31 @@ mod tests {
     #[test]
     fn path_keys_take_precedence() {
         let c = VendorCloud::new(ProductKind::Netsweeper, 1);
-        c.seed_categorization("denypagetests.netsweeper.com/category/catno/23", "Pornography");
-        c.seed_categorization("denypagetests.netsweeper.com/category/catno/36", "Proxy Anonymizer");
+        c.seed_categorization(
+            "denypagetests.netsweeper.com/category/catno/23",
+            "Pornography",
+        );
+        c.seed_categorization(
+            "denypagetests.netsweeper.com/category/catno/36",
+            "Proxy Anonymizer",
+        );
         let t = SimTime::ZERO;
         assert!(c
-            .lookup(&url("http://denypagetests.netsweeper.com/category/catno/23"), t)
+            .lookup(
+                &url("http://denypagetests.netsweeper.com/category/catno/23"),
+                t
+            )
             .contains("Pornography"));
         assert!(c
-            .lookup(&url("http://denypagetests.netsweeper.com/category/catno/36"), t)
+            .lookup(
+                &url("http://denypagetests.netsweeper.com/category/catno/36"),
+                t
+            )
             .contains("Proxy Anonymizer"));
         // The bare host is uncategorized.
-        assert!(c.lookup(&url("http://denypagetests.netsweeper.com/"), t).is_empty());
+        assert!(c
+            .lookup(&url("http://denypagetests.netsweeper.com/"), t)
+            .is_empty());
     }
 
     #[test]
@@ -532,7 +574,9 @@ mod tests {
         let c = cloud();
         c.seed_categorization("gallery.info", "Pornography");
         // Any subdomain of the registrable domain is covered.
-        assert!(!c.lookup(&url("http://cdn.img.gallery.info/x.jpg"), SimTime::ZERO).is_empty());
+        assert!(!c
+            .lookup(&url("http://cdn.img.gallery.info/x.jpg"), SimTime::ZERO)
+            .is_empty());
     }
 
     #[test]
@@ -541,7 +585,11 @@ mod tests {
         c.register_site_profile("a.info", Category::Pornography);
         c.set_acceptance_rate(0.0);
         // gen_bool(0.0) is invalid; acceptance>=1.0 shortcut used, so 0.0 must sample.
-        let r = c.submit(&url("http://a.info/"), SubmitterProfile::NAIVE, SimTime::ZERO);
+        let r = c.submit(
+            &url("http://a.info/"),
+            SubmitterProfile::NAIVE,
+            SimTime::ZERO,
+        );
         assert!(!r.accepted);
     }
 
@@ -550,7 +598,11 @@ mod tests {
         let c = cloud();
         c.seed_categorization("x.info", "Pornography");
         c.register_site_profile("y.info", Category::Pornography);
-        c.submit(&url("http://y.info/"), SubmitterProfile::NAIVE, SimTime::ZERO);
+        c.submit(
+            &url("http://y.info/"),
+            SubmitterProfile::NAIVE,
+            SimTime::ZERO,
+        );
         assert_eq!(c.db_size(SimTime::ZERO), 1);
         assert_eq!(c.db_size(SimTime::from_days(6)), 2);
         assert_eq!(c.intake_log().len(), 1);

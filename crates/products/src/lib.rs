@@ -31,8 +31,8 @@
 pub mod blockpage;
 pub mod bluecoat;
 pub mod catalog;
-pub mod license;
 pub mod cloud;
+pub mod license;
 pub mod netsweeper;
 pub mod policy;
 pub mod portal;

@@ -112,9 +112,6 @@ mod tests {
             effective_db_time(now, Some(SimTime::from_days(4))),
             SimTime::from_days(4)
         );
-        assert_eq!(
-            effective_db_time(now, Some(SimTime::from_days(20))),
-            now
-        );
+        assert_eq!(effective_db_time(now, Some(SimTime::from_days(20))), now);
     }
 }

@@ -285,7 +285,10 @@ mod tests {
             panic!("expected block")
         };
         let loc = resp.location().unwrap();
-        assert!(loc.starts_with("http://gw.ooredoo.qa:8080/webadmin/deny?"), "{loc}");
+        assert!(
+            loc.starts_with("http://gw.ooredoo.qa:8080/webadmin/deny?"),
+            "{loc}"
+        );
         assert!(loc.contains("dpid=36"), "{loc}"); // Proxy Anonymizer catno
     }
 
@@ -301,7 +304,10 @@ mod tests {
         )
         .with_queueing();
         let req = Request::get(Url::parse("http://newproxy.info/").unwrap());
-        assert_eq!(ns.process_request(&req, &flow(SimTime::ZERO)), Verdict::Forward);
+        assert_eq!(
+            ns.process_request(&req, &flow(SimTime::ZERO)),
+            Verdict::Forward
+        );
         // The access queued the site; days later it is blocked without
         // any submission.
         let later = flow(SimTime::from_days(10));
@@ -315,10 +321,18 @@ mod tests {
     fn no_queueing_without_flag() {
         let c = cloud();
         c.register_site_profile("quiet.info", Category::AnonymizersProxies);
-        let ns = NetsweeperBox::new("ns", Arc::clone(&c), FilterPolicy::blocking(["Proxy Anonymizer"]), "gw");
+        let ns = NetsweeperBox::new(
+            "ns",
+            Arc::clone(&c),
+            FilterPolicy::blocking(["Proxy Anonymizer"]),
+            "gw",
+        );
         let req = Request::get(Url::parse("http://quiet.info/").unwrap());
         ns.process_request(&req, &flow(SimTime::ZERO));
-        assert_eq!(ns.process_request(&req, &flow(SimTime::from_days(10))), Verdict::Forward);
+        assert_eq!(
+            ns.process_request(&req, &flow(SimTime::from_days(10))),
+            Verdict::Forward
+        );
     }
 
     #[test]
@@ -383,7 +397,9 @@ mod tests {
             assert!(resp.body_text().contains(&format!("catno {n}")));
         }
         let missing = site.handle(
-            &Request::get(Url::parse(&format!("http://{DENYPAGETESTS_HOST}/category/catno/67")).unwrap()),
+            &Request::get(
+                Url::parse(&format!("http://{DENYPAGETESTS_HOST}/category/catno/67")).unwrap(),
+            ),
             &svc_ctx(),
         );
         assert!(missing.status.is_error());
@@ -398,7 +414,12 @@ mod tests {
     fn seeded_denypagetests_block_per_category() {
         let c = cloud();
         seed_denypagetests(&c);
-        let ns = NetsweeperBox::new("ns", Arc::clone(&c), FilterPolicy::blocking(["Pornography"]), "gw");
+        let ns = NetsweeperBox::new(
+            "ns",
+            Arc::clone(&c),
+            FilterPolicy::blocking(["Pornography"]),
+            "gw",
+        );
         let blocked = ns.process_request(
             &Request::get(
                 Url::parse(&format!("http://{DENYPAGETESTS_HOST}/category/catno/23")).unwrap(),

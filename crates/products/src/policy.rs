@@ -126,7 +126,12 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let p = FilterPolicy::allow_all().and_block("Gambling").and_block("Drugs");
-        assert_eq!(p.blocked_categories().collect::<Vec<_>>(), vec!["Drugs", "Gambling"]);
+        let p = FilterPolicy::allow_all()
+            .and_block("Gambling")
+            .and_block("Drugs");
+        assert_eq!(
+            p.blocked_categories().collect::<Vec<_>>(),
+            vec!["Drugs", "Gambling"]
+        );
     }
 }

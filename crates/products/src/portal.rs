@@ -62,7 +62,12 @@ impl SubmissionPortal {
 
     /// Derive the submitter profile the vendor would infer from this
     /// request: who sent it, from where, hosting what.
-    fn infer_profile(&self, req: &Request, ctx: &ServiceCtx, host_ip: Option<&str>) -> SubmitterProfile {
+    fn infer_profile(
+        &self,
+        req: &Request,
+        ctx: &ServiceCtx,
+        host_ip: Option<&str>,
+    ) -> SubmitterProfile {
         let via_proxy = !self
             .research_prefixes
             .iter()
@@ -75,15 +80,13 @@ impl SubmissionPortal {
                     .any(|d| e.to_ascii_lowercase().ends_with(d))
             })
             .unwrap_or(false);
-        let popular_hosting = match host_ip.and_then(|t| t.parse::<filterwatch_netsim::IpAddr>().ok()) {
-            Some(ip) => self
-                .popular_hosting_prefixes
-                .iter()
-                .any(|p| p.contains(ip)),
-            // Unknown hosting: give the submitter the benefit of the
-            // doubt (the vendor cannot key on what it cannot resolve).
-            None => true,
-        };
+        let popular_hosting =
+            match host_ip.and_then(|t| t.parse::<filterwatch_netsim::IpAddr>().ok()) {
+                Some(ip) => self.popular_hosting_prefixes.iter().any(|p| p.contains(ip)),
+                // Unknown hosting: give the submitter the benefit of the
+                // doubt (the vendor cannot key on what it cannot resolve).
+                None => true,
+            };
         SubmitterProfile {
             via_proxy,
             webmail_address,
@@ -170,7 +173,10 @@ mod tests {
     #[test]
     fn accepted_submission_lands_in_cloud() {
         let (cloud, portal) = setup(false);
-        let resp = portal.handle(&submit_req("a@freemail.example", "5.0.4.1"), &ctx("1.2.3.4"));
+        let resp = portal.handle(
+            &submit_req("a@freemail.example", "5.0.4.1"),
+            &ctx("1.2.3.4"),
+        );
         assert!(resp.status.is_success());
         let later = SimTime::from_days(10);
         assert!(!cloud
@@ -185,12 +191,18 @@ mod tests {
         // institutional address: silently disregarded.
         let _ = portal.handle(&submit_req("a@university.edu", "5.0.4.1"), &ctx("9.9.9.7"));
         assert!(cloud
-            .lookup(&Url::parse("http://target.info/").unwrap(), SimTime::from_days(10))
+            .lookup(
+                &Url::parse("http://target.info/").unwrap(),
+                SimTime::from_days(10)
+            )
             .is_empty());
         // Same submission, proxied and from webmail: accepted.
         let _ = portal.handle(&submit_req("a@webmail.example", "5.0.4.1"), &ctx("7.7.7.7"));
         assert!(!cloud
-            .lookup(&Url::parse("http://target.info/").unwrap(), SimTime::from_days(10))
+            .lookup(
+                &Url::parse("http://target.info/").unwrap(),
+                SimTime::from_days(10)
+            )
             .is_empty());
     }
 
@@ -200,7 +212,10 @@ mod tests {
         // Covert submitter but the domain sits on unknown niche space.
         let _ = portal.handle(&submit_req("a@webmail.example", "8.8.1.1"), &ctx("7.7.7.7"));
         assert!(cloud
-            .lookup(&Url::parse("http://target.info/").unwrap(), SimTime::from_days(10))
+            .lookup(
+                &Url::parse("http://target.info/").unwrap(),
+                SimTime::from_days(10)
+            )
             .is_empty());
     }
 
@@ -211,7 +226,10 @@ mod tests {
             Url::parse("http://portal.vendor.example/submit").unwrap(),
             "email=x@y.example",
         );
-        assert_eq!(portal.handle(&bad, &ctx("1.2.3.4")).status, Status::BAD_REQUEST);
+        assert_eq!(
+            portal.handle(&bad, &ctx("1.2.3.4")).status,
+            Status::BAD_REQUEST
+        );
         let unparseable = Request::post_form(
             Url::parse("http://portal.vendor.example/submit").unwrap(),
             "url=ht!tp://bro ken/",
@@ -228,7 +246,10 @@ mod tests {
         // researcher learns the outcome only by retesting).
         let (_, accepting) = setup(false);
         let (_, screening) = setup(true);
-        let ok = accepting.handle(&submit_req("a@freemail.example", "5.0.4.1"), &ctx("1.1.1.1"));
+        let ok = accepting.handle(
+            &submit_req("a@freemail.example", "5.0.4.1"),
+            &ctx("1.1.1.1"),
+        );
         let silently_dropped =
             screening.handle(&submit_req("a@university.edu", "5.0.4.1"), &ctx("9.9.9.1"));
         assert_eq!(ok.body_text(), silently_dropped.body_text());

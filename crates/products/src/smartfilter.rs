@@ -56,7 +56,12 @@ impl SmartFilterBox {
 
     fn block_page(&self, url: &str, category: &str) -> Response {
         if self.strip_branding {
-            explicit_block_page("Notification", "Access restricted by network policy", url, category)
+            explicit_block_page(
+                "Notification",
+                "Access restricted by network policy",
+                url,
+                category,
+            )
         } else {
             explicit_block_page(
                 "McAfee Web Gateway - Notification",
@@ -147,8 +152,14 @@ mod tests {
             panic!("expected block")
         };
         assert_eq!(page.status, Status::FORBIDDEN);
-        assert_eq!(page.title(), Some("McAfee Web Gateway - Notification".into()));
-        assert_eq!(page.headers.get("Via-Proxy"), Some("McAfee Web Gateway 7.3"));
+        assert_eq!(
+            page.title(),
+            Some("McAfee Web Gateway - Notification".into())
+        );
+        assert_eq!(
+            page.headers.get("Via-Proxy"),
+            Some("McAfee Web Gateway 7.3")
+        );
 
         // Proxy category exists in the DB but is not in this policy
         // (Challenge 1: Saudi Arabia's deployment).
@@ -211,16 +222,26 @@ mod tests {
     fn uses_oni_category_submissions() {
         // End-to-end with the cloud: submit a proxy site, retest later.
         let (cloud, _) = setup();
-        let sf = SmartFilterBox::new("sf", Arc::clone(&cloud), FilterPolicy::blocking(["Anonymizers"]));
+        let sf = SmartFilterBox::new(
+            "sf",
+            Arc::clone(&cloud),
+            FilterPolicy::blocking(["Anonymizers"]),
+        );
         cloud.register_site_profile("starwasher.info", Category::AnonymizersProxies);
         let req = Request::get(Url::parse("http://starwasher.info/").unwrap());
-        assert_eq!(sf.process_request(&req, &flow(SimTime::ZERO)), Verdict::Forward);
+        assert_eq!(
+            sf.process_request(&req, &flow(SimTime::ZERO)),
+            Verdict::Forward
+        );
         cloud.submit(
             &Url::parse("http://starwasher.info/").unwrap(),
             crate::SubmitterProfile::NAIVE,
             SimTime::ZERO,
         );
         let later = flow(SimTime::from_days(5));
-        assert!(matches!(sf.process_request(&req, &later), Verdict::Respond(_)));
+        assert!(matches!(
+            sf.process_request(&req, &later),
+            Verdict::Respond(_)
+        ));
     }
 }

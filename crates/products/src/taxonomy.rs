@@ -54,9 +54,18 @@ fn smartfilter(cat: Category) -> &'static str {
         Lgbt => "Lifestyle",
         ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Religion/Ideology",
         MediaFreedom => "General News",
-        HumanRights | PoliticalReform | OppositionParties | CriticismOfGovernment
-        | PoliticalSatire | Corruption | Elections | WomensRights | MinorityGroups
-        | EnvironmentalActivism | ForeignRelations | SecurityServices => "Politics/Opinion",
+        HumanRights
+        | PoliticalReform
+        | OppositionParties
+        | CriticismOfGovernment
+        | PoliticalSatire
+        | Corruption
+        | Elections
+        | WomensRights
+        | MinorityGroups
+        | EnvironmentalActivism
+        | ForeignRelations
+        | SecurityServices => "Politics/Opinion",
         EmailProviders => "Web Mail",
         Hosting => "Web Hosting",
         SearchEngines => "Search Engines",
@@ -82,11 +91,18 @@ fn bluecoat(cat: Category) -> &'static str {
         Lgbt => "LGBT",
         ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Religion",
         MediaFreedom => "News/Media",
-        HumanRights | PoliticalReform | OppositionParties | CriticismOfGovernment
-        | PoliticalSatire | Corruption | Elections | WomensRights | MinorityGroups
-        | EnvironmentalActivism | ForeignRelations | SecurityServices => {
-            "Political/Social Advocacy"
-        }
+        HumanRights
+        | PoliticalReform
+        | OppositionParties
+        | CriticismOfGovernment
+        | PoliticalSatire
+        | Corruption
+        | Elections
+        | WomensRights
+        | MinorityGroups
+        | EnvironmentalActivism
+        | ForeignRelations
+        | SecurityServices => "Political/Social Advocacy",
         EmailProviders => "Email",
         Hosting => "Web Hosting",
         SearchEngines => "Search Engines/Portals",
@@ -113,8 +129,14 @@ fn netsweeper(cat: Category) -> &'static str {
         ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Religion",
         MediaFreedom => "News",
         HumanRights | WomensRights | MinorityGroups | EnvironmentalActivism => "Human Rights",
-        PoliticalReform | OppositionParties | CriticismOfGovernment | PoliticalSatire
-        | Corruption | Elections | ForeignRelations | SecurityServices => "Politics",
+        PoliticalReform
+        | OppositionParties
+        | CriticismOfGovernment
+        | PoliticalSatire
+        | Corruption
+        | Elections
+        | ForeignRelations
+        | SecurityServices => "Politics",
         EmailProviders => "Web Mail",
         Hosting => "Hosting Sites",
         SearchEngines => "Search Engines",
@@ -140,9 +162,18 @@ fn websense(cat: Category) -> &'static str {
         Lgbt => "Gay or Lesbian or Bisexual Interest",
         ReligiousCriticism | MinorityFaiths | ReligiousConversion => "Non-Traditional Religions",
         MediaFreedom => "News and Media",
-        HumanRights | PoliticalReform | OppositionParties | CriticismOfGovernment
-        | PoliticalSatire | Corruption | Elections | WomensRights | MinorityGroups
-        | EnvironmentalActivism | ForeignRelations | SecurityServices => "Advocacy Groups",
+        HumanRights
+        | PoliticalReform
+        | OppositionParties
+        | CriticismOfGovernment
+        | PoliticalSatire
+        | Corruption
+        | Elections
+        | WomensRights
+        | MinorityGroups
+        | EnvironmentalActivism
+        | ForeignRelations
+        | SecurityServices => "Advocacy Groups",
         EmailProviders => "Web-based Email",
         Hosting => "Web Hosting",
         SearchEngines => "Search Engines and Portals",
@@ -163,72 +194,72 @@ fn websense(cat: Category) -> &'static str {
 /// categories the deny-page test site exposes (§4.4). Catno 23 is pinned
 /// to "Pornography" to match the paper's example URL.
 pub const NETSWEEPER_CATEGORIES: [&str; 66] = [
-    "Adult Images",        // 1
-    "Alcohol",             // 2
+    "Adult Images",           // 1
+    "Alcohol",                // 2
     "Alternative Lifestyles", // 3
-    "Arts",                // 4
-    "Business",            // 5
-    "Chat",                // 6
-    "Criminal Skills",     // 7
-    "Dating",              // 8
-    "Substance Abuse",     // 9
-    "Education",           // 10
-    "Entertainment",       // 11
-    "Extremism",           // 12
-    "File Sharing",        // 13
-    "Finance",             // 14
-    "Gambling",            // 15
-    "Games",               // 16
-    "Government",          // 17
-    "Hacking",             // 18
-    "Health",              // 19
-    "Hosting Sites",       // 20
-    "Human Rights",        // 21
-    "Humor",               // 22
-    "Pornography",         // 23 (pinned: paper example catno)
-    "Intranet",            // 24
-    "Job Search",          // 25
-    "Kids",                // 26
-    "Lingerie",            // 27
-    "Matrimonial",         // 28
-    "Multimedia",          // 29
-    "News",                // 30
-    "Occult",              // 31
-    "Phishing",            // 32
-    "Politics",            // 33
-    "Portals",             // 34
-    "Profanity",           // 35
-    "Proxy Anonymizer",    // 36
-    "Real Estate",         // 37
-    "Religion",            // 38
-    "Search Engines",      // 39
-    "Search Keywords",     // 40
-    "Sex Education",       // 41
-    "Shopping",            // 42
-    "Social Networking",   // 43
-    "Sports",              // 44
-    "Technology",          // 45
-    "Travel",              // 46
-    "Viruses",             // 47
-    "Weapons",             // 48
-    "Web Mail",            // 49
-    "Journals and Blogs",  // 50
-    "Photo Sharing",       // 51
-    "Translation Sites",   // 52
-    "Advertising",         // 53
-    "Auctions",            // 54
-    "Automotive",          // 55
-    "Directory",           // 56
-    "Fashion",             // 57
-    "Food",                // 58
-    "General",             // 59
-    "Hobbies",             // 60
-    "Military",            // 61
-    "Mobile Phones",       // 62
-    "Pets",                // 63
-    "Ringtones",           // 64
-    "Society",             // 65
-    "Uncategorized",       // 66
+    "Arts",                   // 4
+    "Business",               // 5
+    "Chat",                   // 6
+    "Criminal Skills",        // 7
+    "Dating",                 // 8
+    "Substance Abuse",        // 9
+    "Education",              // 10
+    "Entertainment",          // 11
+    "Extremism",              // 12
+    "File Sharing",           // 13
+    "Finance",                // 14
+    "Gambling",               // 15
+    "Games",                  // 16
+    "Government",             // 17
+    "Hacking",                // 18
+    "Health",                 // 19
+    "Hosting Sites",          // 20
+    "Human Rights",           // 21
+    "Humor",                  // 22
+    "Pornography",            // 23 (pinned: paper example catno)
+    "Intranet",               // 24
+    "Job Search",             // 25
+    "Kids",                   // 26
+    "Lingerie",               // 27
+    "Matrimonial",            // 28
+    "Multimedia",             // 29
+    "News",                   // 30
+    "Occult",                 // 31
+    "Phishing",               // 32
+    "Politics",               // 33
+    "Portals",                // 34
+    "Profanity",              // 35
+    "Proxy Anonymizer",       // 36
+    "Real Estate",            // 37
+    "Religion",               // 38
+    "Search Engines",         // 39
+    "Search Keywords",        // 40
+    "Sex Education",          // 41
+    "Shopping",               // 42
+    "Social Networking",      // 43
+    "Sports",                 // 44
+    "Technology",             // 45
+    "Travel",                 // 46
+    "Viruses",                // 47
+    "Weapons",                // 48
+    "Web Mail",               // 49
+    "Journals and Blogs",     // 50
+    "Photo Sharing",          // 51
+    "Translation Sites",      // 52
+    "Advertising",            // 53
+    "Auctions",               // 54
+    "Automotive",             // 55
+    "Directory",              // 56
+    "Fashion",                // 57
+    "Food",                   // 58
+    "General",                // 59
+    "Hobbies",                // 60
+    "Military",               // 61
+    "Mobile Phones",          // 62
+    "Pets",                   // 63
+    "Ringtones",              // 64
+    "Society",                // 65
+    "Uncategorized",          // 66
 ];
 
 /// Catno (1-based) for a Netsweeper category name, if it is part of the
@@ -267,12 +298,24 @@ mod tests {
     fn case_study_categories_land_where_the_paper_says() {
         use Category::*;
         // §4.3: SmartFilter proxies → the anonymizers/proxy category.
-        assert_eq!(vendor_category(ProductKind::SmartFilter, AnonymizersProxies), "Anonymizers");
-        assert_eq!(vendor_category(ProductKind::SmartFilter, Pornography), "Pornography");
+        assert_eq!(
+            vendor_category(ProductKind::SmartFilter, AnonymizersProxies),
+            "Anonymizers"
+        );
+        assert_eq!(
+            vendor_category(ProductKind::SmartFilter, Pornography),
+            "Pornography"
+        );
         // §4.5: Blue Coat submissions went to "Proxy avoidance".
-        assert_eq!(vendor_category(ProductKind::BlueCoat, AnonymizersProxies), "Proxy Avoidance");
+        assert_eq!(
+            vendor_category(ProductKind::BlueCoat, AnonymizersProxies),
+            "Proxy Avoidance"
+        );
         // §4.4: Netsweeper proxy anonymizer category.
-        assert_eq!(vendor_category(ProductKind::Netsweeper, AnonymizersProxies), "Proxy Anonymizer");
+        assert_eq!(
+            vendor_category(ProductKind::Netsweeper, AnonymizersProxies),
+            "Proxy Anonymizer"
+        );
     }
 
     #[test]
@@ -311,7 +354,13 @@ mod tests {
     fn yemennet_blocked_categories_exist() {
         // §4.4: "five categories were blocked: adult images, phishing,
         // pornography, proxy anonymizers, and search keywords."
-        for name in ["Adult Images", "Phishing", "Pornography", "Proxy Anonymizer", "Search Keywords"] {
+        for name in [
+            "Adult Images",
+            "Phishing",
+            "Pornography",
+            "Proxy Anonymizer",
+            "Search Keywords",
+        ] {
             assert!(netsweeper_catno(name).is_some(), "{name}");
         }
     }
@@ -322,7 +371,11 @@ mod tests {
             let cats = vendor_categories(product);
             let set: BTreeSet<&str> = cats.iter().copied().collect();
             assert_eq!(set.len(), cats.len(), "{product}");
-            assert!(cats.len() >= 15, "{product} scheme too small: {}", cats.len());
+            assert!(
+                cats.len() >= 15,
+                "{product} scheme too small: {}",
+                cats.len()
+            );
         }
     }
 }

@@ -126,7 +126,11 @@ pub struct WebsenseBlockpage;
 impl Service for WebsenseBlockpage {
     fn handle(&self, req: &Request, _ctx: &ServiceCtx) -> Response {
         if req.url.path().starts_with("/cgi-bin/blockpage.cgi") {
-            let category = req.url.query_param("cat").unwrap_or("Restricted").replace('+', " ");
+            let category = req
+                .url
+                .query_param("cat")
+                .unwrap_or("Restricted")
+                .replace('+', " ");
             let url = req.url.query_param("url").unwrap_or("(unknown)");
             let session = req.url.query_param("ws-session").unwrap_or("0");
             return Response::html(html::page(
@@ -181,7 +185,12 @@ mod tests {
 
     #[test]
     fn block_redirects_to_port_15871_with_session() {
-        let ws = WebsenseBox::new("ws", cloud(), FilterPolicy::blocking(["Adult Content"]), "gw.texas-util.us");
+        let ws = WebsenseBox::new(
+            "ws",
+            cloud(),
+            FilterPolicy::blocking(["Adult Content"]),
+            "gw.texas-util.us",
+        );
         let Verdict::Respond(resp) = ws.process_request(
             &Request::get(Url::parse("http://adultsite.example/").unwrap()),
             &flow(SimTime::ZERO),
@@ -205,9 +214,18 @@ mod tests {
     fn frozen_subscription_reproduces_yemen_2009() {
         let c = cloud();
         // A site categorized after the vendor pulled updates.
-        c.seed_categorization_at("new-adult.example", "Adult Content", SimTime::from_days(100));
-        let ws = WebsenseBox::new("ws@yemen", Arc::clone(&c), FilterPolicy::blocking(["Adult Content"]), "gw")
-            .with_frozen_subscription(SimTime::from_days(50));
+        c.seed_categorization_at(
+            "new-adult.example",
+            "Adult Content",
+            SimTime::from_days(100),
+        );
+        let ws = WebsenseBox::new(
+            "ws@yemen",
+            Arc::clone(&c),
+            FilterPolicy::blocking(["Adult Content"]),
+            "gw",
+        )
+        .with_frozen_subscription(SimTime::from_days(50));
         // Old entries still block…
         assert!(matches!(
             ws.process_request(
@@ -228,11 +246,21 @@ mod tests {
 
     #[test]
     fn license_pool_causes_intermittent_filtering() {
-        let ws = WebsenseBox::new("ws", cloud(), FilterPolicy::blocking(["Adult Content"]), "gw")
-            .with_license_pool(LicensePool::new(5, 10, 3, "yemen-ws"));
+        let ws = WebsenseBox::new(
+            "ws",
+            cloud(),
+            FilterPolicy::blocking(["Adult Content"]),
+            "gw",
+        )
+        .with_license_pool(LicensePool::new(5, 10, 3, "yemen-ws"));
         let req = Request::get(Url::parse("http://adultsite.example/").unwrap());
         let outcomes: Vec<bool> = (0..50)
-            .map(|_| matches!(ws.process_request(&req, &flow(SimTime::ZERO)), Verdict::Respond(_)))
+            .map(|_| {
+                matches!(
+                    ws.process_request(&req, &flow(SimTime::ZERO)),
+                    Verdict::Respond(_)
+                )
+            })
             .collect();
         assert!(outcomes.iter().any(|&b| b), "never blocked");
         assert!(outcomes.iter().any(|&b| !b), "never bypassed");
@@ -266,8 +294,13 @@ mod tests {
 
     #[test]
     fn stripped_branding_blocks_inline() {
-        let ws = WebsenseBox::new("ws", cloud(), FilterPolicy::blocking(["Adult Content"]), "gw")
-            .with_stripped_branding();
+        let ws = WebsenseBox::new(
+            "ws",
+            cloud(),
+            FilterPolicy::blocking(["Adult Content"]),
+            "gw",
+        )
+        .with_stripped_branding();
         let Verdict::Respond(resp) = ws.process_request(
             &Request::get(Url::parse("http://adultsite.example/").unwrap()),
             &flow(SimTime::ZERO),

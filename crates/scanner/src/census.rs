@@ -151,7 +151,11 @@ mod tests {
         let mut asndb = AsnDb::new();
         for &(cidr, asn_id) in net.registry().prefixes() {
             let rec = net.registry().as_record(asn_id).unwrap();
-            geo.add_range(cidr.first().value(), cidr.last().value(), rec.country.as_str());
+            geo.add_range(
+                cidr.first().value(),
+                cidr.last().value(),
+                rec.country.as_str(),
+            );
             asndb.add_range(
                 cidr.first().value(),
                 cidr.last().value(),

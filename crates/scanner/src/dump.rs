@@ -153,10 +153,8 @@ impl IndexDiff {
 /// Compare two snapshots by `(ip, port, path)` endpoint key.
 pub fn diff(older: &ScanIndex, newer: &ScanIndex) -> IndexDiff {
     let key = |r: &ScanRecord| format!("{}:{}{}", r.ip, r.port, r.path);
-    let old: BTreeMap<String, &ScanRecord> =
-        older.records().iter().map(|r| (key(r), r)).collect();
-    let new: BTreeMap<String, &ScanRecord> =
-        newer.records().iter().map(|r| (key(r), r)).collect();
+    let old: BTreeMap<String, &ScanRecord> = older.records().iter().map(|r| (key(r), r)).collect();
+    let new: BTreeMap<String, &ScanRecord> = newer.records().iter().map(|r| (key(r), r)).collect();
 
     let mut out = IndexDiff::default();
     for (k, rec) in &new {
@@ -196,7 +194,11 @@ mod tests {
     fn dump_round_trip() {
         let index = ScanIndex::from_records(vec![
             rec("5.0.0.1", 80, "HTTP/1.1 200 OK\r\nServer: x\r\n"),
-            rec("5.0.0.2", 8080, "HTTP/1.1 401 Unauthorized\r\nServer: netsweeper\r\n"),
+            rec(
+                "5.0.0.2",
+                8080,
+                "HTTP/1.1 401 Unauthorized\r\nServer: netsweeper\r\n",
+            ),
         ]);
         let dump = index.to_dump();
         let restored = ScanIndex::from_dump(&dump).unwrap();

@@ -11,12 +11,8 @@ use crate::record::ScanRecord;
 /// address. Port 8080's `/webadmin/` is probed because crawlers record
 /// well-known management-console paths (and Table 2's `8080/webadmin/`
 /// keyword needs them in the index).
-pub const DEFAULT_PROBES: &[(u16, &str)] = &[
-    (80, "/"),
-    (8080, "/"),
-    (8080, "/webadmin/"),
-    (15871, "/"),
-];
+pub const DEFAULT_PROBES: &[(u16, &str)] =
+    &[(80, "/"), (8080, "/"), (8080, "/webadmin/"), (15871, "/")];
 
 /// How many bytes of body the index keeps per record.
 const SNIPPET_LEN: usize = 400;
@@ -66,23 +62,44 @@ impl ScanEngine {
     /// the index. Country/ASN metadata comes from the registry ground
     /// truth (as Shodan's geolocation feed would supply).
     pub fn scan(&self, net: &Internet) -> ScanIndex {
+        let telemetry = net.telemetry().clone();
+        let span = telemetry.span_start(
+            filterwatch_telemetry::stage::SCAN,
+            "address-space sweep",
+            net.now().secs(),
+        );
         let ips: Vec<IpAddr> = net
             .registry()
             .prefixes()
             .iter()
             .flat_map(|(cidr, _)| cidr.iter())
             .collect();
+        telemetry.event(
+            net.now().secs(),
+            "scan.start",
+            &[("ips", &ips.len().to_string())],
+        );
         let records = Mutex::new(Vec::new());
 
         let chunk = ips.len().div_ceil(self.threads).max(1);
         {
             let records = &records;
+            let telemetry = &telemetry;
             crossbeam::thread::scope(|scope| {
                 for slice in ips.chunks(chunk) {
                     scope.spawn(move |_| {
                         let mut local = Vec::new();
                         for &ip in slice {
                             self.probe_ip(net, ip, &mut local);
+                        }
+                        telemetry.counter_add(
+                            "scan.probes",
+                            "",
+                            (slice.len() * self.probes.len()) as u64,
+                        );
+                        telemetry.counter_add("scan.banners", "", local.len() as u64);
+                        for r in &local {
+                            telemetry.observe("scan.banner_bytes", "", r.body_snippet.len() as f64);
                         }
                         records.lock().extend(local);
                     });
@@ -93,6 +110,12 @@ impl ScanEngine {
 
         let mut records = records.into_inner();
         records.sort_by(|a, b| (a.ip, a.port, &a.path).cmp(&(b.ip, b.port, &b.path)));
+        telemetry.event(
+            net.now().secs(),
+            "scan.done",
+            &[("records", &records.len().to_string())],
+        );
+        telemetry.span_end(span, net.now().secs());
         ScanIndex::from_records(records)
     }
 
@@ -146,11 +169,18 @@ mod tests {
         net.add_service(
             ip,
             8080,
-            Box::new(StaticSite::new("Netsweeper WebAdmin", "<p>login</p>").with_server("netsweeper/5.1")),
+            Box::new(
+                StaticSite::new("Netsweeper WebAdmin", "<p>login</p>")
+                    .with_server("netsweeper/5.1"),
+            ),
         );
         let web_ip = net.alloc_ip(isp).unwrap();
         net.add_host(web_ip, isp, &["www.ooredoo.qa"]);
-        net.add_service(web_ip, 80, Box::new(StaticSite::new("Ooredoo", "<p>portal</p>")));
+        net.add_service(
+            web_ip,
+            80,
+            Box::new(StaticSite::new("Ooredoo", "<p>portal</p>")),
+        );
         net
     }
 

@@ -72,7 +72,9 @@ impl ScanIndex {
             .into_iter()
             .filter(|r| {
                 r.country.as_deref() == Some(cc.as_str())
-                    || r.hostnames.iter().any(|h| h.to_ascii_lowercase().ends_with(&suffix))
+                    || r.hostnames
+                        .iter()
+                        .any(|h| h.to_ascii_lowercase().ends_with(&suffix))
             })
             .collect()
     }

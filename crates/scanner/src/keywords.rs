@@ -53,9 +53,13 @@ mod tests {
     #[test]
     fn table2_contents() {
         assert_eq!(keywords_for("bluecoat"), Some(&["proxysg", "cfru="][..]));
-        assert!(keywords_for("netsweeper").unwrap().contains(&"8080/webadmin/"));
+        assert!(keywords_for("netsweeper")
+            .unwrap()
+            .contains(&"8080/webadmin/"));
         assert!(keywords_for("websense").unwrap().contains(&"blockpage.cgi"));
-        assert!(keywords_for("smartfilter").unwrap().contains(&"mcafee web gateway"));
+        assert!(keywords_for("smartfilter")
+            .unwrap()
+            .contains(&"mcafee web gateway"));
         assert_eq!(keywords_for("unknown"), None);
     }
 

@@ -1,0 +1,208 @@
+//! The structured event log and its stable line encoding.
+//!
+//! One event per line:
+//!
+//! ```text
+//! v<secs>\t<kind>\t<key>=<value>\t<key>=<value>…
+//! ```
+//!
+//! `kind` and keys are restricted to `[a-z0-9_.-]`; values may contain
+//! anything, with `\\`, tab and newline escaped (`\\\\`, `\\t`, `\\n`)
+//! — the same discipline as the scanner's dump format. `parse_line`
+//! inverts `to_line` exactly, and [`to_dump`]/[`from_dump`] wrap a whole
+//! log with a versioned header for persistence.
+
+/// One structured event at a virtual-clock instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual-clock seconds.
+    pub at_secs: u64,
+    /// Event kind, lowercase dotted (`fetch.intercepted`,
+    /// `submission.accepted`, …).
+    pub kind: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Magic first line of an event-log dump.
+pub const MAGIC: &str = "filterwatch-telemetry-events v1";
+
+fn valid_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'_' | b'.' | b'-')
+        })
+}
+
+/// Escape a value for one tab-separated field.
+pub fn escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Returns `None` on a dangling or unknown escape.
+pub fn unescape(value: &str) -> Option<String> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+impl Event {
+    /// Build an event, validating the kind and keys.
+    pub fn new(at_secs: u64, kind: &str, fields: &[(&str, &str)]) -> Self {
+        assert!(valid_token(kind), "invalid event kind {kind:?}");
+        for (k, _) in fields {
+            assert!(valid_token(k), "invalid event key {k:?}");
+        }
+        Event {
+            at_secs,
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Encode as one stable line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut line = format!("v{}\t{}", self.at_secs, self.kind);
+        for (k, v) in &self.fields {
+            line.push('\t');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&escape(v));
+        }
+        line
+    }
+
+    /// Parse a line produced by [`Event::to_line`].
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let mut parts = line.split('\t');
+        let at = parts.next().ok_or("empty line")?;
+        let secs: u64 = at
+            .strip_prefix('v')
+            .ok_or_else(|| format!("timestamp must start with 'v': {at:?}"))?
+            .parse()
+            .map_err(|e| format!("bad timestamp {at:?}: {e}"))?;
+        let kind = parts.next().ok_or("missing event kind")?;
+        if !valid_token(kind) {
+            return Err(format!("invalid event kind {kind:?}"));
+        }
+        let mut fields = Vec::new();
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("field without '=': {part:?}"))?;
+            if !valid_token(k) {
+                return Err(format!("invalid event key {k:?}"));
+            }
+            let v = unescape(v).ok_or_else(|| format!("bad escape in value {v:?}"))?;
+            fields.push((k.to_string(), v));
+        }
+        Ok(Event {
+            at_secs: secs,
+            kind: kind.to_string(),
+            fields,
+        })
+    }
+
+    /// Value of the first field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Serialize a whole event log with a versioned header.
+pub fn to_dump(events: &[Event]) -> String {
+    let mut out = String::from(MAGIC);
+    out.push('\n');
+    for e in events {
+        out.push_str(&e.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a dump produced by [`to_dump`].
+pub fn from_dump(dump: &str) -> Result<Vec<Event>, String> {
+    let mut lines = dump.lines();
+    match lines.next() {
+        Some(MAGIC) => {}
+        other => return Err(format!("bad event dump header: {other:?}")),
+    }
+    lines.map(Event::parse_line).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_round_trips() {
+        let e = Event::new(
+            86_461,
+            "submission.accepted",
+            &[
+                ("vendor", "smartfilter"),
+                ("url", "http://x.example/a\tb"),
+                ("note", "line1\nline2\\end"),
+            ],
+        );
+        let line = e.to_line();
+        assert!(line.starts_with("v86461\tsubmission.accepted\tvendor=smartfilter"));
+        assert_eq!(Event::parse_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Event::parse_line("86461\tx").is_err());
+        assert!(Event::parse_line("vnope\tx").is_err());
+        assert!(Event::parse_line("v1\tBadKind").is_err());
+        assert!(Event::parse_line("v1\tok\tfieldnoeq").is_err());
+        assert!(Event::parse_line("v1\tok\tk=trailing\\").is_err());
+    }
+
+    #[test]
+    fn dump_round_trips() {
+        let events = vec![
+            Event::new(0, "scan.start", &[]),
+            Event::new(5, "scan.done", &[("hosts", "12")]),
+        ];
+        let dump = to_dump(&events);
+        assert_eq!(from_dump(&dump).unwrap(), events);
+        assert!(from_dump("wrong header\n").is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = Event::new(1, "x", &[("a", "1"), ("b", "2")]);
+        assert_eq!(e.field("b"), Some("2"));
+        assert_eq!(e.field("c"), None);
+    }
+}

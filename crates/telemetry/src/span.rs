@@ -1,0 +1,46 @@
+//! Span records: nested stage timings on the virtual clock.
+
+/// Opaque identifier of an open span. The zero id is reserved for the
+/// disabled handle and is ignored by `span_end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The id handed out by a disabled handle; closing it is a no-op.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this id refers to a recorded span.
+    pub fn is_recorded(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// One finished (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Identifier, unique within one collector, starting at 1.
+    pub id: u64,
+    /// Enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Stage name, normally one of [`crate::stage`].
+    pub stage: &'static str,
+    /// Free-form instance label (ISP, case-study name, …).
+    pub label: String,
+    /// Virtual-clock start, in seconds.
+    pub v_start: u64,
+    /// Virtual-clock end, in seconds; equals `v_start` while open.
+    pub v_end: u64,
+    /// Wall-clock time spent inside the span, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Nesting depth (0 for root spans).
+    pub depth: u32,
+    /// Whether `span_end` was called.
+    pub closed: bool,
+}
+
+impl SpanRecord {
+    /// Elapsed virtual seconds.
+    pub fn v_elapsed(&self) -> u64 {
+        self.v_end.saturating_sub(self.v_start)
+    }
+}

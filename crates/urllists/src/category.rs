@@ -201,7 +201,10 @@ mod tests {
 
     #[test]
     fn display_uses_name() {
-        assert_eq!(Category::Lgbt.to_string(), "Gay and lesbian content (non-pornographic)");
+        assert_eq!(
+            Category::Lgbt.to_string(),
+            "Gay and lesbian content (non-pornographic)"
+        );
         assert_eq!(Theme::InternetTools.to_string(), "Internet tools");
     }
 }

@@ -258,7 +258,9 @@ mod tests {
         assert_eq!(hosts.len(), list.len());
         for (h, u) in hosts.iter().zip(&list.urls) {
             assert!(u.url.contains(h));
-            assert!(h.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'));
+            assert!(h
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'));
         }
     }
 }

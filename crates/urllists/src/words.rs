@@ -7,23 +7,20 @@
 
 /// Non-profane everyday words used to mint controlled domains.
 pub const WORDS: &[&str] = &[
-    "acorn", "amber", "anchor", "apple", "arrow", "aspen", "autumn", "badger",
-    "bamboo", "barley", "basket", "beacon", "birch", "bison", "blossom", "breeze",
-    "brook", "butter", "candle", "canyon", "carrot", "cedar", "cherry", "cliff",
-    "clover", "cobble", "copper", "coral", "cotton", "cradle", "cricket", "crystal",
-    "daisy", "dapple", "dawn", "drift", "ember", "fable", "falcon", "feather",
-    "fern", "fiddle", "flint", "forest", "fountain", "garden", "gentle", "ginger",
-    "glacier", "grove", "harbor", "hazel", "heather", "hollow", "honey", "horizon",
-    "island", "ivory", "jasper", "juniper", "kettle", "lagoon", "lantern", "laurel",
-    "lilac", "linen", "lunar", "maple", "marble", "meadow", "mellow", "mineral",
-    "mist", "morning", "moss", "mountain", "nectar", "nimble", "oak", "ocean",
-    "olive", "orchard", "otter", "pearl", "pebble", "pepper", "pine", "plume",
-    "pond", "poplar", "prairie", "quill", "rain", "raven", "reed", "ripple",
-    "river", "robin", "rustic", "saffron", "sage", "sand", "shadow", "shell",
-    "silver", "sleet", "slope", "snow", "sparrow", "spring", "spruce", "star",
-    "stone", "stream", "summer", "sunset", "swan", "thistle", "timber", "topaz",
-    "trellis", "tulip", "umber", "valley", "velvet", "violet", "walnut", "washer",
-    "willow", "winter", "wren", "zephyr",
+    "acorn", "amber", "anchor", "apple", "arrow", "aspen", "autumn", "badger", "bamboo", "barley",
+    "basket", "beacon", "birch", "bison", "blossom", "breeze", "brook", "butter", "candle",
+    "canyon", "carrot", "cedar", "cherry", "cliff", "clover", "cobble", "copper", "coral",
+    "cotton", "cradle", "cricket", "crystal", "daisy", "dapple", "dawn", "drift", "ember", "fable",
+    "falcon", "feather", "fern", "fiddle", "flint", "forest", "fountain", "garden", "gentle",
+    "ginger", "glacier", "grove", "harbor", "hazel", "heather", "hollow", "honey", "horizon",
+    "island", "ivory", "jasper", "juniper", "kettle", "lagoon", "lantern", "laurel", "lilac",
+    "linen", "lunar", "maple", "marble", "meadow", "mellow", "mineral", "mist", "morning", "moss",
+    "mountain", "nectar", "nimble", "oak", "ocean", "olive", "orchard", "otter", "pearl", "pebble",
+    "pepper", "pine", "plume", "pond", "poplar", "prairie", "quill", "rain", "raven", "reed",
+    "ripple", "river", "robin", "rustic", "saffron", "sage", "sand", "shadow", "shell", "silver",
+    "sleet", "slope", "snow", "sparrow", "spring", "spruce", "star", "stone", "stream", "summer",
+    "sunset", "swan", "thistle", "timber", "topaz", "trellis", "tulip", "umber", "valley",
+    "velvet", "violet", "walnut", "washer", "willow", "winter", "wren", "zephyr",
 ];
 
 #[cfg(test)]

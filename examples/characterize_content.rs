@@ -53,6 +53,11 @@ fn main() {
             .filter(|&c| ch.column_marked(c))
             .map(|c| c.name())
             .collect();
-        println!("  {product} in {} (AS {}): {}", ch.country, ch.asn, themes.join(", "));
+        println!(
+            "  {product} in {} (AS {}): {}",
+            ch.country,
+            ch.asn,
+            themes.join(", ")
+        );
     }
 }

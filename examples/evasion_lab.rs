@@ -42,5 +42,7 @@ fn main() {
         "installations identified: {}; censorship confirmed: {}; vendor attributed: {}",
         s.installations_found, s.confirmation_succeeded, s.vendor_attributed
     );
-    println!("Even fully dark, a censoring deployment cannot hide from its own submission channel.");
+    println!(
+        "Even fully dark, a censoring deployment cannot hide from its own submission channel."
+    );
 }

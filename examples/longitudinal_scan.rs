@@ -65,7 +65,11 @@ fn main() {
         origin,
         intercepted
     );
-    for rec in log.iter().filter(|r| r.disposition.was_intercepted()).take(3) {
+    for rec in log
+        .iter()
+        .filter(|r| r.disposition.was_intercepted())
+        .take(3)
+    {
         println!("  e.g. {}", rec.to_line());
     }
     world.net.set_flow_log(false);

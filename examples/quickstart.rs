@@ -71,6 +71,10 @@ fn main() {
     );
     println!(
         "==> Netsweeper {} for censorship in Ooredoo",
-        if result.confirmed { "CONFIRMED" } else { "not confirmed" }
+        if result.confirmed {
+            "CONFIRMED"
+        } else {
+            "not confirmed"
+        }
     );
 }

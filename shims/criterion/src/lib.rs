@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro and builder surface the filterwatch benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, `black_box` — backed by
+//! a simple warmup-plus-measure loop that prints median ns/iter. No
+//! statistical analysis, plots or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched setup's cost relates to the routine (ignored by the
+/// shim; batches are always rebuilt per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target wall time spent measuring each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Target wall time spent warming up each benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark and print its median time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            budget: self.warm_up_time,
+            warmup: true,
+        };
+        // Warmup pass: also calibrates iterations per sample.
+        f(&mut bencher);
+        bencher.warmup = false;
+        bencher.budget = self.measurement_time;
+        bencher.samples.clear();
+        let mut runs = 0usize;
+        while bencher.samples.len() < self.sample_size && runs < self.sample_size * 4 {
+            f(&mut bencher);
+            runs += 1;
+        }
+        let mut samples = bencher.samples;
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
+        println!(
+            "bench: {:<40} {:>12} ns/iter (n={})",
+            name,
+            median,
+            samples.len()
+        );
+        self
+    }
+
+    /// Run all registered groups (used by `criterion_main!`).
+    pub fn final_summary(&self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<u64>,
+    iters_per_sample: u64,
+    budget: Duration,
+    warmup: bool,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.warmup {
+            // Calibrate so one sample is roughly 1ms of work.
+            let start = Instant::now();
+            let mut iters: u64 = 0;
+            while start.elapsed() < self.budget.min(Duration::from_millis(50)) {
+                black_box(routine());
+                iters += 1;
+            }
+            self.iters_per_sample = (iters / 50).max(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.samples
+            .push((elapsed.as_nanos() / u128::from(self.iters_per_sample)) as u64);
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup cost is not
+    /// included in the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.warmup {
+            black_box(routine(setup()));
+            self.iters_per_sample = 1;
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.iters_per_sample.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.samples
+            .push((total.as_nanos() / u128::from(iters.max(1))) as u64);
+    }
+}
+
+/// Define a benchmark group. Supports both the positional form
+/// `criterion_group!(benches, f, g)` and the config form
+/// `criterion_group!{ name = benches; config = expr; targets = f, g }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!{
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("shim_smoke", |b| b.iter(|| black_box(1u64) + 1));
+        c.bench_function("shim_batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 16],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        tiny_bench(&mut c);
+    }
+}

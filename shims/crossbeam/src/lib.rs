@@ -1,0 +1,59 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented over
+//! `std::thread::scope` (stable since Rust 1.63). A panicking worker
+//! propagates out of `scope` as a panic rather than an `Err`, which is
+//! equivalent for callers that `.expect()` the result — as filterwatch
+//! does.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to the closure of [`scope`]; spawned
+    /// threads may borrow from the enclosing environment.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker inside the scope. The closure receives the
+        /// scope again so workers can themselves spawn.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_borrowing_works() {
+            let data = [1u32, 2, 3, 4];
+            let sum = std::sync::Mutex::new(0u32);
+            super::scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        let part: u32 = chunk.iter().sum();
+                        *sum.lock().unwrap() += part;
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(sum.into_inner().unwrap(), 10);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Character strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Pick a printable, non-control character: mostly ASCII, with some
+/// Latin-1, Greek and CJK so multi-byte handling gets exercised.
+pub(crate) fn printable_char(rng: &mut TestRng) -> char {
+    let roll = rng.below(100);
+    let c = if roll < 70 {
+        // Printable ASCII.
+        char::from_u32(rng.in_range_inclusive(0x20, 0x7e) as u32)
+    } else if roll < 85 {
+        // Latin-1 supplement letters (skipping U+00AD, a format char).
+        let v = rng.in_range_inclusive(0xa1, 0xff) as u32;
+        char::from_u32(if v == 0xad { 0xe9 } else { v })
+    } else if roll < 95 {
+        // Greek.
+        char::from_u32(rng.in_range_inclusive(0x391, 0x3c9) as u32)
+    } else {
+        // CJK.
+        char::from_u32(rng.in_range_inclusive(0x4e00, 0x4fff) as u32)
+    };
+    c.unwrap_or('x')
+}
+
+/// Strategy over printable characters.
+#[derive(Debug, Clone, Copy)]
+pub struct CharStrategy;
+
+impl Strategy for CharStrategy {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        printable_char(rng)
+    }
+}
+
+/// Any printable character.
+pub fn any() -> CharStrategy {
+    CharStrategy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_control_chars() {
+        let mut rng = TestRng::for_case("char", 0);
+        for _ in 0..500 {
+            let c = printable_char(&mut rng);
+            assert!(!c.is_control(), "control char generated: {c:?}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive-exclusive size bound, converted from a usize (exact
+/// size), a `Range`, or a `RangeInclusive`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.in_range_inclusive(self.min as u64, self.max_inclusive as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy producing `BTreeSet`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // Collisions shrink the set below target; cap the attempts so a
+        // tiny element domain cannot loop forever.
+        let mut attempts = target * 20 + 16;
+        while set.len() < target && attempts > 0 {
+            set.insert(self.element.generate(rng));
+            attempts -= 1;
+        }
+        set
+    }
+}
+
+/// Sets of `size` distinct elements drawn from `element`.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_sizes() {
+        let mut rng = TestRng::for_case("collection", 0);
+        for _ in 0..100 {
+            let v = vec(any::<u32>(), 0..20).generate(&mut rng);
+            assert!(v.len() < 20);
+            let exact = vec(any::<u32>(), 7usize).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+
+    #[test]
+    fn btree_set_is_distinct() {
+        let mut rng = TestRng::for_case("collection-set", 0);
+        for _ in 0..50 {
+            let s = btree_set(any::<u64>(), 2..18).generate(&mut rng);
+            assert!((2..18).contains(&s.len()));
+        }
+    }
+}

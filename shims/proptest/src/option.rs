@@ -1,0 +1,49 @@
+//! `option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<T>` (roughly 3:1 `Some` to `None`).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Some` values from `inner`, or `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::for_case("option", 0);
+        let strat = of(Just(9u8));
+        let mut some = false;
+        let mut none = false;
+        for _ in 0..64 {
+            match strat.generate(&mut rng) {
+                Some(9) => some = true,
+                None => none = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(some && none);
+    }
+}

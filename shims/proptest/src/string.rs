@@ -1,0 +1,358 @@
+//! Regex-subset string strategies: `"[a-z]{1,8}\\.[a-z]{2,4}"` etc.
+//!
+//! A `&'static str` is itself a `Strategy<Value = String>`, as in
+//! upstream proptest. The supported dialect is the subset the
+//! filterwatch suite uses:
+//!
+//! * literal characters and `\x` escapes (`\.` `\[` `\]` `\\` `\n`
+//!   `\t` `\r`);
+//! * `\PC` — any printable (non-control) character;
+//! * character classes `[a-z0-9-]`, including ranges, leading `^`
+//!   negation and `&&[^…]` intersection with a negated class;
+//! * groups `( … )`;
+//! * repetition `{n}`, `{m,n}`, `*` (0–8), `+` (1–8), `?`.
+//!
+//! Alternation (`|`) and anchors are not supported.
+
+use crate::char::printable_char;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::iter::Peekable;
+use std::str::Chars;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let seq = parse_pattern(self);
+        let mut out = String::new();
+        emit_seq(&seq, rng, &mut out);
+        out
+    }
+}
+
+/// One pattern element plus its repetition bounds.
+struct Rep {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+enum Node {
+    Lit(char),
+    /// `\PC` — any printable character.
+    AnyPrintable,
+    Class(Class),
+    Group(Vec<Rep>),
+}
+
+struct Class {
+    negated: bool,
+    include: Vec<(char, char)>,
+    /// Ranges removed via `&&[^…]` intersection.
+    exclude: Vec<(char, char)>,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Rep> {
+    let mut chars = pattern.chars().peekable();
+    let seq = parse_seq(&mut chars, false);
+    assert!(
+        chars.peek().is_none(),
+        "trailing characters in pattern {pattern:?}"
+    );
+    seq
+}
+
+fn parse_seq(chars: &mut Peekable<Chars>, in_group: bool) -> Vec<Rep> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unmatched ')' in pattern");
+            chars.next();
+            return seq;
+        }
+        let node = parse_atom(chars);
+        let (min, max) = parse_repetition(chars);
+        seq.push(Rep { node, min, max });
+    }
+    assert!(!in_group, "unterminated group in pattern");
+    seq
+}
+
+fn parse_atom(chars: &mut Peekable<Chars>) -> Node {
+    match chars.next().expect("empty atom") {
+        '(' => Node::Group(parse_seq(chars, true)),
+        '[' => Node::Class(parse_class(chars)),
+        '\\' => match chars.next().expect("dangling backslash") {
+            'P' => {
+                assert_eq!(chars.next(), Some('C'), "only \\PC is supported");
+                Node::AnyPrintable
+            }
+            'n' => Node::Lit('\n'),
+            't' => Node::Lit('\t'),
+            'r' => Node::Lit('\r'),
+            other => Node::Lit(other),
+        },
+        other => Node::Lit(other),
+    }
+}
+
+fn parse_class(chars: &mut Peekable<Chars>) -> Class {
+    let mut class = Class {
+        negated: false,
+        include: Vec::new(),
+        exclude: Vec::new(),
+    };
+    if chars.peek() == Some(&'^') {
+        chars.next();
+        class.negated = true;
+    }
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '&' if chars.peek() == Some(&'&') => {
+                chars.next();
+                assert_eq!(
+                    chars.next(),
+                    Some('['),
+                    "class intersection must be with a bracketed class"
+                );
+                let nested = parse_class(chars);
+                assert!(
+                    nested.negated,
+                    "only intersection with a negated class is supported"
+                );
+                class.exclude.extend(nested.include);
+            }
+            _ => {
+                let lo = class_char(c, chars);
+                // A '-' forms a range unless it is the last item.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek() != Some(&']') {
+                        chars.next();
+                        let hic = chars.next().expect("unterminated class range");
+                        let hi = class_char(hic, chars);
+                        assert!(lo <= hi, "inverted class range {lo:?}-{hi:?}");
+                        class.include.push((lo, hi));
+                        continue;
+                    }
+                }
+                class.include.push((lo, lo));
+            }
+        }
+    }
+    assert!(
+        !class.include.is_empty(),
+        "character class generated nothing"
+    );
+    class
+}
+
+fn class_char(c: char, chars: &mut Peekable<Chars>) -> char {
+    if c != '\\' {
+        return c;
+    }
+    match chars.next().expect("dangling backslash in class") {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_repetition(chars: &mut Peekable<Chars>) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let min = parse_number(chars);
+            let max = if chars.peek() == Some(&',') {
+                chars.next();
+                parse_number(chars)
+            } else {
+                min
+            };
+            assert_eq!(chars.next(), Some('}'), "unterminated repetition");
+            assert!(min <= max, "inverted repetition bounds");
+            (min, max)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(chars: &mut Peekable<Chars>) -> u32 {
+    let mut n: u32 = 0;
+    let mut any = false;
+    while let Some(&c) = chars.peek() {
+        match c.to_digit(10) {
+            Some(d) => {
+                chars.next();
+                n = n * 10 + d;
+                any = true;
+            }
+            None => break,
+        }
+    }
+    assert!(any, "expected a number in repetition");
+    n
+}
+
+fn emit_seq(seq: &[Rep], rng: &mut TestRng, out: &mut String) {
+    for rep in seq {
+        let count = rng.in_range_inclusive(u64::from(rep.min), u64::from(rep.max));
+        for _ in 0..count {
+            emit_node(&rep.node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::AnyPrintable => out.push(printable_char(rng)),
+        Node::Class(class) => out.push(emit_class(class, rng)),
+        Node::Group(seq) => emit_seq(seq, rng, out),
+    }
+}
+
+fn emit_class(class: &Class, rng: &mut TestRng) -> char {
+    if class.negated {
+        // Standalone negated class: printable ASCII outside the set.
+        for _ in 0..256 {
+            let c = char::from_u32(rng.in_range_inclusive(0x20, 0x7e) as u32).unwrap();
+            if !in_ranges(c, &class.include) {
+                return c;
+            }
+        }
+        panic!("negated class excludes all printable ASCII");
+    }
+    let total: u64 = class
+        .include
+        .iter()
+        .map(|&(lo, hi)| u64::from(hi as u32 - lo as u32 + 1))
+        .sum();
+    for _ in 0..256 {
+        let mut pick = rng.below(total);
+        let mut chosen = None;
+        for &(lo, hi) in &class.include {
+            let size = u64::from(hi as u32 - lo as u32 + 1);
+            if pick < size {
+                chosen = char::from_u32(lo as u32 + pick as u32);
+                break;
+            }
+            pick -= size;
+        }
+        let c = chosen.expect("class pick out of bounds");
+        if !in_ranges(c, &class.exclude) {
+            return c;
+        }
+    }
+    // Excludes keep rejecting random picks: scan for any allowed char.
+    for &(lo, hi) in &class.include {
+        for v in lo as u32..=hi as u32 {
+            if let Some(c) = char::from_u32(v) {
+                if !in_ranges(c, &class.exclude) {
+                    return c;
+                }
+            }
+        }
+    }
+    panic!("class intersection excludes every character");
+}
+
+fn in_ranges(c: char, ranges: &[(char, char)]) -> bool {
+    ranges.iter().any(|&(lo, hi)| lo <= c && c <= hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &'static str, case: u32) -> String {
+        let mut rng = TestRng::for_case(pattern, case);
+        pattern.generate(&mut rng)
+    }
+
+    #[test]
+    fn simple_classes_and_repetition() {
+        for case in 0..100 {
+            let s = gen("[a-z]{1,8}\\.[a-z]{2,4}", case);
+            let (name, tld) = s.split_once('.').expect("dot present");
+            assert!((1..=8).contains(&name.len()), "bad {s:?}");
+            assert!((2..=4).contains(&tld.len()));
+            assert!(name.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(tld.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn groups_with_repetition() {
+        for case in 0..100 {
+            let s = gen("[a-z]{2,6}(\\.[a-z][a-z0-9-]{0,8}){0,3}", case);
+            for (i, label) in s.split('.').enumerate() {
+                assert!(!label.is_empty(), "empty label in {s:?}");
+                if i > 0 {
+                    assert!(label.chars().next().unwrap().is_ascii_lowercase());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_intersection_excludes() {
+        for case in 0..200 {
+            let s = gen("[ -~&&[^<>&\"']]{0,40}", case);
+            assert!(s.len() <= 40);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c));
+                assert!(!"<>&\"'".contains(c), "excluded char in {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn metachar_class_literals() {
+        for case in 0..200 {
+            let s = gen("[a-z*?\\[\\]^$|\\\\0-9-]{1,20}", case);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "*?[]^$|\\-".contains(c),
+                    "unexpected {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn any_printable_is_never_control() {
+        for case in 0..50 {
+            let s = gen("\\PC{0,300}", case);
+            assert!(s.chars().all(|c| !c.is_control()), "control in {s:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_literals() {
+        for case in 0..50 {
+            let s = gen("(/[a-z0-9]{0,6}){0,3}", case);
+            if !s.is_empty() {
+                assert!(s.starts_with('/'));
+            }
+            assert_eq!(gen("http", case), "http");
+        }
+    }
+}

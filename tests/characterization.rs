@@ -20,14 +20,16 @@ fn table4_marks_match_configured_policies() {
         })
         .collect();
 
-    let find = |key: &str| -> &Vec<&str> {
-        &marks.iter().find(|(k, _)| k.contains(key)).unwrap().1
-    };
+    let find =
+        |key: &str| -> &Vec<&str> { &marks.iter().find(|(k, _)| k.contains(key)).unwrap().1 };
 
     // Etisalat (SmartFilter): news, politics, lifestyle categories on.
     let etisalat = find("5384");
     for theme in ["Media Freedom", "Human Rights", "Political Reform", "LGBT"] {
-        assert!(etisalat.contains(&theme), "etisalat missing {theme}: {etisalat:?}");
+        assert!(
+            etisalat.contains(&theme),
+            "etisalat missing {theme}: {etisalat:?}"
+        );
     }
     // YemenNet: operator custom denies for media/rights/reform.
     let yemen = find("12486");
@@ -68,10 +70,7 @@ fn local_lists_surface_country_specific_blocking() {
     let world = World::paper(DEFAULT_SEED);
     let ch = characterize(&world, "yemennet", 2, 3);
     let global = TestList::global(2);
-    let client = filterwatch_measure::MeasurementClient::new(
-        world.field("yemennet"),
-        world.lab(),
-    );
+    let client = filterwatch_measure::MeasurementClient::new(world.field("yemennet"), world.lab());
     for cat in [Category::MediaFreedom, Category::HumanRights] {
         // Blocked overall (via the local list)…
         assert!(ch.per_category[&cat].0 > 0, "{cat}");

@@ -18,7 +18,12 @@ fn table3_reproduces_paper_rows_exactly() {
         ("Blue Coat / UAE / Etisalat", 3, 0, false),
         ("Blue Coat / Qatar / Ooredoo", 3, 0, false),
         ("McAfee SmartFilter / Qatar / Ooredoo", 5, 0, false),
-        ("McAfee SmartFilter / Saudi Arabia / Bayanat Al-Oula", 5, 5, true),
+        (
+            "McAfee SmartFilter / Saudi Arabia / Bayanat Al-Oula",
+            5,
+            5,
+            true,
+        ),
         ("McAfee SmartFilter / Saudi Arabia / Nournet", 5, 5, true),
         ("McAfee SmartFilter / UAE / Etisalat", 5, 5, true),
         ("McAfee SmartFilter / UAE / Etisalat", 5, 5, true),
@@ -52,19 +57,35 @@ fn smartfilter_blocks_appear_only_after_review_delay() {
     let cloud = world.cloud(ProductKind::SmartFilter).clone();
 
     for s in &sites {
-        assert!(client.test_url(&world.net, &s.test_url()).verdict.is_accessible());
+        assert!(client
+            .test_url(&world.net, &s.test_url())
+            .verdict
+            .is_accessible());
     }
-    let receipt = cloud.submit(&sites[0].submit_url(), SubmitterProfile::NAIVE, world.net.now());
+    let receipt = cloud.submit(
+        &sites[0].submit_url(),
+        SubmitterProfile::NAIVE,
+        world.net.now(),
+    );
     assert!(receipt.accepted);
 
     // One day later: review still pending, both accessible.
     world.net.advance_days(1);
-    assert!(client.test_url(&world.net, &sites[0].test_url()).verdict.is_accessible());
+    assert!(client
+        .test_url(&world.net, &sites[0].test_url())
+        .verdict
+        .is_accessible());
 
     // After the review window: submitted blocked, holdout untouched.
     world.net.advance_days(4);
-    assert!(client.test_url(&world.net, &sites[0].test_url()).verdict.is_blocked());
-    assert!(client.test_url(&world.net, &sites[1].test_url()).verdict.is_accessible());
+    assert!(client
+        .test_url(&world.net, &sites[0].test_url())
+        .verdict
+        .is_blocked());
+    assert!(client
+        .test_url(&world.net, &sites[1].test_url())
+        .verdict
+        .is_accessible());
 }
 
 #[test]
@@ -125,9 +146,17 @@ fn netsweeper_queueing_blocks_holdouts_eventually() {
     world.net.advance_days(11);
     let blocked = sites
         .iter()
-        .filter(|s| client.test_url(&world.net, &s.test_url()).verdict.is_blocked())
+        .filter(|s| {
+            client
+                .test_url(&world.net, &s.test_url())
+                .verdict
+                .is_blocked()
+        })
         .count();
-    assert_eq!(blocked, 2, "accessed-but-never-submitted sites were queued and blocked");
+    assert_eq!(
+        blocked, 2,
+        "accessed-but-never-submitted sites were queued and blocked"
+    );
 }
 
 #[test]
@@ -158,7 +187,10 @@ fn confirmation_works_over_the_http_portal() {
     let mut world = World::paper(DEFAULT_SEED);
     let site = world.create_controlled_site(SiteKind::AdultImages);
     let client = MeasurementClient::new(world.field("nournet"), world.lab());
-    assert!(client.test_url(&world.net, &site.test_url()).verdict.is_accessible());
+    assert!(client
+        .test_url(&world.net, &site.test_url())
+        .verdict
+        .is_accessible());
 
     let portal = filterwatch_core::World::portal_host(ProductKind::SmartFilter);
     let form = format!(
@@ -178,7 +210,10 @@ fn confirmation_works_over_the_http_portal() {
 
     world.net.advance_days(5);
     assert!(
-        client.test_url(&world.net, &site.test_url()).verdict.is_blocked(),
+        client
+            .test_url(&world.net, &site.test_url())
+            .verdict
+            .is_blocked(),
         "portal-submitted site should be blocked after review"
     );
 }

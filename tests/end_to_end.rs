@@ -69,7 +69,11 @@ fn world_is_deterministic_per_seed() {
         let mut world = World::paper(seed);
         let specs = table3_specs();
         let r = run_case_study(&mut world, &specs[7]);
-        (r.submitted_blocked, r.holdout_blocked, r.submissions_accepted)
+        (
+            r.submitted_blocked,
+            r.holdout_blocked,
+            r.submissions_accepted,
+        )
     };
     assert_eq!(run(99), run(99));
     // And the identification pipeline is too.

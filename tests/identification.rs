@@ -109,7 +109,9 @@ fn figure1_shape_matches_paper_claims() {
 
     // Blue Coat's breadth: South America, Europe, Asia, Middle East, US.
     let bc = &fig1[&ProductKind::BlueCoat];
-    for cc in ["AR", "CL", "FI", "SE", "PH", "TH", "TW", "IL", "LB", "US", "SY"] {
+    for cc in [
+        "AR", "CL", "FI", "SE", "PH", "TH", "TW", "IL", "LB", "US", "SY",
+    ] {
         assert!(bc.contains(cc), "Blue Coat missing {cc}: {bc:?}");
     }
     // Netsweeper: US edu/backbone plus Qatar, UAE, Yemen.

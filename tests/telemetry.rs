@@ -1,0 +1,147 @@
+//! Integration: telemetry across a full measurement campaign.
+//!
+//! The campaign is the auditable entry point, so these tests drive the
+//! real pipeline end to end and assert on what the collector saw: span
+//! nesting across stages, per-vendor verdict counters, the
+//! fetch-latency histogram, and the event log's dump/restore loop.
+//! They also pin the zero-cost contract: a world without an enabled
+//! handle records nothing at all.
+
+use filterwatch_core::confirm::{run_case_study, table3_specs};
+use filterwatch_core::{Campaign, World, DEFAULT_SEED};
+use filterwatch_telemetry::{event, stage, TelemetryHandle};
+
+#[test]
+fn campaign_telemetry_nests_stages_and_counts_verdicts() {
+    let report = Campaign::standard(DEFAULT_SEED).run();
+    let snap = &report.telemetry;
+
+    // One root campaign span, closed, parentless.
+    let campaigns = snap.spans_staged(stage::CAMPAIGN);
+    assert_eq!(campaigns.len(), 1);
+    let root = campaigns[0];
+    assert!(root.closed);
+    assert_eq!(root.parent, None);
+    assert_eq!(root.depth, 0);
+
+    // Identify nests under the campaign; the scan sweep nests under
+    // identify.
+    let identify = snap.spans_staged(stage::IDENTIFY);
+    assert_eq!(identify.len(), 1);
+    assert_eq!(identify[0].parent, Some(root.id));
+    let scans = snap.spans_staged(stage::SCAN);
+    assert!(!scans.is_empty());
+    assert_eq!(scans[0].parent, Some(identify[0].id));
+    assert_eq!(scans[0].depth, 2);
+
+    // Ten case studies → ten submit and ten retest spans, all direct
+    // children of the campaign, each retest starting after its submit
+    // span ended (the vendor review period passes in between).
+    let submits = snap.spans_staged(stage::CONFIRM_SUBMIT);
+    let retests = snap.spans_staged(stage::CONFIRM_RETEST);
+    assert_eq!(submits.len(), 10);
+    assert_eq!(retests.len(), 10);
+    for (submit, retest) in submits.iter().zip(&retests) {
+        assert_eq!(submit.parent, Some(root.id));
+        assert_eq!(retest.parent, Some(root.id));
+        assert!(submit.closed && retest.closed);
+        assert_eq!(submit.label, retest.label);
+        assert!(
+            retest.v_start >= submit.v_end + 4 * 86_400,
+            "{}: retest at {} before review period after {}",
+            retest.label,
+            retest.v_start,
+            submit.v_end
+        );
+    }
+
+    // One characterize span per distinct confirmed ISP.
+    assert_eq!(
+        snap.spans_staged(stage::CHARACTERIZE).len(),
+        report.characterizations.len()
+    );
+
+    // Per-vendor middlebox verdict counters: every confirmed vendor
+    // rendered verdicts, and every recorded count is non-zero.
+    let verdicts = snap.counters_named("middlebox.verdict");
+    assert!(!verdicts.is_empty());
+    for &(vendor, n) in &verdicts {
+        assert!(n > 0, "{vendor} recorded zero verdicts");
+    }
+    for vendor in ["smartfilter", "netsweeper"] {
+        assert!(
+            verdicts.iter().any(|(v, _)| v.contains(vendor)),
+            "no verdicts attributed to {vendor}: {verdicts:?}"
+        );
+    }
+
+    // Every fetch landed in the wall-latency histogram.
+    let latency = snap
+        .histogram_named("fetch.wall_nanos")
+        .expect("latency histogram");
+    assert!(latency.total > 0);
+    assert_eq!(
+        latency.total,
+        snap.counters_named("fetch.total")
+            .iter()
+            .map(|&(_, n)| n)
+            .sum::<u64>()
+    );
+
+    // The event log carries one confirmation verdict per case study and
+    // survives dump → restore byte-identically.
+    let verdict_events: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.kind == "confirm.verdict")
+        .collect();
+    assert_eq!(verdict_events.len(), 10);
+    assert_eq!(
+        verdict_events
+            .iter()
+            .filter(|e| e.field("confirmed") == Some("yes"))
+            .count(),
+        report.confirmed_count()
+    );
+    let restored = event::from_dump(&event::to_dump(&snap.events)).expect("dump parses");
+    assert_eq!(restored, snap.events);
+
+    // The rendered report embeds the telemetry readout.
+    let md = report.to_markdown();
+    assert!(md.contains("## Telemetry"));
+    assert!(md.contains("middlebox.verdict"));
+}
+
+#[test]
+fn standalone_case_study_records_queue_depth_and_submissions() {
+    let mut world = World::paper(DEFAULT_SEED);
+    world.net.set_telemetry(TelemetryHandle::enabled());
+    let spec = &table3_specs()[3]; // SmartFilter / Bayanat Al-Oula
+    let result = run_case_study(&mut world, spec);
+    assert!(result.confirmed);
+
+    let snap = world.net.telemetry().snapshot();
+    assert_eq!(
+        snap.counters_named("confirm.submissions"),
+        vec![("smartfilter", spec.n_submit as u64)]
+    );
+    // The queue drained by the end of the retest.
+    assert_eq!(snap.gauges.len(), 1);
+    assert_eq!(snap.gauges[0].name, "confirm.queue_depth");
+    assert_eq!(snap.gauges[0].value, 0);
+    // Submit and retest spans both recorded, top-level here (no
+    // campaign wrapper).
+    assert_eq!(snap.spans_staged(stage::CONFIRM_SUBMIT).len(), 1);
+    assert_eq!(snap.spans_staged(stage::CONFIRM_RETEST).len(), 1);
+    assert!(snap.spans.iter().all(|s| s.parent.is_none() && s.closed));
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let mut world = World::paper(DEFAULT_SEED);
+    assert!(!world.net.telemetry().is_enabled());
+    let spec = &table3_specs()[0];
+    let _ = run_case_study(&mut world, spec);
+    assert!(world.net.telemetry().snapshot().is_empty());
+    assert_eq!(world.net.telemetry().counter_total("fetch.total"), 0);
+}
