@@ -1,0 +1,62 @@
+//! Cost of the retry engine on the fetch path.
+//!
+//! Three rungs: the plain single-shot `fetch` (the seed's behaviour),
+//! `fetch_with_retries` under a passthrough policy (the resilience
+//! layer's bookkeeping with retries never triggered — this must stay
+//! within noise of baseline), and `fetch_with_retries` under the chaos
+//! policy against a lossy network (retries actually firing). Recorded
+//! in `BENCH_resilience.json` at the repo root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use filterwatch_http::Url;
+use filterwatch_measure::{MeasurementClient, ResilienceConfig};
+use filterwatch_netsim::service::StaticSite;
+use filterwatch_netsim::{FaultProfile, Internet, NetworkSpec, VantageId};
+
+fn small_net(faults: Option<FaultProfile>) -> (Internet, VantageId, VantageId, Url) {
+    let mut net = Internet::new(3);
+    net.registry_mut().register_country("XX", "Testland", "xx");
+    let lab_as = net.registry_mut().register_as(64512, "LAB", "XX");
+    let isp_as = net.registry_mut().register_as(64513, "ISP", "XX");
+    let lab_p = net.registry_mut().allocate_prefix(lab_as, 1).unwrap();
+    let isp_p = net.registry_mut().allocate_prefix(isp_as, 1).unwrap();
+    let lab = net.add_network(NetworkSpec::new("lab", lab_as, "XX").with_cidr(lab_p));
+    let mut isp_spec = NetworkSpec::new("isp", isp_as, "XX").with_cidr(isp_p);
+    if let Some(f) = faults {
+        isp_spec = isp_spec.with_faults(f);
+    }
+    let isp = net.add_network(isp_spec);
+    let ip = net.alloc_ip(lab).unwrap();
+    net.add_host(ip, lab, &["site.xx"]);
+    net.add_service(ip, 80, Box::new(StaticSite::new("T", "<p>x</p>")));
+    let field = net.add_vantage("field", isp);
+    let lab_vp = net.add_vantage("lab", lab);
+    (net, field, lab_vp, Url::parse("http://site.xx/").unwrap())
+}
+
+fn bench_resilience(c: &mut Criterion) {
+    let (net, field, lab, url) = small_net(None);
+    let client = MeasurementClient::new(field, lab);
+    c.bench_function("resilience/fetch-baseline", |b| {
+        b.iter(|| black_box(client.fetch(&net, field, &url)))
+    });
+
+    let (net, field, lab, url) = small_net(None);
+    let client = MeasurementClient::new(field, lab);
+    c.bench_function("resilience/fetch-with-retries-passthrough", |b| {
+        b.iter(|| black_box(client.fetch_with_retries(&net, field, &url)))
+    });
+
+    let (net, field, lab, url) = small_net(Some(FaultProfile::chaotic(0.2).unwrap()));
+    let client = MeasurementClient::new(field, lab).with_resilience(ResilienceConfig::chaos());
+    c.bench_function("resilience/fetch-with-retries-chaos-20pct", |b| {
+        b.iter(|| black_box(client.fetch_with_retries(&net, field, &url)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_resilience
+}
+criterion_main!(benches);

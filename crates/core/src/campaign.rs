@@ -7,13 +7,25 @@
 //! functions in [`identify`](crate::identify), [`confirm`](crate::confirm)
 //! and [`characterize`](crate::characterize) remain available for
 //! bespoke studies.
+//!
+//! Chaos campaigns layer two knobs on top: [`Campaign::with_field_faults`]
+//! injects a [`FaultProfile`] into every field ISP under test, and
+//! [`Campaign::with_resilience`] arms the measurement clients with
+//! retries, circuit breakers and quorum verdicts to absorb that noise.
+//! The invariant (pinned by the `resilience` integration suite) is that
+//! the identify and confirm tables stay byte-identical to the clean run
+//! at the same seed — chaos shows up only in the report's measurement
+//! quality section.
 
+use filterwatch_measure::{MeasurementQuality, ResilienceConfig};
+use filterwatch_netsim::FaultProfile;
 use filterwatch_products::ProductKind;
 use filterwatch_telemetry::{stage, Snapshot, TelemetryHandle};
 
 use crate::characterize::{characterize, Characterization, Table4Column};
-use crate::confirm::{run_case_study, table3_specs, CaseStudyResult, CaseStudySpec};
+use crate::confirm::{render_table3, run_case_study, table3_specs, CaseStudyResult, CaseStudySpec};
 use crate::identify::{IdentificationReport, IdentifyPipeline};
+use crate::report::TextTable;
 use crate::world::{World, WorldOptions};
 
 /// A configured campaign.
@@ -27,6 +39,12 @@ pub struct Campaign {
     pub list_urls_per_category: usize,
     /// Characterization repetitions (ride out flaky deployments).
     pub characterize_runs: usize,
+    /// Resilience configuration for every measurement client the
+    /// campaign builds (passthrough by default).
+    pub resilience: ResilienceConfig,
+    /// Fault profile injected into each field ISP named by the
+    /// confirmation specs before measurement starts (`None` = clean).
+    pub field_faults: Option<FaultProfile>,
 }
 
 impl Campaign {
@@ -41,12 +59,64 @@ impl Campaign {
             confirmations: table3_specs(),
             list_urls_per_category: 2,
             characterize_runs: 3,
+            resilience: ResilienceConfig::default(),
+            field_faults: None,
         }
+    }
+
+    /// A reduced campaign for demos and chaos testing: four Table 3 case
+    /// studies (Blue Coat and SmartFilter in the Gulf ISPs plus the two
+    /// deterministic Netsweeper deployments) and a single-URL-per-
+    /// category characterization. YemenNet is deliberately excluded —
+    /// its license-limited deployment *fails open* (an accessible page,
+    /// not a transport error), which no retry policy can distinguish
+    /// from genuine reachability, so its counts are not stable under
+    /// fetch-count changes.
+    pub fn demo(seed: u64) -> Self {
+        let specs = table3_specs();
+        Campaign {
+            confirmations: [0, 3, 7, 8].iter().map(|&i| specs[i].clone()).collect(),
+            list_urls_per_category: 1,
+            characterize_runs: 1,
+            ..Campaign::standard(seed)
+        }
+    }
+
+    /// Builder-style: arm measurement clients with retry/breaker/quorum
+    /// behaviour.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Builder-style: inject a fault profile into every field ISP under
+    /// test (chaos mode). Pair with [`Campaign::with_resilience`] —
+    /// faults without retries will flip verdicts.
+    pub fn with_field_faults(mut self, faults: FaultProfile) -> Self {
+        self.field_faults = Some(faults);
+        self
     }
 
     /// Run the whole campaign.
     pub fn run(self) -> CampaignReport {
         let mut world = World::build(self.options.clone());
+        world.resilience = self.resilience.clone();
+        if let Some(faults) = &self.field_faults {
+            // Chaos strikes the censoring access networks the campaign
+            // measures through; the lab control path stays clean, as the
+            // paper's Toronto vantage effectively was.
+            let mut isps: Vec<&str> = self.confirmations.iter().map(|s| s.isp.as_str()).collect();
+            isps.sort_unstable();
+            isps.dedup();
+            for isp in isps {
+                let id = world
+                    .net
+                    .network_by_name(isp)
+                    .unwrap_or_else(|| panic!("unknown ISP {isp:?}"))
+                    .id;
+                world.net.set_network_faults(id, faults.clone());
+            }
+        }
 
         // Campaigns are the auditable entry point, so they always record
         // telemetry; the staged functions inherit whatever handle the
@@ -90,12 +160,23 @@ impl Campaign {
 
         telemetry.span_end(campaign_span, world.net.now().secs());
 
+        // Roll every stage client's quality counters into one campaign-
+        // level view for the report's measurement quality section.
+        let mut quality = MeasurementQuality::default();
+        for r in &confirmations {
+            quality.absorb(&r.quality);
+        }
+        for (_, ch) in &characterizations {
+            quality.absorb(&ch.quality);
+        }
+
         CampaignReport {
             seed: self.options.seed,
             finished_at_day: world.net.now().days(),
             identification,
             confirmations,
             characterizations,
+            quality,
             telemetry: telemetry.snapshot(),
         }
     }
@@ -114,6 +195,10 @@ pub struct CampaignReport {
     pub confirmations: Vec<CaseStudyResult>,
     /// Stage 3 outputs for each confirmed ISP.
     pub characterizations: Vec<(ProductKind, Characterization)>,
+    /// Aggregate measurement quality across every stage client: fetch
+    /// attempts, retries, breaker trips/skips, quorum trials and the
+    /// inconclusive rate. All zeros on a clean passthrough run.
+    pub quality: MeasurementQuality,
     /// Everything the campaign's telemetry collector recorded: spans per
     /// stage, counters (per-vendor verdicts among them), histograms and
     /// the event log.
@@ -124,6 +209,29 @@ impl CampaignReport {
     /// Number of confirmed censorship deployments.
     pub fn confirmed_count(&self) -> usize {
         self.confirmations.iter().filter(|r| r.confirmed).count()
+    }
+
+    /// The identify-stage verdict table as stable text — chaos runs are
+    /// byte-compared against clean runs on exactly this rendering, so it
+    /// must contain verdicts only, never timing or quality noise.
+    pub fn identify_table(&self) -> String {
+        let mut table = TextTable::new(["Product", "Country", "ASN", "AS name", "IP"]);
+        for inst in &self.identification.installations {
+            table.row([
+                inst.product.name().to_string(),
+                inst.country.clone(),
+                inst.asn.map(|a| format!("AS{a}")).unwrap_or_default(),
+                inst.as_name.clone(),
+                inst.ip.to_string(),
+            ]);
+        }
+        table.render()
+    }
+
+    /// The confirm-stage verdict table as stable text (same byte-
+    /// comparison contract as [`CampaignReport::identify_table`]).
+    pub fn confirm_table(&self) -> String {
+        render_table3(&self.confirmations)
     }
 
     /// Render the whole campaign as a markdown report.
@@ -182,6 +290,21 @@ impl CampaignReport {
             out.push('\n');
         }
 
+        out.push_str("\n## Measurement quality\n\n");
+        let q = &self.quality;
+        out.push_str("| Metric | Value |\n|---|---|\n");
+        out.push_str(&format!("| Fetch attempts | {} |\n", q.fetch_attempts));
+        out.push_str(&format!("| Retries | {} |\n", q.retries));
+        out.push_str(&format!("| Breaker trips | {} |\n", q.breaker_trips));
+        out.push_str(&format!("| Breaker skips | {} |\n", q.breaker_skips));
+        out.push_str(&format!("| Quorum trials | {} |\n", q.quorum_trials));
+        out.push_str(&format!(
+            "| Inconclusive verdicts | {}/{} ({:.1}%) |\n",
+            q.inconclusive,
+            q.verdicts,
+            q.inconclusive_rate() * 100.0
+        ));
+
         out.push_str("\n## Telemetry\n\n```text\n");
         out.push_str(&filterwatch_telemetry::render::text_report(&self.telemetry));
         out.push_str("```\n");
@@ -214,6 +337,9 @@ mod tests {
         assert!(md.contains("## Identified installations"));
         assert!(md.contains("## Confirmation case studies"));
         assert!(md.contains("## Blocked content themes"));
+        assert!(md.contains("## Measurement quality"));
+        // A clean passthrough run absorbs no noise.
+        assert!(md.contains("| Retries | 0 |"), "{md}");
         assert!(md.contains("Netsweeper / Yemen / YemenNet"));
         assert!(md.contains("**yes**"));
         // Markdown tables stay rectangular: every themes row has the
@@ -226,5 +352,23 @@ mod tests {
                 assert_eq!(line.matches('|').count(), 9, "{line}");
             }
         }
+    }
+
+    #[test]
+    fn demo_campaign_is_a_stable_subset() {
+        let report = Campaign::demo(DEFAULT_SEED).run();
+        assert_eq!(report.confirmations.len(), 4);
+        // Blue Coat in Etisalat does not confirm (traffic management
+        // only); the SmartFilter and Netsweeper rows do.
+        assert_eq!(report.confirmed_count(), 3);
+        assert_eq!(report.characterizations.len(), 3);
+        assert_eq!(report.quality.retries, 0, "clean run retries nothing");
+        assert_eq!(report.quality.inconclusive, 0);
+        assert!(report.quality.verdicts > 0);
+        let identify = report.identify_table();
+        assert!(identify.contains("Netsweeper"), "{identify}");
+        let confirm = report.confirm_table();
+        assert!(confirm.contains("Confirmed?"), "{confirm}");
+        assert!(confirm.contains("Bayanat"), "{confirm}");
     }
 }

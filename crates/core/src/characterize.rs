@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use filterwatch_http::Url;
-use filterwatch_measure::MeasurementClient;
+use filterwatch_measure::MeasurementQuality;
 use filterwatch_urllists::{Category, TestList};
 
 use crate::report::TextTable;
@@ -93,6 +93,12 @@ pub struct Characterization {
     pub urls_tested: usize,
     /// Total URLs blocked.
     pub urls_blocked: usize,
+    /// URLs whose every run came back `Inconclusive` (quorum
+    /// disagreement or breaker skips); zero on clean paths.
+    pub urls_inconclusive: usize,
+    /// Measurement-quality counters the characterization client
+    /// accumulated (retries, breaker trips, quorum trials).
+    pub quality: MeasurementQuality,
 }
 
 impl Characterization {
@@ -141,7 +147,7 @@ pub fn characterize(
         world.net.now().secs(),
     );
 
-    let client = MeasurementClient::new(world.field(isp), world.lab());
+    let client = world.client(isp);
     let mut urls: Vec<(Url, Category)> = Vec::new();
     for list in [
         TestList::global(per_category),
@@ -155,11 +161,16 @@ pub fn characterize(
     let mut per_category_counts: BTreeMap<Category, (usize, usize)> = BTreeMap::new();
     let mut attributed: Vec<String> = Vec::new();
     let mut urls_blocked = 0;
+    let mut urls_inconclusive = 0;
     let urls_tested = urls.len();
     for (url, cat) in &urls {
         let mut blocked = false;
+        let mut conclusive_runs = 0;
         for _ in 0..runs.max(1) {
             let v = client.test_url(&world.net, url);
+            if !v.verdict.is_inconclusive() {
+                conclusive_runs += 1;
+            }
             if v.verdict.is_blocked() {
                 blocked = true;
                 if let Some(p) = v.verdict.blocked_by() {
@@ -174,6 +185,8 @@ pub fn characterize(
         if blocked {
             entry.0 += 1;
             urls_blocked += 1;
+        } else if conclusive_runs == 0 {
+            urls_inconclusive += 1;
         }
     }
 
@@ -200,6 +213,8 @@ pub fn characterize(
         attributed_products: attributed,
         urls_tested,
         urls_blocked,
+        urls_inconclusive,
+        quality: client.quality(),
     }
 }
 

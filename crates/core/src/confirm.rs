@@ -6,7 +6,7 @@
 //! the appropriate URL filter vendor. After 3-5 days, we retest the
 //! sites and observe whether or not the submitted sites are blocked."
 
-use filterwatch_measure::MeasurementClient;
+use filterwatch_measure::MeasurementQuality;
 use filterwatch_products::{ProductKind, SubmitterProfile};
 
 use crate::report::TextTable;
@@ -62,6 +62,12 @@ pub struct CaseStudyResult {
     pub holdout_blocked: usize,
     /// Block-page product attributions seen at retest (deduplicated).
     pub attributed_products: Vec<String>,
+    /// Retest verdicts the machinery declined to render (quorum
+    /// disagreement or breaker skips); zero on clean paths.
+    pub retest_inconclusive: usize,
+    /// Measurement-quality counters the case study's client accumulated
+    /// (retries, breaker trips, quorum trials).
+    pub quality: MeasurementQuality,
     /// The §4.2 verdict: is the product confirmed to be used for
     /// censorship in this ISP?
     pub confirmed: bool,
@@ -92,7 +98,7 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         world.net.now().secs(),
     );
     let sites = world.create_controlled_sites(spec.site_kind, spec.n_sites);
-    let client = MeasurementClient::new(world.field(&spec.isp), world.lab());
+    let client = world.client(&spec.isp);
 
     // Pre-verification (or the Netsweeper ordering: submit first).
     let accessible_before = if spec.pre_verify {
@@ -154,6 +160,7 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
     // Retest: a site is blocked if any retest run blocks it.
     let mut blocked = vec![false; sites.len()];
     let mut attributed: Vec<String> = Vec::new();
+    let mut retest_inconclusive = 0;
     for _ in 0..spec.retest_runs.max(1) {
         for (i, site) in sites.iter().enumerate() {
             let v = client.test_url(&world.net, &site.test_url());
@@ -164,6 +171,8 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
                         attributed.push(p.to_string());
                     }
                 }
+            } else if v.verdict.is_inconclusive() {
+                retest_inconclusive += 1;
             }
         }
     }
@@ -198,6 +207,8 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         submitted_blocked,
         holdout_blocked,
         attributed_products: attributed,
+        retest_inconclusive,
+        quality: client.quality(),
         confirmed,
     }
 }

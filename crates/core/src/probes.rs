@@ -14,7 +14,6 @@
 //!   deployments filter intermittently).
 
 use filterwatch_http::Url;
-use filterwatch_measure::MeasurementClient;
 use filterwatch_products::netsweeper::DENYPAGETESTS_HOST;
 use filterwatch_products::taxonomy::{self, netsweeper_category_name};
 use filterwatch_products::ProductKind;
@@ -42,7 +41,7 @@ impl CategoryTestResult {
 /// from inside `isp`, repeating `runs` times (a page counts as blocked
 /// if any run blocks it — license-limited deployments flicker).
 pub fn run_denypagetests(world: &World, isp: &str, runs: usize) -> CategoryTestResult {
-    let client = MeasurementClient::new(world.field(isp), world.lab());
+    let client = world.client(isp);
     let mut blocked = Vec::new();
     let mut open = 0;
     for catno in 1u8..=66 {
@@ -88,7 +87,7 @@ pub fn category_probe(
     product: ProductKind,
     categories: &[Category],
 ) -> Vec<CategoryProbeRow> {
-    let client = MeasurementClient::new(world.field(isp), world.lab());
+    let client = world.client(isp);
     let global = TestList::global(1);
     categories
         .iter()
@@ -140,7 +139,7 @@ impl InconsistencyReport {
 
 /// Repeat the nominally-blocked proxy URLs `runs` times inside `isp`.
 pub fn inconsistency_probe(world: &World, isp: &str, runs: usize) -> InconsistencyReport {
-    let client = MeasurementClient::new(world.field(isp), world.lab());
+    let client = world.client(isp);
     let global = TestList::global(2);
     let urls: Vec<String> = global
         .urls

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use filterwatch_http::Url;
+use filterwatch_measure::{MeasurementClient, ResilienceConfig};
 use filterwatch_netsim::service::{AdultImageSite, GlypeProxySite, StaticSite};
 use filterwatch_netsim::{FaultProfile, Internet, IpAddr, NetworkId, NetworkSpec, VantageId};
 use filterwatch_products::bluecoat::{
@@ -125,6 +126,11 @@ pub struct World {
     pub net: Internet,
     /// Construction options used.
     pub options: WorldOptions,
+    /// Resilience configuration every stage's measurement clients
+    /// inherit ([`World::client`]). Defaults to passthrough, so the
+    /// pinned-seed experiments behave exactly as single-shot fetches;
+    /// chaos campaigns switch it to `ResilienceConfig::chaos()`.
+    pub resilience: ResilienceConfig,
     clouds: BTreeMap<ProductKind, Arc<VendorCloud>>,
     lab: VantageId,
     fields: BTreeMap<String, VantageId>,
@@ -244,6 +250,7 @@ impl World {
         World {
             net,
             options,
+            resilience: ResilienceConfig::default(),
             clouds,
             lab,
             fields,
@@ -651,12 +658,29 @@ impl World {
         World {
             net,
             options,
+            resilience: ResilienceConfig::default(),
             clouds,
             lab,
             fields,
             hosting,
             forge: DomainForge::new(filterwatch_netsim::rng::mix(seed, "domain-forge")),
         }
+    }
+
+    /// Builder-style: set the resilience configuration subsequent
+    /// measurement clients inherit.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// A measurement client for an ISP's field vantage, controlled
+    /// against the lab, carrying the world's resilience configuration.
+    ///
+    /// # Panics
+    /// If the ISP has no field tester.
+    pub fn client(&self, isp: &str) -> MeasurementClient {
+        MeasurementClient::new(self.field(isp), self.lab).with_resilience(self.resilience.clone())
     }
 
     /// The lab (control) vantage point.

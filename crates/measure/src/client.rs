@@ -1,9 +1,12 @@
 //! The dual-vantage measurement client.
 
 use filterwatch_http::{Response, Url};
-use filterwatch_netsim::{FetchOutcome, Internet, VantageId};
+use filterwatch_netsim::{FetchOutcome, FlowDisposition, Internet, VantageId};
 
 use crate::blockpage::BlockPageLibrary;
+use crate::resilience::{
+    CircuitBreaker, FaultClass, MeasurementQuality, QualityCounters, ResilienceConfig, RetryPolicy,
+};
 use crate::similarity::{body_similarity, MODIFIED_THRESHOLD};
 use crate::verdict::{UrlVerdict, Verdict};
 
@@ -68,11 +71,22 @@ impl Observation {
 }
 
 /// The §4.1 measurement client: field + lab vantage points.
+///
+/// By default the client is single-shot. [`with_resilience`]
+/// (`MeasurementClient::with_resilience`) layers on retries with
+/// backoff, per-vantage circuit breakers and quorum verdicts — all of
+/// [`test_url`](MeasurementClient::test_url) and the list helpers then
+/// route through the resilient path transparently.
 pub struct MeasurementClient {
     field: VantageId,
     lab: VantageId,
     library: BlockPageLibrary,
     max_redirects: usize,
+    resilience: ResilienceConfig,
+    field_breaker: Option<CircuitBreaker>,
+    lab_breaker: Option<CircuitBreaker>,
+    quality: QualityCounters,
+    retries_used: std::sync::atomic::AtomicU64,
 }
 
 impl MeasurementClient {
@@ -83,7 +97,32 @@ impl MeasurementClient {
             lab,
             library: BlockPageLibrary::standard(),
             max_redirects: 5,
+            resilience: ResilienceConfig::default(),
+            field_breaker: None,
+            lab_breaker: None,
+            quality: QualityCounters::default(),
+            retries_used: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// Builder-style: enable retry/breaker/quorum behaviour.
+    pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
+        self.field_breaker = config.breaker.map(CircuitBreaker::new);
+        self.lab_breaker = config.breaker.map(CircuitBreaker::new);
+        self.resilience = config;
+        self
+    }
+
+    /// The active resilience configuration.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// Snapshot the measurement-quality counters accumulated so far.
+    pub fn quality(&self) -> MeasurementQuality {
+        let trips = self.field_breaker.as_ref().map_or(0, |b| b.trips())
+            + self.lab_breaker.as_ref().map_or(0, |b| b.trips());
+        self.quality.snapshot(trips)
     }
 
     /// The field vantage.
@@ -144,15 +183,142 @@ impl MeasurementClient {
         }
     }
 
+    /// Fetch a URL from one vantage with the configured retry policy:
+    /// retryable transport failures back off (advancing the virtual
+    /// clock, which is what lets retries outlast outage windows) and
+    /// re-fetch, up to the attempt limit and retry budget. With the
+    /// default single-attempt policy this is exactly [`fetch`]
+    /// (`MeasurementClient::fetch`) — no clock movement, no extra work.
+    pub fn fetch_with_retries(&self, net: &Internet, vantage: VantageId, url: &Url) -> Observation {
+        use std::sync::atomic::Ordering;
+        let policy = &self.resilience.retry;
+        let mut attempt = 1u32;
+        loop {
+            QualityCounters::bump(&self.quality.fetch_attempts);
+            let obs = self.fetch(net, vantage, url);
+            let Observation::Failed { error } = &obs else {
+                return obs;
+            };
+            if attempt >= policy.max_attempts || RetryPolicy::classify(error) == FaultClass::Fatal {
+                return obs;
+            }
+            if let Some(budget) = policy.budget {
+                if self.retries_used.load(Ordering::Relaxed) >= budget {
+                    return obs;
+                }
+            }
+            let label = format!("{}/{}", net.vantage(vantage).name, url);
+            let wait = policy.backoff_secs(attempt, net.seed(), &label);
+            net.advance_secs(wait);
+            if net.telemetry().is_enabled() {
+                net.telemetry().counter_add("retry.attempt", error, 1);
+            }
+            QualityCounters::bump(&self.quality.retries);
+            self.retries_used.fetch_add(1, Ordering::Relaxed);
+            attempt += 1;
+        }
+    }
+
     /// Test one URL: fetch from the field and from the lab, compare
-    /// (§4.1), and classify any explicit block page.
+    /// (§4.1), and classify any explicit block page. With resilience
+    /// enabled this becomes N quorum trials of breaker-guarded,
+    /// retry-backed fetches.
     pub fn test_url(&self, net: &Internet, url: &Url) -> UrlVerdict {
-        let field = self.fetch(net, self.field, url);
-        let lab = self.fetch(net, self.lab, url);
-        let verdict = self.compare(&field, &lab);
+        let verdict = if self.resilience.is_passthrough() {
+            let field = self.fetch(net, self.field, url);
+            let lab = self.fetch(net, self.lab, url);
+            self.compare(&field, &lab)
+        } else {
+            self.test_url_quorum(net, url)
+        };
+        QualityCounters::bump(&self.quality.verdicts);
+        if verdict.is_inconclusive() {
+            QualityCounters::bump(&self.quality.inconclusive);
+        }
         UrlVerdict {
             url: url.to_string(),
             verdict,
+        }
+    }
+
+    /// One breaker-guarded, retry-backed field/lab comparison.
+    fn test_url_trial(&self, net: &Internet, url: &Url) -> Verdict {
+        // Breaker check first: a vantage known to be down is skipped
+        // without burning retry budget, and the skip is auditable in the
+        // flow log.
+        for (vantage, breaker) in [
+            (self.field, &self.field_breaker),
+            (self.lab, &self.lab_breaker),
+        ] {
+            if let Some(b) = breaker {
+                if !b.allows(net.now()) {
+                    let name = net.vantage(vantage).name.clone();
+                    QualityCounters::bump(&self.quality.breaker_skips);
+                    net.log_vantage_event(vantage, url, FlowDisposition::BreakerSkip(name.clone()));
+                    return Verdict::Inconclusive {
+                        reason: format!("circuit breaker open for vantage {name}"),
+                    };
+                }
+            }
+        }
+        let field = self.fetch_with_retries(net, self.field, url);
+        if let Some(b) = &self.field_breaker {
+            match &field {
+                Observation::Reached { .. } => b.record_success(),
+                Observation::Failed { .. } => b.record_failure(net.now()),
+            }
+        }
+        let lab = self.fetch_with_retries(net, self.lab, url);
+        if let Some(b) = &self.lab_breaker {
+            match &lab {
+                Observation::Reached { .. } => b.record_success(),
+                Observation::Failed { .. } => b.record_failure(net.now()),
+            }
+        }
+        self.compare(&field, &lab)
+    }
+
+    /// Run quorum trials and aggregate: the most common verdict wins if
+    /// it reaches the quorum, otherwise the URL is `Inconclusive`.
+    fn test_url_quorum(&self, net: &Internet, url: &Url) -> Verdict {
+        let quorum = self.resilience.quorum;
+        let mut verdicts: Vec<(Verdict, u32)> = Vec::new();
+        for _ in 0..quorum.trials {
+            QualityCounters::bump(&self.quality.quorum_trials);
+            let v = self.test_url_trial(net, url);
+            match verdicts.iter_mut().find(|(seen, _)| Self::agree(seen, &v)) {
+                Some((_, count)) => *count += 1,
+                None => verdicts.push((v, 1)),
+            }
+        }
+        // Ties resolve to the earliest-seen verdict — trial order is
+        // deterministic, so so is the aggregate.
+        let (best, count) = verdicts
+            .iter()
+            .max_by_key(|(_, count)| *count)
+            .expect("at least one trial");
+        if *count >= quorum.quorum {
+            best.clone()
+        } else {
+            Verdict::Inconclusive {
+                reason: format!(
+                    "no quorum: best {count}/{} trials agreed on {} (need {})",
+                    quorum.trials,
+                    best.label(),
+                    quorum.quorum
+                ),
+            }
+        }
+    }
+
+    /// Whether two trial verdicts corroborate each other for quorum
+    /// purposes. Labels must match; blocks must also attribute the same
+    /// product (a Netsweeper page and a SmartFilter page are different
+    /// findings, not two votes for "blocked").
+    fn agree(a: &Verdict, b: &Verdict) -> bool {
+        match (a, b) {
+            (Verdict::Blocked(x), Verdict::Blocked(y)) => x.product == y.product,
+            _ => a.label() == b.label(),
         }
     }
 
@@ -410,5 +576,132 @@ mod tests {
         let runs = client.test_list_repeated(&net, &urls, 3);
         assert_eq!(runs.len(), 3);
         assert!(runs.iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn default_client_is_passthrough_and_inert() {
+        let (net, client) = world();
+        let before = net.now();
+        let v = client.test_url(&net, &Url::parse("http://www.fine.org/").unwrap());
+        assert!(v.verdict.is_accessible());
+        assert_eq!(net.now(), before, "no clock movement without resilience");
+        let q = client.quality();
+        assert_eq!(q.fetch_attempts, 0, "plain path bypasses the retry engine");
+        assert_eq!(q.retries, 0);
+        assert_eq!(q.verdicts, 1);
+        assert_eq!(q.inconclusive, 0);
+    }
+
+    #[test]
+    fn retries_ride_out_an_outage_window() {
+        use filterwatch_netsim::{FaultProfile, SimTime};
+        let (mut net, client) = world();
+        let isp = net.network_by_name("isp").unwrap().id;
+        net.set_network_faults(
+            isp,
+            FaultProfile::clean()
+                .try_with_outage(SimTime::ZERO, SimTime::from_secs(20))
+                .unwrap(),
+        );
+        let client = client.with_resilience(crate::resilience::ResilienceConfig::chaos());
+
+        let obs = client.fetch_with_retries(
+            &net,
+            client.field(),
+            &Url::parse("http://www.fine.org/").unwrap(),
+        );
+        assert!(obs.reached(), "retries should outlast the outage: {obs:?}");
+        assert!(net.now() >= SimTime::from_secs(20), "backoff advanced time");
+        let q = client.quality();
+        assert!(q.retries >= 1, "{q:?}");
+        assert_eq!(q.fetch_attempts, q.retries + 1);
+    }
+
+    #[test]
+    fn breaker_skips_dead_vantage_and_yields_inconclusive() {
+        let (mut net, client) = world();
+        let isp = net.network_by_name("isp").unwrap().id;
+        net.set_network_faults(isp, filterwatch_netsim::FaultProfile::lossy(1.0));
+        net.set_flow_log(true);
+        let client = client.with_resilience(crate::resilience::ResilienceConfig::chaos());
+
+        // First URL: every trial fails end-to-end; the third consecutive
+        // failure trips the field breaker. The verdict is an honest
+        // Inaccessible (lab reached it, field never did).
+        let v1 = client.test_url(&net, &Url::parse("http://www.fine.org/").unwrap());
+        assert_eq!(v1.verdict.label(), "inaccessible", "{:?}", v1.verdict);
+
+        // Second URL: the breaker is open, all trials are skipped, and
+        // the verdict is Inconclusive — not a false Accessible.
+        let v2 = client.test_url(&net, &Url::parse("http://www.blocked-news.org/").unwrap());
+        assert!(v2.verdict.is_inconclusive(), "{:?}", v2.verdict);
+
+        let q = client.quality();
+        assert_eq!(q.breaker_trips, 1, "{q:?}");
+        assert_eq!(q.breaker_skips, 3, "one per skipped trial: {q:?}");
+        assert_eq!(q.inconclusive, 1);
+        assert_eq!(q.verdicts, 2);
+
+        let skips: Vec<_> = net
+            .flow_log()
+            .into_iter()
+            .filter(|r| matches!(r.disposition, FlowDisposition::BreakerSkip(_)))
+            .collect();
+        assert_eq!(skips.len(), 3);
+        assert!(skips
+            .iter()
+            .all(|r| r.url == "http://www.blocked-news.org/"));
+    }
+
+    /// A filter that cycles block / forward / drop per request, so three
+    /// quorum trials each see a different verdict.
+    struct CyclingFilter(std::sync::atomic::AtomicUsize);
+
+    impl Middlebox for CyclingFilter {
+        fn name(&self) -> &str {
+            "cycler"
+        }
+        fn process_request(&self, req: &Request, _ctx: &FlowCtx) -> MbVerdict {
+            if !req.url.host().contains("flappy") {
+                return MbVerdict::Forward;
+            }
+            match self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 3 {
+                0 => MbVerdict::respond(Response::text(
+                    filterwatch_http::Status::FORBIDDEN,
+                    "netsweeper deny webadmin",
+                )),
+                1 => MbVerdict::Forward,
+                _ => MbVerdict::Drop,
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_disagreement_is_inconclusive() {
+        let (mut net, _) = world();
+        let isp = net.network_by_name("isp").unwrap().id;
+        let lab = net.network_by_name("lab").unwrap().id;
+        net.attach_middlebox(isp, Arc::new(CyclingFilter(Default::default())));
+        let site_ip = net.alloc_ip(lab).unwrap();
+        net.add_host(site_ip, lab, &["www.flappy.org"]);
+        net.add_service(site_ip, 80, Box::new(StaticSite::new("F", "<p>x</p>")));
+        let field = net.add_vantage("field3", isp);
+        let lab_vp = net.add_vantage("lab3", lab);
+        // No retries (a Drop would otherwise be retried into the next
+        // cycle phase); quorum of 3 with no two trials agreeing.
+        let config = crate::resilience::ResilienceConfig {
+            retry: crate::resilience::RetryPolicy::single(),
+            breaker: None,
+            quorum: crate::resilience::QuorumPolicy::majority(3),
+        };
+        let client = MeasurementClient::new(field, lab_vp).with_resilience(config);
+        let v = client.test_url(&net, &Url::parse("http://www.flappy.org/").unwrap());
+        let Verdict::Inconclusive { reason } = &v.verdict else {
+            panic!("expected inconclusive, got {:?}", v.verdict);
+        };
+        assert!(reason.contains("no quorum"), "{reason}");
+        let q = client.quality();
+        assert_eq!(q.quorum_trials, 3);
+        assert_eq!(q.inconclusive, 1);
     }
 }

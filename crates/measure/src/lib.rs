@@ -14,16 +14,24 @@
 //! corresponding to the vendors' block pages" of §5. The per-URL verdict
 //! distinguishes explicit blocking from ambiguous failures (timeouts,
 //! resets), which the studied products avoid (§4.1) but the simulator
-//! can still produce under fault injection.
+//! can still produce under fault injection. For measurements through
+//! genuinely flaky paths (§4.4), the [`resilience`] module layers
+//! retries with deterministic backoff, per-vantage circuit breakers and
+//! quorum verdicts on top of the same client.
 
 pub mod blockpage;
 pub mod client;
+pub mod resilience;
 pub mod similarity;
 pub mod stats;
 pub mod verdict;
 
 pub use blockpage::{BlockMatch, BlockPageLibrary};
 pub use client::{FetchTrace, MeasurementClient, Observation};
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, FaultClass, MeasurementQuality, QuorumPolicy,
+    ResilienceConfig, RetryPolicy,
+};
 pub use similarity::body_similarity;
 pub use stats::{to_csv, RunSummary};
 pub use verdict::{UrlVerdict, Verdict};

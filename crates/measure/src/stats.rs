@@ -26,6 +26,9 @@ pub struct RunSummary {
     pub inaccessible: usize,
     /// Lab-side failures (no conclusion).
     pub unavailable: usize,
+    /// Verdicts the machinery declined to render (quorum disagreement,
+    /// breaker skips).
+    pub inconclusive: usize,
     /// Blocked counts per attributed product (`"(unattributed)"` for
     /// generic block pages).
     pub by_product: BTreeMap<String, usize>,
@@ -52,6 +55,7 @@ impl RunSummary {
                 Verdict::Modified { .. } => s.modified += 1,
                 Verdict::Inaccessible { .. } => s.inaccessible += 1,
                 Verdict::Unavailable { .. } => s.unavailable += 1,
+                Verdict::Inconclusive { .. } => s.inconclusive += 1,
             }
         }
         s
@@ -69,8 +73,8 @@ impl RunSummary {
     /// One-line rendering for logs.
     pub fn to_line(&self) -> String {
         format!(
-            "tested={} accessible={} blocked={} modified={} inaccessible={} unavailable={} products={:?}",
-            self.tested, self.accessible, self.blocked, self.modified, self.inaccessible, self.unavailable, self.by_product
+            "tested={} accessible={} blocked={} modified={} inaccessible={} unavailable={} inconclusive={} products={:?}",
+            self.tested, self.accessible, self.blocked, self.modified, self.inaccessible, self.unavailable, self.inconclusive, self.by_product
         )
     }
 }
@@ -103,6 +107,7 @@ pub fn to_csv(verdicts: &[UrlVerdict]) -> String {
                 ("inaccessible", String::new(), field_error.clone())
             }
             Verdict::Unavailable { lab_error } => ("unavailable", String::new(), lab_error.clone()),
+            Verdict::Inconclusive { reason } => ("inconclusive", String::new(), reason.clone()),
         };
         out.push_str(&format!(
             "{},{},{},{}\n",
@@ -152,21 +157,29 @@ mod tests {
                     lab_error: "dns-failure".into(),
                 },
             },
+            UrlVerdict {
+                url: "http://f.example/".into(),
+                verdict: Verdict::Inconclusive {
+                    reason: "no quorum (1/3 best)".into(),
+                },
+            },
         ]
     }
 
     #[test]
     fn summary_counts() {
         let s = RunSummary::from_verdicts(&verdicts());
-        assert_eq!(s.tested, 5);
+        assert_eq!(s.tested, 6);
         assert_eq!(s.accessible, 1);
         assert_eq!(s.blocked, 2);
         assert_eq!(s.inaccessible, 1);
         assert_eq!(s.unavailable, 1);
+        assert_eq!(s.inconclusive, 1);
         assert_eq!(s.by_product["netsweeper"], 1);
         assert_eq!(s.by_product["(unattributed)"], 1);
-        assert!((s.block_rate() - 0.4).abs() < 1e-9);
+        assert!((s.block_rate() - 2.0 / 6.0).abs() < 1e-9);
         assert!(s.to_line().contains("blocked=2"));
+        assert!(s.to_line().contains("inconclusive=1"));
     }
 
     #[test]
@@ -180,11 +193,13 @@ mod tests {
     fn csv_escapes_and_structures() {
         let csv = to_csv(&verdicts());
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 7);
         assert_eq!(lines[0], "url,verdict,product,detail");
         assert!(lines[2].contains("netsweeper"));
         assert!(lines[2].contains("\"sig, with comma\""));
         assert!(lines[4].contains("inaccessible"));
+        assert!(lines[6].contains("inconclusive"));
+        assert!(lines[6].contains("no quorum"));
         // Every row has exactly four columns after unquoting logic:
         // quick check via the simple rows.
         assert_eq!(lines[1].split(',').count(), 4);

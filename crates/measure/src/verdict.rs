@@ -21,6 +21,10 @@ pub enum Verdict {
     Inaccessible { field_error: String },
     /// The lab itself could not fetch the URL; no conclusion possible.
     Unavailable { lab_error: String },
+    /// The measurement machinery could not reach a trustworthy verdict:
+    /// quorum trials disagreed, or a circuit breaker skipped the vantage
+    /// entirely. Replaces silent misclassification under flaky paths.
+    Inconclusive { reason: String },
 }
 
 impl Verdict {
@@ -56,7 +60,13 @@ impl Verdict {
             Verdict::Modified { .. } => "modified",
             Verdict::Inaccessible { .. } => "inaccessible",
             Verdict::Unavailable { .. } => "unavailable",
+            Verdict::Inconclusive { .. } => "inconclusive",
         }
+    }
+
+    /// Whether the measurement machinery declined to render a verdict.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Verdict::Inconclusive { .. })
     }
 }
 
@@ -121,5 +131,18 @@ mod tests {
             .to_string(),
             "inaccessible"
         );
+    }
+
+    #[test]
+    fn inconclusive_accessors() {
+        let v = Verdict::Inconclusive {
+            reason: "no quorum".into(),
+        };
+        assert!(v.is_inconclusive());
+        assert!(!v.is_blocked());
+        assert!(!v.is_accessible());
+        assert_eq!(v.label(), "inconclusive");
+        assert_eq!(v.to_string(), "inconclusive");
+        assert!(!Verdict::Accessible.is_inconclusive());
     }
 }

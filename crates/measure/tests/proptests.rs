@@ -24,6 +24,7 @@ fn any_verdict() -> impl Strategy<Value = Verdict> {
         Just(Verdict::Unavailable {
             lab_error: "dns-failure".into()
         }),
+        "[a-z ]{1,20}".prop_map(|reason| Verdict::Inconclusive { reason }),
     ]
 }
 
@@ -59,7 +60,8 @@ proptest! {
             .collect();
         let s = RunSummary::from_verdicts(&list);
         prop_assert_eq!(
-            s.accessible + s.blocked + s.modified + s.inaccessible + s.unavailable,
+            s.accessible + s.blocked + s.modified + s.inaccessible + s.unavailable
+                + s.inconclusive,
             s.tested
         );
         let attributed: usize = s.by_product.values().sum();
@@ -85,6 +87,48 @@ proptest! {
         for (line, v) in lines[1..].iter().zip(&list) {
             prop_assert!(line.starts_with(&v.url), "{line}");
         }
+    }
+
+    /// Backoff is a pure function of (seed, label, attempt) and stays in
+    /// `[exp, exp * (1 + jitter_frac)]` where `exp` is the capped
+    /// exponential wait.
+    #[test]
+    fn backoff_bounds(attempt in 1u32..12, seed in any::<u64>(), frac in 0.0f64..1.0) {
+        use filterwatch_measure::RetryPolicy;
+        let p = RetryPolicy {
+            max_attempts: 12,
+            base_backoff_secs: 2,
+            backoff_cap_secs: 64,
+            jitter_frac: frac,
+            budget: None,
+        };
+        let w = p.backoff_secs(attempt, seed, "vantage/http://u.example/");
+        prop_assert_eq!(w, p.backoff_secs(attempt, seed, "vantage/http://u.example/"));
+        let exp = 2u64.saturating_mul(1 << u64::from(attempt - 1)).min(64);
+        prop_assert!(w >= exp, "{w} < {exp}");
+        let ceiling = exp + (exp as f64 * frac).ceil() as u64;
+        prop_assert!(w <= ceiling, "{w} > {ceiling}");
+    }
+
+    /// The breaker opens after exactly `threshold` consecutive failures
+    /// and any success resets the count.
+    #[test]
+    fn breaker_threshold_exact(threshold in 1u32..8, pre in 0u32..8) {
+        use filterwatch_measure::{BreakerConfig, BreakerState, CircuitBreaker};
+        use filterwatch_netsim::SimTime;
+        let b = CircuitBreaker::new(BreakerConfig { failure_threshold: threshold, cooldown_secs: 10 });
+        // `pre` failures short of the threshold, then a success: still closed.
+        for _ in 0..pre.min(threshold - 1) {
+            b.record_failure(SimTime::ZERO);
+        }
+        b.record_success();
+        prop_assert_eq!(b.state(), BreakerState::Closed);
+        for i in 0..threshold {
+            prop_assert_eq!(b.state(), BreakerState::Closed, "open after {} of {}", i, threshold);
+            b.record_failure(SimTime::ZERO);
+        }
+        prop_assert_eq!(b.state(), BreakerState::Open);
+        prop_assert_eq!(b.trips(), 1);
     }
 
     /// The block-page library never classifies arbitrary text that lacks

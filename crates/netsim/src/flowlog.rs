@@ -40,8 +40,22 @@ pub enum FlowDisposition {
     PathFault(&'static str),
     /// The hostname did not resolve.
     DnsFailure,
+    /// The resolver failed transiently (injected fault) — the name *is*
+    /// registered; a retry may succeed.
+    InjectedDnsFailure,
     /// No service listened at the destination.
     ConnectFailed,
+    /// The path was inside a deterministic outage window; the token
+    /// carries the virtual second at which the window closes.
+    Outage {
+        /// Virtual time (in seconds) when the path comes back.
+        resumes_at_secs: u64,
+    },
+    /// The response was truncated mid-transfer.
+    Truncated,
+    /// A measurement client skipped the fetch because its circuit
+    /// breaker for this vantage was open; the name is the vantage label.
+    BreakerSkip(String),
 }
 
 impl FlowDisposition {
@@ -67,7 +81,11 @@ impl FlowDisposition {
             FlowDisposition::ResetBy(name) => format!("reset:{}", escape(name)),
             FlowDisposition::PathFault(kind) => format!("pathfault:{kind}"),
             FlowDisposition::DnsFailure => "dnsfail".to_string(),
+            FlowDisposition::InjectedDnsFailure => "dnsfail:injected".to_string(),
             FlowDisposition::ConnectFailed => "connectfail".to_string(),
+            FlowDisposition::Outage { resumes_at_secs } => format!("outage:{resumes_at_secs}"),
+            FlowDisposition::Truncated => "truncated".to_string(),
+            FlowDisposition::BreakerSkip(vantage) => format!("breaker-skip:{}", escape(vantage)),
         }
     }
 
@@ -102,11 +120,22 @@ impl FlowDisposition {
         if let Some(name) = token.strip_prefix("reset:") {
             return Ok(FlowDisposition::ResetBy(unescape_name(name)?));
         }
+        if let Some(secs) = token.strip_prefix("outage:") {
+            let resumes_at_secs = secs
+                .parse()
+                .map_err(|e| format!("bad resume time in {token:?}: {e}"))?;
+            return Ok(FlowDisposition::Outage { resumes_at_secs });
+        }
+        if let Some(vantage) = token.strip_prefix("breaker-skip:") {
+            return Ok(FlowDisposition::BreakerSkip(unescape_name(vantage)?));
+        }
         match token {
             "pathfault:timeout" => Ok(FlowDisposition::PathFault("timeout")),
             "pathfault:reset" => Ok(FlowDisposition::PathFault("reset")),
             "dnsfail" => Ok(FlowDisposition::DnsFailure),
+            "dnsfail:injected" => Ok(FlowDisposition::InjectedDnsFailure),
             "connectfail" => Ok(FlowDisposition::ConnectFailed),
+            "truncated" => Ok(FlowDisposition::Truncated),
             _ => Err(format!("unknown disposition token {token:?}")),
         }
     }
@@ -212,7 +241,13 @@ mod tests {
             FlowDisposition::PathFault("timeout"),
             FlowDisposition::PathFault("reset"),
             FlowDisposition::DnsFailure,
+            FlowDisposition::InjectedDnsFailure,
             FlowDisposition::ConnectFailed,
+            FlowDisposition::Outage {
+                resumes_at_secs: 172_861,
+            },
+            FlowDisposition::Truncated,
+            FlowDisposition::BreakerSkip("field:ae".into()),
         ];
         for d in cases {
             let token = d.to_token();
@@ -252,5 +287,22 @@ mod tests {
                 .is_err()
         );
         assert!(FlowRecord::parse_line("day 0 00:00:00\t1.2.3.4\tnet\thttp://u/\tnope").is_err());
+        assert!(
+            FlowRecord::parse_line("day 0 00:00:00\t1.2.3.4\tnet\thttp://u/\toutage:soon").is_err()
+        );
+    }
+
+    #[test]
+    fn injected_dns_token_is_distinct_from_plain_dnsfail() {
+        assert_eq!(
+            FlowDisposition::parse_token("dnsfail").unwrap(),
+            FlowDisposition::DnsFailure
+        );
+        assert_eq!(
+            FlowDisposition::parse_token("dnsfail:injected").unwrap(),
+            FlowDisposition::InjectedDnsFailure
+        );
+        assert!(!FlowDisposition::InjectedDnsFailure.was_intercepted());
+        assert!(!FlowDisposition::BreakerSkip("v".into()).was_intercepted());
     }
 }

@@ -191,7 +191,11 @@ impl Internet {
                 FlowDisposition::ResetBy(_) => "reset",
                 FlowDisposition::PathFault(_) => "pathfault",
                 FlowDisposition::DnsFailure => "dnsfail",
+                FlowDisposition::InjectedDnsFailure => "dnsfail-injected",
                 FlowDisposition::ConnectFailed => "connectfail",
+                FlowDisposition::Outage { .. } => "outage",
+                FlowDisposition::Truncated => "truncated",
+                FlowDisposition::BreakerSkip(_) => "breaker-skip",
             };
             self.telemetry.counter_add("fetch.disposition", kind, 1);
             match &disposition {
@@ -290,6 +294,12 @@ impl Internet {
     /// Append a middlebox to a network's egress chain.
     pub fn attach_middlebox(&mut self, net: NetworkId, mb: Arc<dyn Middlebox>) {
         self.networks[net.0].chain.push(mb);
+    }
+
+    /// Replace a network's fault profile (chaos campaigns inject faults
+    /// after the topology is built).
+    pub fn set_network_faults(&mut self, net: NetworkId, faults: FaultProfile) {
+        self.networks[net.0].faults = faults;
     }
 
     /// Allocate the lowest unused address in the network's prefixes.
@@ -393,6 +403,31 @@ impl Internet {
         &self.vantages[id.0]
     }
 
+    /// Record a client-side event (e.g. a circuit-breaker skip) in the
+    /// flow log and telemetry, attributed to the vantage's network. No
+    /// packet traverses the simulation — this exists so the audit log
+    /// also covers fetches a measurement client *decided not to make*.
+    pub fn log_vantage_event(&self, vantage: VantageId, url: &Url, disposition: FlowDisposition) {
+        let v = &self.vantages[vantage.0];
+        let network = &self.networks[v.network.0];
+        if self.telemetry.is_enabled() {
+            let kind = match &disposition {
+                FlowDisposition::BreakerSkip(_) => "breaker-skip",
+                _ => "client-event",
+            };
+            self.telemetry.counter_add("fetch.disposition", kind, 1);
+        }
+        if self.flow_log_enabled.load(Ordering::Relaxed) {
+            self.flow_log.lock().push(FlowRecord {
+                at: self.now(),
+                client: v.ip,
+                network: network.name.clone(),
+                url: url.to_string(),
+                disposition,
+            });
+        }
+    }
+
     /// Fetch `url` as the given vantage point: resolve, traverse the
     /// vantage network's fault profile and middlebox chain, hit the
     /// origin service, and carry the response back.
@@ -428,18 +463,27 @@ impl Internet {
             return FetchOutcome::DnsFailure;
         };
 
-        // 2. Access-path faults.
-        if let Some(fault) = network.faults.sample(&mut *self.rng.lock()) {
-            let (outcome, label) = match fault {
-                Fault::Timeout => (FetchOutcome::Timeout, "timeout"),
-                Fault::Reset => (FetchOutcome::Reset, "reset"),
+        // 2. Access-path faults. Deterministic outage windows are checked
+        // first (no RNG draw); probabilistic faults each draw only when
+        // their probability is non-zero, so clean profiles leave the
+        // shared fault stream untouched.
+        if let Some(fault) = network.faults.sample_at(self.now(), &mut *self.rng.lock()) {
+            let (outcome, disposition) = match fault {
+                Fault::Timeout => (FetchOutcome::Timeout, FlowDisposition::PathFault("timeout")),
+                Fault::Reset => (FetchOutcome::Reset, FlowDisposition::PathFault("reset")),
+                Fault::DnsFailure => (
+                    FetchOutcome::DnsFailure,
+                    FlowDisposition::InjectedDnsFailure,
+                ),
+                Fault::Truncated => (FetchOutcome::Truncated, FlowDisposition::Truncated),
+                Fault::Outage { resumes_at } => (
+                    FetchOutcome::Timeout,
+                    FlowDisposition::Outage {
+                        resumes_at_secs: resumes_at.secs(),
+                    },
+                ),
             };
-            self.log_flow(
-                network,
-                client_ip,
-                &req.url,
-                FlowDisposition::PathFault(label),
-            );
+            self.log_flow(network, client_ip, &req.url, disposition);
             return outcome;
         }
 
@@ -665,6 +709,80 @@ mod tests {
         let vp = net.add_vantage("t", flaky);
         let out = net.fetch(vp, &Url::parse("http://5.0.0.1/").unwrap());
         assert_eq!(out, FetchOutcome::Timeout);
+    }
+
+    #[test]
+    fn outage_window_downs_the_path_until_it_passes() {
+        let (mut net, lab, _) = world();
+        let ip = net.alloc_ip(lab).unwrap();
+        net.add_host(ip, lab, &["www.site.ca"]);
+        net.add_service(ip, 80, Box::new(StaticSite::new("Site", "")));
+        let profile = FaultProfile::clean()
+            .try_with_outage(SimTime::from_secs(10), SimTime::from_secs(50))
+            .unwrap();
+        net.set_network_faults(lab, profile);
+        net.set_flow_log(true);
+        let vp = net.add_vantage("t", lab);
+        let url = Url::parse("http://www.site.ca/").unwrap();
+
+        assert!(net.fetch(vp, &url).is_ok(), "before the window");
+        net.advance_secs(10);
+        assert_eq!(net.fetch(vp, &url), FetchOutcome::Timeout);
+        net.advance_secs(40);
+        assert!(net.fetch(vp, &url).is_ok(), "after the window");
+
+        let log = net.flow_log();
+        assert_eq!(
+            log[1].disposition,
+            FlowDisposition::Outage {
+                resumes_at_secs: 50
+            }
+        );
+    }
+
+    #[test]
+    fn injected_dns_and_truncation_surface_as_outcomes() {
+        let (mut net, lab, _) = world();
+        let ip = net.alloc_ip(lab).unwrap();
+        net.add_host(ip, lab, &["www.site.ca"]);
+        net.add_service(ip, 80, Box::new(StaticSite::new("Site", "")));
+        let vp = net.add_vantage("t", lab);
+        let url = Url::parse("http://www.site.ca/").unwrap();
+
+        net.set_network_faults(
+            lab,
+            FaultProfile::clean().try_with_dns_failures(1.0).unwrap(),
+        );
+        net.set_flow_log(true);
+        assert_eq!(net.fetch(vp, &url), FetchOutcome::DnsFailure);
+        net.set_network_faults(lab, FaultProfile::clean().try_with_truncation(1.0).unwrap());
+        assert_eq!(net.fetch(vp, &url), FetchOutcome::Truncated);
+
+        let log = net.flow_log();
+        assert_eq!(log[0].disposition, FlowDisposition::InjectedDnsFailure);
+        assert_eq!(log[1].disposition, FlowDisposition::Truncated);
+    }
+
+    #[test]
+    fn vantage_events_land_in_flow_log_and_telemetry() {
+        let (mut net, lab, _) = world();
+        net.set_flow_log(true);
+        net.set_telemetry(filterwatch_telemetry::TelemetryHandle::enabled());
+        let vp = net.add_vantage("t", lab);
+        let url = Url::parse("http://www.site.ca/").unwrap();
+        net.log_vantage_event(vp, &url, FlowDisposition::BreakerSkip("t".into()));
+
+        let log = net.flow_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].network, "lab");
+        assert_eq!(log[0].disposition, FlowDisposition::BreakerSkip("t".into()));
+        let snap = net.telemetry().snapshot();
+        assert_eq!(
+            snap.counters_named("fetch.disposition"),
+            vec![("breaker-skip", 1)]
+        );
+        // No fetch was actually carried.
+        assert!(snap.counters_named("fetch.total").is_empty());
     }
 
     #[test]

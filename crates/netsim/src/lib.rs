@@ -20,7 +20,9 @@
 //! * a virtual [`clock`](time) measured in seconds/days, so
 //!   submit-and-retest-in-3-days protocols run instantly;
 //! * seeded randomness and per-network [`fault`] injection (packet drop,
-//!   TCP reset), reproducing the flaky measurement conditions of §4.4.
+//!   TCP reset, transient DNS failure, truncation, latency jitter and
+//!   deterministic outage windows on the virtual clock), reproducing the
+//!   flaky measurement conditions of §4.4.
 //!
 //! Everything is deterministic: construct [`Internet::new`] with a seed
 //! and the same experiment produces byte-identical results.
@@ -66,11 +68,11 @@ pub mod time;
 pub mod vantage;
 
 pub use dns::Dns;
-pub use fault::FaultProfile;
+pub use fault::{Fault, FaultProfile, FaultProfileError, OutageWindow};
 pub use flowlog::{FlowDisposition, FlowRecord};
 pub use internet::{Internet, Network, NetworkId, NetworkSpec};
 pub use ip::{Cidr, IpAddr};
-pub use middlebox::{FlowCtx, Middlebox, Verdict};
+pub use middlebox::{Flapping, FlowCtx, Middlebox, Verdict};
 pub use outcome::FetchOutcome;
 pub use registry::{Asn, CountryCode, Registry};
 pub use service::{Service, ServiceCtx};

@@ -128,6 +128,92 @@ impl std::fmt::Debug for Chain {
     }
 }
 
+/// A wrapper that makes a middlebox *flap*: with probability
+/// `fail_open_prob` a given flow bypasses the inner box entirely — the
+/// filter "fails open", as the paper's Yemeni Netsweeper deployment did
+/// when its license pool was exhausted (§4.4).
+///
+/// The fail-open decision is a pure function of `(seed, url, virtual
+/// time)` rather than a draw from a shared RNG stream, for two reasons:
+/// the request and response halves of a flow must agree on whether the
+/// box was bypassed, and wrapping a box must not perturb any other
+/// subsystem's random stream. Re-fetching the same URL at a different
+/// virtual time re-rolls the decision, which is exactly the flapping
+/// behaviour retries need to ride out.
+pub struct Flapping {
+    name: String,
+    inner: std::sync::Arc<dyn Middlebox>,
+    fail_open_prob: f64,
+    seed: u64,
+}
+
+impl Flapping {
+    /// Wrap `inner` so each flow fails open with `fail_open_prob`.
+    ///
+    /// # Errors
+    /// When the probability is outside `[0, 1]`.
+    pub fn try_new(
+        inner: std::sync::Arc<dyn Middlebox>,
+        fail_open_prob: f64,
+        seed: u64,
+    ) -> Result<Self, crate::fault::FaultProfileError> {
+        if !fail_open_prob.is_finite() || !(0.0..=1.0).contains(&fail_open_prob) {
+            return Err(crate::fault::FaultProfileError::BadProbability {
+                field: "fail_open_prob",
+                value: fail_open_prob,
+            });
+        }
+        Ok(Flapping {
+            name: format!("{}~flapping", inner.name()),
+            inner,
+            fail_open_prob,
+            seed,
+        })
+    }
+
+    /// Whether this flow bypasses the inner box (deterministic per
+    /// `(seed, url, now)`).
+    fn fails_open(&self, req: &Request, ctx: &FlowCtx) -> bool {
+        if self.fail_open_prob <= 0.0 {
+            return false;
+        }
+        if self.fail_open_prob >= 1.0 {
+            return true;
+        }
+        let h = crate::rng::mix(
+            self.seed,
+            &format!("flap/{}/{}|{}", self.name, req.url, ctx.now.secs()),
+        );
+        // Top 53 bits → uniform f64 in [0, 1).
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.fail_open_prob
+    }
+}
+
+impl Middlebox for Flapping {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process_request(&self, req: &Request, ctx: &FlowCtx) -> Verdict {
+        if self.fails_open(req, ctx) {
+            Verdict::Forward
+        } else {
+            self.inner.process_request(req, ctx)
+        }
+    }
+
+    fn process_response(&self, req: &Request, resp: Response, ctx: &FlowCtx) -> Response {
+        // Same pure draw as the request half, so a bypassed flow's
+        // response is also untouched.
+        if self.fails_open(req, ctx) {
+            resp
+        } else {
+            self.inner.process_response(req, resp, ctx)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +306,46 @@ mod tests {
         let resp = chain.run_response(&r, *block_page, &ctx(), passed);
         assert!(resp.headers.contains("X-Via-before"));
         assert!(!resp.headers.contains("X-Via-after"));
+    }
+
+    #[test]
+    fn flapping_fails_open_consistently_per_flow() {
+        let flap = Flapping::try_new(Arc::new(Blocker), 0.5, 11).unwrap();
+        assert_eq!(flap.name(), "blocker~flapping");
+        let r = req("banned.example");
+        let mut opened = 0;
+        let mut blocked = 0;
+        for secs in 0..200u64 {
+            let ctx = FlowCtx {
+                now: SimTime::from_secs(secs),
+                client_ip: "5.0.0.1".parse().unwrap(),
+            };
+            let first = flap.process_request(&r, &ctx);
+            // Same (url, time) → same decision, request and response
+            // halves agree.
+            assert_eq!(flap.process_request(&r, &ctx), first);
+            match first {
+                Verdict::Forward => opened += 1,
+                Verdict::Respond(_) => blocked += 1,
+                other => panic!("unexpected verdict {other:?}"),
+            }
+        }
+        assert!((60..=140).contains(&opened), "opened {opened}");
+        assert!(blocked > 0);
+    }
+
+    #[test]
+    fn flapping_extremes_and_validation() {
+        let always = Flapping::try_new(Arc::new(Blocker), 1.0, 3).unwrap();
+        let never = Flapping::try_new(Arc::new(Blocker), 0.0, 3).unwrap();
+        let r = req("banned.example");
+        assert_eq!(always.process_request(&r, &ctx()), Verdict::Forward);
+        assert!(matches!(
+            never.process_request(&r, &ctx()),
+            Verdict::Respond(_)
+        ));
+        assert!(Flapping::try_new(Arc::new(Blocker), 1.5, 3).is_err());
+        assert!(Flapping::try_new(Arc::new(Blocker), f64::NAN, 3).is_err());
     }
 
     #[test]

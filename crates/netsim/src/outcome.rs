@@ -20,6 +20,8 @@ pub enum FetchOutcome {
     DnsFailure,
     /// The destination address or port was unreachable.
     ConnectFailed,
+    /// The response was cut off mid-transfer; nothing usable arrived.
+    Truncated,
 }
 
 impl FetchOutcome {
@@ -52,6 +54,7 @@ impl FetchOutcome {
             FetchOutcome::Reset => "reset",
             FetchOutcome::DnsFailure => "dns-failure",
             FetchOutcome::ConnectFailed => "connect-failed",
+            FetchOutcome::Truncated => "truncated",
         }
     }
 }
@@ -84,6 +87,8 @@ mod tests {
     fn labels_and_display() {
         assert_eq!(FetchOutcome::DnsFailure.label(), "dns-failure");
         assert_eq!(FetchOutcome::Timeout.to_string(), "timeout");
+        assert_eq!(FetchOutcome::Truncated.to_string(), "truncated");
+        assert!(!FetchOutcome::Truncated.is_ok());
         let ok = FetchOutcome::Ok(Response::new(Status::FORBIDDEN));
         assert_eq!(ok.to_string(), "ok (403 Forbidden)");
     }

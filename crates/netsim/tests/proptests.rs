@@ -4,8 +4,8 @@ use filterwatch_http::{Request, Response, Url};
 use filterwatch_netsim::middlebox::Chain;
 use filterwatch_netsim::service::StaticSite;
 use filterwatch_netsim::{
-    Cidr, Dns, FaultProfile, FlowCtx, FlowDisposition, FlowRecord, Internet, IpAddr, Middlebox,
-    NetworkSpec, SimTime, Verdict,
+    Cidr, Dns, Fault, FaultProfile, FlowCtx, FlowDisposition, FlowRecord, Internet, IpAddr,
+    Middlebox, NetworkSpec, SimTime, Verdict,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -22,7 +22,11 @@ fn any_disposition() -> impl Strategy<Value = FlowDisposition> {
         Just(FlowDisposition::PathFault("timeout")),
         Just(FlowDisposition::PathFault("reset")),
         Just(FlowDisposition::DnsFailure),
+        Just(FlowDisposition::InjectedDnsFailure),
         Just(FlowDisposition::ConnectFailed),
+        any::<u64>().prop_map(|resumes_at_secs| FlowDisposition::Outage { resumes_at_secs }),
+        Just(FlowDisposition::Truncated),
+        name.prop_map(FlowDisposition::BreakerSkip),
     ]
 }
 
@@ -151,6 +155,40 @@ proptest! {
         let fails = (0..n).filter(|_| profile.sample(&mut rng).is_some()).count();
         let observed = fails as f64 / n as f64;
         prop_assert!((observed - prob).abs() < 0.08, "prob {prob} observed {observed}");
+    }
+
+    /// Outage windows are pure functions of the virtual clock: inside
+    /// `[from, until)` every sample is an outage, outside none is (on an
+    /// otherwise-clean profile), regardless of the RNG seed.
+    #[test]
+    fn outage_windows_pure(
+        from in 0u64..100_000,
+        len in 1u64..100_000,
+        t in 0u64..300_000,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let until = from + len;
+        let profile = FaultProfile::clean()
+            .try_with_outage(SimTime::from_secs(from), SimTime::from_secs(until))
+            .unwrap();
+        let fault = profile.sample_at(SimTime::from_secs(t), &mut rng);
+        if (from..until).contains(&t) {
+            prop_assert_eq!(fault, Some(Fault::Outage { resumes_at: SimTime::from_secs(until) }));
+        } else {
+            prop_assert_eq!(fault, None);
+        }
+    }
+
+    /// `try_new` accepts exactly the unit interval, in every position.
+    #[test]
+    fn try_new_accepts_exactly_unit_interval(p in -1.0f64..2.0) {
+        let ok = (0.0..=1.0).contains(&p);
+        prop_assert_eq!(FaultProfile::try_new(p, 0.0, 0.0, 0.0).is_ok(), ok);
+        prop_assert_eq!(FaultProfile::try_new(0.0, p, 0.0, 0.0).is_ok(), ok);
+        prop_assert_eq!(FaultProfile::try_new(0.0, 0.0, p, 0.0).is_ok(), ok);
+        prop_assert_eq!(FaultProfile::try_new(0.0, 0.0, 0.0, p).is_ok(), ok);
     }
 
     /// Registry prefix allocations never overlap, and every allocated

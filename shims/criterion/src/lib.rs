@@ -29,6 +29,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // Smoke mode (CI): shrink the loop so every bench still runs
+        // end-to-end — catching panics and determinism regressions —
+        // without paying for statistically meaningful timings.
+        if std::env::var_os("FILTERWATCH_BENCH_SMOKE").is_some() {
+            return Criterion {
+                sample_size: 3,
+                measurement_time: Duration::from_millis(50),
+                warm_up_time: Duration::from_millis(10),
+            };
+        }
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
