@@ -1,10 +1,74 @@
 //! The full Figure 1 identification pipeline (scan -> search -> validate
-//! -> geolocate).
+//! -> geolocate), plus the four optimization rungs of the keyword ×
+//! ccTLD sweep recorded in `BENCH_identify.json`:
+//!
+//! 1. `sweep/naive` — the pre-optimization shape: one full-index pass
+//!    per (keyword, country) pair, recompiling the pattern and
+//!    rebuilding each record's searchable text on every probe;
+//! 2. `sweep/cached-corpus` — posting-list-scoped per-keyword queries
+//!    over the corpus cached at index build time;
+//! 3. `sweep/automaton` — every keyword fused into one Aho-Corasick
+//!    automaton, single serial pass over the in-scope corpus;
+//! 4. `sweep/parallel` — the automaton pass parallelized over record
+//!    chunks.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeSet;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use filterwatch_bench::bench_world;
 use filterwatch_core::identify::IdentifyPipeline;
-use filterwatch_scanner::ScanEngine;
+use filterwatch_pattern::Pattern;
+use filterwatch_scanner::{keywords, ScanEngine, ScanIndex, ScanRecord};
+
+/// The seed implementation of the whole keyword × ccTLD sweep, kept
+/// here as the baseline rung: a full-index scan per (keyword, country)
+/// pair, pattern recompiled and record text rebuilt per probe.
+fn naive_sweep(index: &ScanIndex, cctlds: &[(String, String)]) -> usize {
+    let mut total = 0;
+    for product in keywords::KEYWORD_TABLE {
+        for kw in product.keywords {
+            let mut seen: BTreeSet<(u32, u16, String)> = BTreeSet::new();
+            for (cc, tld) in cctlds {
+                let pattern = Pattern::literal(kw);
+                let suffix = format!(".{tld}");
+                let scoped = |r: &&ScanRecord| {
+                    r.country.as_deref() == Some(cc.as_str())
+                        || r.hostnames
+                            .iter()
+                            .any(|h| h.to_ascii_lowercase().ends_with(&suffix))
+                };
+                #[allow(deprecated)]
+                for r in index
+                    .records()
+                    .iter()
+                    .filter(|r| pattern.is_match(&r.text()))
+                    .filter(scoped)
+                {
+                    seen.insert((r.ip.value(), r.port, r.path.clone()));
+                }
+            }
+            total += seen.len();
+        }
+    }
+    total
+}
+
+/// Rung 2: per-keyword queries against the cached corpus and posting
+/// lists (no automaton, no parallelism).
+fn cached_corpus_sweep(index: &ScanIndex, cctlds: &[(String, String)]) -> usize {
+    let mut total = 0;
+    for product in keywords::KEYWORD_TABLE {
+        for kw in product.keywords {
+            total += index
+                .search_all_countries(
+                    kw,
+                    cctlds.iter().map(|(cc, tld)| (cc.as_str(), tld.as_str())),
+                )
+                .len();
+        }
+    }
+    total
+}
 
 fn bench_identify(c: &mut Criterion) {
     let world = bench_world();
@@ -18,6 +82,30 @@ fn bench_identify(c: &mut Criterion) {
     c.bench_function("identify/search-validate-geolocate", |b| {
         b.iter(|| pipeline.run_on_index(&world.net, &index))
     });
+
+    let cctlds: Vec<(String, String)> = world
+        .net
+        .registry()
+        .countries()
+        .map(|country| (country.code.as_str().to_string(), country.cctld.clone()))
+        .collect();
+    let pairs = || cctlds.iter().map(|(cc, tld)| (cc.as_str(), tld.as_str()));
+
+    let mut group = c.benchmark_group("sweep");
+    group.throughput(Throughput::Elements(index.len() as u64));
+    group.bench_function("naive", |b| {
+        b.iter(|| naive_sweep(black_box(&index), &cctlds))
+    });
+    group.bench_function("cached-corpus", |b| {
+        b.iter(|| cached_corpus_sweep(black_box(&index), &cctlds))
+    });
+    group.bench_function("automaton", |b| {
+        b.iter(|| index.search_products_with_threads(keywords::KEYWORD_TABLE, pairs(), 1))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| index.search_products(keywords::KEYWORD_TABLE, pairs()))
+    });
+    group.finish();
 }
 
 criterion_group! {

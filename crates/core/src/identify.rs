@@ -138,26 +138,22 @@ impl IdentifyPipeline {
             .map(|c| (c.code.as_str().to_string(), c.cctld.clone()))
             .collect();
 
+        // The paper's keyword × ccTLD query form, as one batched sweep:
+        // every product's keywords are fused into a single automaton
+        // and matched against the in-scope corpus in one parallel pass,
+        // instead of one full-index scan per (keyword, country) pair.
+        let mut sweep = index.search_products(
+            keywords::KEYWORD_TABLE,
+            cctlds.iter().map(|(cc, tld)| (cc.as_str(), tld.as_str())),
+        );
+
         let mut candidates: BTreeMap<ProductKind, usize> = BTreeMap::new();
         let mut installations = Vec::new();
         let mut seen: BTreeSet<(IpAddr, ProductKind)> = BTreeSet::new();
 
         for product in ProductKind::ALL {
-            let kw_list = keywords::keywords_for(product.slug()).unwrap_or(&[]);
-            // Union of keyword×ccTLD searches (the paper's query form).
-            let mut candidate_ips: BTreeMap<IpAddr, Vec<String>> = BTreeMap::new();
-            for kw in kw_list {
-                let hits = index.search_all_countries(
-                    kw,
-                    cctlds.iter().map(|(cc, tld)| (cc.as_str(), tld.as_str())),
-                );
-                for rec in hits {
-                    let entry = candidate_ips.entry(rec.ip).or_default();
-                    if !entry.contains(&kw.to_string()) {
-                        entry.push(kw.to_string());
-                    }
-                }
-            }
+            let candidate_ips: BTreeMap<IpAddr, Vec<String>> =
+                sweep.remove(product.slug()).unwrap_or_default();
             candidates.insert(product, candidate_ips.len());
 
             // Validation: "when locating IP addresses of the URL filters,

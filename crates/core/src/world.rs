@@ -680,7 +680,9 @@ impl World {
     /// # Panics
     /// If the ISP has no field tester.
     pub fn client(&self, isp: &str) -> MeasurementClient {
-        MeasurementClient::new(self.field(isp), self.lab).with_resilience(self.resilience.clone())
+        MeasurementClient::new(self.field(isp), self.lab)
+            .with_resilience(self.resilience.clone())
+            .with_telemetry(self.net.telemetry().clone())
     }
 
     /// The lab (control) vantage point.

@@ -7,8 +7,32 @@
 //! deliberately *independent* of the products crate — like the paper's
 //! analysts, it matches what deployments actually emit, not what the
 //! vendor source code says.
+//!
+//! The library is query-compiled: both signature tiers are
+//! [`CompiledPatternSet`]s, so a classify call case-folds the trace
+//! text **once** and answers every literal signature in a single
+//! automaton pass (wildcard signatures ride the verified fallback
+//! tier). Per-call latency can be recorded into a telemetry histogram
+//! via [`BlockPageLibrary::with_telemetry`].
 
-use filterwatch_pattern::{Pattern, PatternSet};
+use std::time::Instant;
+
+use filterwatch_pattern::{CompiledPatternSet, Pattern, PatternSet};
+use filterwatch_telemetry::TelemetryHandle;
+
+/// Histogram metric recording wall nanoseconds per classify call.
+pub const CLASSIFY_LATENCY_METRIC: &str = "classify.wall_nanos";
+
+/// Bucket bounds (ns) for [`CLASSIFY_LATENCY_METRIC`].
+const CLASSIFY_LATENCY_BUCKETS: &[f64] = &[
+    250.0,
+    1_000.0,
+    4_000.0,
+    16_000.0,
+    64_000.0,
+    256_000.0,
+    1_024_000.0,
+];
 
 /// A classified block observation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,8 +48,9 @@ pub struct BlockMatch {
 /// The vendor block-page signature library.
 #[derive(Debug, Clone)]
 pub struct BlockPageLibrary {
-    vendors: PatternSet,
-    generic: Vec<Pattern>,
+    vendors: CompiledPatternSet,
+    generic: CompiledPatternSet,
+    telemetry: TelemetryHandle,
 }
 
 impl Default for BlockPageLibrary {
@@ -59,32 +84,73 @@ impl BlockPageLibrary {
         );
         vendors.insert("websense", Pattern::literal("websense"));
 
-        let generic = vec![
-            Pattern::literal("has been blocked"),
+        let mut generic = PatternSet::new();
+        generic.insert("generic", Pattern::literal("has been blocked"));
+        generic.insert(
+            "generic",
             Pattern::parse("access denied|access to this site is blocked").expect("static"),
+        );
+        generic.insert(
+            "generic",
             Pattern::literal("access restricted by network policy"),
-        ];
-        BlockPageLibrary { vendors, generic }
+        );
+
+        BlockPageLibrary {
+            vendors: CompiledPatternSet::compile(vendors),
+            generic: CompiledPatternSet::compile(generic),
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Builder-style: record a per-call latency histogram
+    /// ([`CLASSIFY_LATENCY_METRIC`]) on `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        telemetry.register_histogram(CLASSIFY_LATENCY_METRIC, CLASSIFY_LATENCY_BUCKETS);
+        self.telemetry = telemetry;
+        self
     }
 
     /// Classify a fetch trace (concatenated URLs, banners and bodies of
     /// every hop). Vendor signatures win over the generic fallback.
     pub fn classify(&self, trace_text: &str) -> Option<BlockMatch> {
+        if !self.telemetry.is_enabled() {
+            return self.classify_inner(trace_text);
+        }
+        let started = Instant::now();
+        let result = self.classify_inner(trace_text);
+        self.telemetry.observe(
+            CLASSIFY_LATENCY_METRIC,
+            "",
+            started.elapsed().as_nanos() as f64,
+        );
+        result
+    }
+
+    fn classify_inner(&self, trace_text: &str) -> Option<BlockMatch> {
+        // One case-folding pass serves both tiers: every automaton and
+        // fallback pattern below matches against the pre-lowered text.
         let lower = trace_text.to_ascii_lowercase();
-        let hits = self.vendors.matches(&lower);
-        if let Some(hit) = hits.first() {
+        if let Some(&index) = self
+            .vendors
+            .matching_indices_prefolded(trace_text, &lower)
+            .first()
+        {
+            let (name, pattern) = self.vendors.set().get(index).expect("index in range");
             return Some(BlockMatch {
-                product: Some(hit.name.to_string()),
-                evidence: format!("vendor signature /{}/", hit.pattern),
+                product: Some(name.to_string()),
+                evidence: format!("vendor signature /{pattern}/"),
             });
         }
-        for p in &self.generic {
-            if p.is_match(&lower) {
-                return Some(BlockMatch {
-                    product: None,
-                    evidence: format!("generic denial /{p}/"),
-                });
-            }
+        if let Some(&index) = self
+            .generic
+            .matching_indices_prefolded(trace_text, &lower)
+            .first()
+        {
+            let (_, pattern) = self.generic.set().get(index).expect("index in range");
+            return Some(BlockMatch {
+                product: None,
+                evidence: format!("generic denial /{pattern}/"),
+            });
         }
         None
     }
@@ -155,5 +221,39 @@ mod tests {
     #[test]
     fn library_size() {
         assert!(BlockPageLibrary::standard().vendor_signature_count() >= 8);
+    }
+
+    #[test]
+    fn evidence_strings_are_stable() {
+        let lib = BlockPageLibrary::standard();
+        let m = lib.classify("Server: ProxySG cfru=x").unwrap();
+        assert_eq!(m.evidence, "vendor signature /cfru=/");
+        let g = lib.classify("access denied by policy").unwrap();
+        assert_eq!(
+            g.evidence,
+            "generic denial /access denied|access to this site is blocked/"
+        );
+    }
+
+    #[test]
+    fn telemetry_records_classify_latency() {
+        let telemetry = TelemetryHandle::enabled();
+        let lib = BlockPageLibrary::standard().with_telemetry(telemetry.clone());
+        lib.classify("Server: ProxySG");
+        lib.classify("nothing to see");
+        let snapshot = telemetry.snapshot();
+        let histogram = snapshot
+            .histogram_named(CLASSIFY_LATENCY_METRIC)
+            .expect("classify latency histogram");
+        assert_eq!(histogram.total, 2);
+        assert_eq!(histogram.bounds, CLASSIFY_LATENCY_BUCKETS.to_vec());
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let lib = BlockPageLibrary::standard();
+        lib.classify("Server: ProxySG");
+        // No handle attached: nothing to snapshot, and no panic.
+        assert!(TelemetryHandle::disabled().snapshot().is_empty());
     }
 }

@@ -105,6 +105,13 @@ impl MeasurementClient {
         }
     }
 
+    /// Builder-style: record classifier latency (and any future client
+    /// metrics) on `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: filterwatch_telemetry::TelemetryHandle) -> Self {
+        self.library = self.library.with_telemetry(telemetry);
+        self
+    }
+
     /// Builder-style: enable retry/breaker/quorum behaviour.
     pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
         self.field_breaker = config.breaker.map(CircuitBreaker::new);

@@ -34,11 +34,13 @@
 //! assert!(!anchored.is_match("xHTTP/1.1 403 Forbidden"));
 //! ```
 
+mod automaton;
 mod matcher;
 mod parser;
 mod set;
 mod token;
 
+pub use automaton::{Automaton, CompiledPatternSet};
 pub use matcher::MatchSpan;
 pub use parser::ParseError;
 pub use set::{PatternSet, SetMatch};

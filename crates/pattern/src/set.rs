@@ -81,6 +81,11 @@ impl PatternSet {
             .any(|(n, p)| n == name && p.is_match(text))
     }
 
+    /// The entry at `index` (insertion order), if in range.
+    pub fn get(&self, index: usize) -> Option<(&str, &Pattern)> {
+        self.entries.get(index).map(|(n, p)| (n.as_str(), p))
+    }
+
     /// Iterate over `(name, pattern)` entries in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Pattern)> {
         self.entries.iter().map(|(n, p)| (n.as_str(), p))

@@ -1,6 +1,6 @@
 //! Property-based tests for the pattern engine.
 
-use filterwatch_pattern::Pattern;
+use filterwatch_pattern::{Automaton, CompiledPatternSet, Pattern, PatternSet};
 use proptest::prelude::*;
 
 /// Escape every metacharacter so arbitrary text becomes a literal pattern.
@@ -96,6 +96,70 @@ proptest! {
             let _ = p.is_match(&text);
             let _ = p.find(&text);
         }
+    }
+
+    /// The automaton's match set equals naive per-needle substring
+    /// search for arbitrary texts and needle sets, in both case modes.
+    #[test]
+    fn automaton_equals_naive_substring(
+        needles in proptest::collection::vec("[a-zA-Z0-9 /:.=-]{0,6}", 0..8),
+        text in "\\PC{0,80}",
+    ) {
+        for fold in [true, false] {
+            let automaton = Automaton::new(
+                needles.iter().enumerate().map(|(i, n)| (i, n.as_str())),
+                fold,
+            );
+            let expect: Vec<usize> = needles
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    if fold {
+                        text.to_ascii_lowercase().contains(&n.to_ascii_lowercase())
+                    } else {
+                        text.contains(n.as_str())
+                    }
+                })
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(automaton.matched_ids(&text), expect, "fold={}", fold);
+        }
+    }
+
+    /// A compiled pattern set answers exactly like the uncompiled one —
+    /// literal tiers and wildcard fallback tier combined — for a mix of
+    /// literal, alternation and wildcard patterns in both case modes.
+    #[test]
+    fn compiled_set_equals_pattern_set(
+        literals in proptest::collection::vec("[a-zA-Z0-9 ]{0,6}", 0..5),
+        wild_a in "[a-z]{1,4}", wild_b in "[a-z]{1,4}",
+        text in "\\PC{0,60}",
+        case_sensitive in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let mut set = PatternSet::new();
+        for (i, lit) in literals.iter().enumerate() {
+            let escaped: String = lit.chars().flat_map(|c| {
+                if matches!(c, '*' | '?' | '[' | ']' | '^' | '$' | '|' | '\\') {
+                    vec!['\\', c]
+                } else {
+                    vec![c]
+                }
+            }).collect();
+            let p = if case_sensitive[i % case_sensitive.len()] {
+                Pattern::parse_case_sensitive(&escaped).unwrap()
+            } else {
+                Pattern::parse(&escaped).unwrap()
+            };
+            set.insert(format!("lit{i}"), p);
+        }
+        set.insert_parsed("wild", &format!("{wild_a}*{wild_b}")).unwrap();
+        set.insert_parsed("alt", &format!("{wild_a}|{wild_b}?")).unwrap();
+
+        let compiled = CompiledPatternSet::compile(set.clone());
+        let naive: Vec<&str> = set.matches(&text).iter().map(|m| m.name).collect();
+        let fast: Vec<&str> = compiled.matches(&text).iter().map(|m| m.name).collect();
+        prop_assert_eq!(naive, fast);
+        prop_assert_eq!(set.matching_names(&text), compiled.matching_names(&text));
     }
 
     /// A `?` consumes exactly one character.

@@ -190,9 +190,9 @@ mod tests {
         let index = ScanEngine::new().with_threads(2).scan(&net);
         // Console answers on 8080 for both "/" and "/webadmin/", portal on 80.
         assert_eq!(index.len(), 3);
-        let texts: Vec<String> = index.records().iter().map(|r| r.text()).collect();
+        let texts = index.corpus();
         assert!(texts.iter().any(|t| t.contains("8080/webadmin/")));
-        assert!(texts.iter().any(|t| t.contains("Ooredoo")));
+        assert!(texts.iter().any(|t| t.contains("ooredoo")));
     }
 
     #[test]

@@ -1,17 +1,39 @@
 //! The keyword-searchable scan index.
+//!
+//! The index is *query-compiled*: [`ScanIndex::from_records`] lowercases
+//! each record's searchable text exactly once into a cached corpus and
+//! builds per-country / per-ccTLD posting lists, so the paper's
+//! keyword + ccTLD query form touches only in-scope records and never
+//! rebuilds a record's text. The batched [`ScanIndex::search_products`]
+//! goes further, fusing *every* Table 2 keyword into one Aho-Corasick
+//! automaton and answering the whole keyword × ccTLD sweep in a single
+//! (optionally parallel) pass over the corpus.
 
 use std::collections::BTreeMap;
 
 use filterwatch_netsim::IpAddr;
-use filterwatch_pattern::Pattern;
+use filterwatch_pattern::Automaton;
 
+use crate::keywords::ProductKeywords;
 use crate::record::ScanRecord;
 
 /// A built scan index (the Shodan analog).
 #[derive(Debug, Clone, Default)]
 pub struct ScanIndex {
     records: Vec<ScanRecord>,
+    /// Lowercased searchable text per record, built once at
+    /// construction — the cached corpus every query matches against.
+    corpus: Vec<String>,
+    /// Record indices per country metadata value (ascending).
+    by_country: BTreeMap<String, Vec<u32>>,
+    /// Record indices per hostname dot-suffix, lowercased (ascending):
+    /// a record with hostname `gw.isp.qa` posts under `qa` and `isp.qa`.
+    by_cctld: BTreeMap<String, Vec<u32>>,
 }
+
+/// Per-product hits of a batched keyword sweep: candidate address →
+/// the keywords (in keyword-table order) that surfaced it.
+pub type ProductHits = BTreeMap<IpAddr, Vec<String>>;
 
 /// Aggregate statistics about an index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,14 +47,53 @@ pub struct IndexStats {
 }
 
 impl ScanIndex {
-    /// Build an index from crawler records.
+    /// Build an index from crawler records, caching each record's
+    /// lowercased searchable text and the country/ccTLD posting lists.
     pub fn from_records(records: Vec<ScanRecord>) -> Self {
-        ScanIndex { records }
+        let corpus: Vec<String> = records
+            .iter()
+            .map(|r| r.searchable_text().to_ascii_lowercase())
+            .collect();
+        let mut by_country: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        let mut by_cctld: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+        for (index, record) in records.iter().enumerate() {
+            let index = index as u32;
+            if let Some(country) = &record.country {
+                by_country.entry(country.clone()).or_default().push(index);
+            }
+            for hostname in &record.hostnames {
+                let lower = hostname.to_ascii_lowercase();
+                for (pos, _) in lower.match_indices('.') {
+                    let suffix = &lower[pos + 1..];
+                    let posting = by_cctld.entry(suffix.to_string()).or_default();
+                    if posting.last() != Some(&index) {
+                        posting.push(index);
+                    }
+                }
+            }
+        }
+        ScanIndex {
+            records,
+            corpus,
+            by_country,
+            by_cctld,
+        }
     }
 
     /// All records, in `(ip, port, path)` order.
     pub fn records(&self) -> &[ScanRecord] {
         &self.records
+    }
+
+    /// The cached corpus: one lowercased searchable text per record,
+    /// parallel to [`records`](Self::records).
+    pub fn corpus(&self) -> &[String] {
+        &self.corpus
+    }
+
+    /// The cached searchable text of one record.
+    pub fn corpus_of(&self, index: usize) -> &str {
+        &self.corpus[index]
     }
 
     /// Number of records.
@@ -46,56 +107,239 @@ impl ScanIndex {
     }
 
     /// Keyword search: case-insensitive substring match over each
-    /// record's searchable text (banner, body snippet, hostnames,
+    /// record's cached searchable text (banner, body snippet, hostnames,
     /// `port/path`).
     pub fn search(&self, keyword: &str) -> Vec<&ScanRecord> {
-        let pattern = Pattern::literal(keyword);
-        self.records
-            .iter()
-            .filter(|r| pattern.is_match(&r.text()))
+        self.search_ids(keyword)
+            .into_iter()
+            .map(|i| &self.records[i])
             .collect()
+    }
+
+    /// Indices of the records matching `keyword`, ascending. Pair with
+    /// [`corpus_of`](Self::corpus_of) / [`records`](Self::records).
+    pub fn search_ids(&self, keyword: &str) -> Vec<usize> {
+        let needle = keyword.to_ascii_lowercase();
+        self.corpus
+            .iter()
+            .enumerate()
+            .filter(|(_, text)| text.contains(&needle))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Record indices in scope for one `(country_code, cctld)` pair:
+    /// the sorted union of the country and ccTLD posting lists.
+    fn scope_ids(&self, country_code: &str, cctld: &str) -> Vec<u32> {
+        let cc = country_code.to_ascii_uppercase();
+        let tld = cctld.trim_start_matches('.').to_ascii_lowercase();
+        let by_cc = self.by_country.get(&cc).map(Vec::as_slice).unwrap_or(&[]);
+        let by_tld = self.by_cctld.get(&tld).map(Vec::as_slice).unwrap_or(&[]);
+        let mut scope = Vec::with_capacity(by_cc.len() + by_tld.len());
+        let (mut a, mut b) = (0, 0);
+        while a < by_cc.len() || b < by_tld.len() {
+            let next = match (by_cc.get(a), by_tld.get(b)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    a += 1;
+                    b += 1;
+                    x
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    a += 1;
+                    x
+                }
+                (Some(_), Some(&y)) => {
+                    b += 1;
+                    y
+                }
+                (Some(&x), None) => {
+                    a += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    b += 1;
+                    y
+                }
+                (None, None) => unreachable!(),
+            };
+            scope.push(next);
+        }
+        scope
     }
 
     /// Keyword search restricted to one country's footprint — the
     /// paper's "keyword + ccTLD" query form. A record qualifies when the
     /// keyword matches *and* either a hostname carries the ccTLD or the
-    /// crawler's country metadata matches `country_code`.
+    /// crawler's country metadata matches `country_code`. Served from
+    /// the posting lists: only in-scope records are scanned.
     pub fn search_in_country(
         &self,
         keyword: &str,
         country_code: &str,
         cctld: &str,
     ) -> Vec<&ScanRecord> {
-        let cc = country_code.to_ascii_uppercase();
-        let suffix = format!(".{}", cctld.trim_start_matches('.').to_ascii_lowercase());
-        self.search(keyword)
+        let needle = keyword.to_ascii_lowercase();
+        self.scope_ids(country_code, cctld)
             .into_iter()
-            .filter(|r| {
-                r.country.as_deref() == Some(cc.as_str())
-                    || r.hostnames
-                        .iter()
-                        .any(|h| h.to_ascii_lowercase().ends_with(&suffix))
-            })
+            .filter(|&i| self.corpus[i as usize].contains(&needle))
+            .map(|i| &self.records[i as usize])
             .collect()
     }
 
     /// Union of `search_in_country` over a whole ccTLD table, as the
     /// paper runs each keyword against every country code. Returns
-    /// distinct addresses in order.
+    /// distinct endpoints in first-seen order, deduplicated by record
+    /// index (records are unique per `(ip, port, path)`).
     pub fn search_all_countries<'a, I>(&self, keyword: &str, cctlds: I) -> Vec<&ScanRecord>
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
-        let mut seen = std::collections::BTreeSet::new();
+        let needle = keyword.to_ascii_lowercase();
+        let mut seen = vec![false; self.records.len()];
         let mut out = Vec::new();
         for (cc, tld) in cctlds {
-            for rec in self.search_in_country(keyword, cc, tld) {
-                if seen.insert((rec.ip, rec.port, rec.path.clone())) {
-                    out.push(rec);
+            for i in self.scope_ids(cc, tld) {
+                let i = i as usize;
+                if !seen[i] && self.corpus[i].contains(&needle) {
+                    seen[i] = true;
+                    out.push(&self.records[i]);
                 }
             }
         }
         out
+    }
+
+    /// The batched query the identify stage runs: every product's
+    /// keyword list crossed with every `(country_code, cctld)` pair, in
+    /// one automaton sweep over the in-scope corpus, parallelized over
+    /// record chunks. Returns, per product slug, the candidate
+    /// addresses and the keywords (keyword-table order) that hit them.
+    pub fn search_products<'a, I>(
+        &self,
+        table: &[ProductKeywords],
+        cctlds: I,
+    ) -> BTreeMap<String, ProductHits>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4);
+        self.search_products_with_threads(table, cctlds, threads)
+    }
+
+    /// As [`search_products`](Self::search_products) with an explicit
+    /// worker count (1 = serial). Parallel and serial sweeps return
+    /// identical results: workers cover disjoint record chunks and the
+    /// merge folds per-record hits back in index order — which is
+    /// `(ip, port, path)` order for crawler-built indexes.
+    pub fn search_products_with_threads<'a, I>(
+        &self,
+        table: &[ProductKeywords],
+        cctlds: I,
+        threads: usize,
+    ) -> BTreeMap<String, ProductHits>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        // Compile every keyword of every product into one automaton;
+        // needle id = position in the flattened (product, keyword) list.
+        let mut needles: Vec<(usize, String)> = Vec::new();
+        let mut id_to_entry: Vec<(usize, usize)> = Vec::new();
+        for (pi, product) in table.iter().enumerate() {
+            for (ki, kw) in product.keywords.iter().enumerate() {
+                needles.push((id_to_entry.len(), kw.to_ascii_lowercase()));
+                id_to_entry.push((pi, ki));
+            }
+        }
+        let automaton = Automaton::new(needles, false); // corpus is pre-folded
+
+        // Scope: the union of every (cc, tld) pair's posting lists.
+        let mut in_scope = vec![false; self.records.len()];
+        for (cc, tld) in cctlds {
+            for i in self.scope_ids(cc, tld) {
+                in_scope[i as usize] = true;
+            }
+        }
+        let scoped: Vec<u32> = (0..self.records.len() as u32)
+            .filter(|&i| in_scope[i as usize])
+            .collect();
+
+        // Sweep the scoped corpus, one automaton pass per record.
+        let per_record = self.sweep(&automaton, &scoped, threads.max(1));
+
+        // Fold per-record hits into per-product candidate maps. Keyword
+        // lists are emitted in keyword-table order regardless of which
+        // record matched first, so the fold order cannot matter.
+        let mut matched: BTreeMap<(usize, IpAddr), Vec<bool>> = BTreeMap::new();
+        for (record_index, ids) in per_record {
+            let ip = self.records[record_index as usize].ip;
+            for id in ids {
+                let (pi, ki) = id_to_entry[id];
+                matched
+                    .entry((pi, ip))
+                    .or_insert_with(|| vec![false; table[pi].keywords.len()])[ki] = true;
+            }
+        }
+        let mut out: BTreeMap<String, ProductHits> = table
+            .iter()
+            .map(|p| (p.product.to_string(), ProductHits::new()))
+            .collect();
+        for ((pi, ip), kws) in matched {
+            let product = &table[pi];
+            let hit_kws: Vec<String> = product
+                .keywords
+                .iter()
+                .zip(&kws)
+                .filter(|(_, &hit)| hit)
+                .map(|(kw, _)| kw.to_string())
+                .collect();
+            out.get_mut(product.product)
+                .expect("product key inserted above")
+                .insert(ip, hit_kws);
+        }
+        out
+    }
+
+    /// Run `automaton` over the scoped records, in parallel chunks.
+    /// Returns `(record_index, matched needle ids)` for every record
+    /// with at least one hit, in ascending record order — per-chunk
+    /// results are concatenated in chunk order, and chunks partition
+    /// the (ascending) scope list.
+    fn sweep(
+        &self,
+        automaton: &Automaton,
+        scoped: &[u32],
+        threads: usize,
+    ) -> Vec<(u32, Vec<usize>)> {
+        let scan_chunk = |chunk: &[u32]| -> Vec<(u32, Vec<usize>)> {
+            chunk
+                .iter()
+                .filter_map(|&i| {
+                    let ids = automaton.matched_ids(&self.corpus[i as usize]);
+                    (!ids.is_empty()).then_some((i, ids))
+                })
+                .collect()
+        };
+        if threads <= 1 || scoped.len() < 2 {
+            return scan_chunk(scoped);
+        }
+        let chunk_size = scoped.len().div_ceil(threads).max(1);
+        let chunks: Vec<&[u32]> = scoped.chunks(chunk_size).collect();
+        let mut results: Vec<Vec<(u32, Vec<usize>)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(move |_| scan_chunk(chunk)))
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect();
+        })
+        .expect("sweep scope panicked");
+        // Ordered merge: chunk order is scope order is record order.
+        results.into_iter().flatten().collect()
     }
 
     /// Distinct addresses matching `keyword`.
@@ -126,6 +370,7 @@ impl ScanIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::keywords::KEYWORD_TABLE;
     use filterwatch_netsim::SimTime;
 
     fn rec(ip: &str, port: u16, banner: &str, host: &str, country: &str) -> ScanRecord {
@@ -160,6 +405,18 @@ mod tests {
     }
 
     #[test]
+    fn corpus_is_cached_and_lowercased() {
+        let idx = index();
+        assert_eq!(idx.corpus().len(), idx.len());
+        assert!(idx.corpus_of(0).contains("server: proxysg"));
+        assert!(idx.corpus_of(1).contains("gw.isp.qa"));
+        for (i, text) in idx.corpus().iter().enumerate() {
+            assert_eq!(text, &idx.corpus_of(i).to_string());
+            assert_eq!(text.to_ascii_lowercase(), *text);
+        }
+    }
+
+    #[test]
     fn country_scoped_search() {
         let idx = index();
         let sy = idx.search_in_country("proxysg", "SY", "sy");
@@ -173,10 +430,63 @@ mod tests {
     }
 
     #[test]
+    fn cctld_postings_cover_multi_label_suffixes() {
+        let idx = ScanIndex::from_records(vec![rec(
+            "5.0.0.1",
+            80,
+            "Server: ProxySG",
+            "gw.example.co.uk",
+            "GB",
+        )]);
+        assert_eq!(idx.search_in_country("proxysg", "ZZ", "co.uk").len(), 1);
+        assert_eq!(idx.search_in_country("proxysg", "ZZ", "uk").len(), 1);
+        assert!(idx.search_in_country("proxysg", "ZZ", "o.uk").is_empty());
+    }
+
+    #[test]
     fn union_over_cctlds_deduplicates() {
         let idx = index();
         let hits = idx.search_all_countries("proxysg", [("SY", "sy"), ("US", "us"), ("SY", "sy")]);
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_keyword_queries() {
+        let idx = index();
+        let pairs = [("SY", "sy"), ("QA", "qa"), ("SE", "se"), ("US", "us")];
+        let hits = idx.search_products(KEYWORD_TABLE, pairs);
+        let bluecoat = &hits["bluecoat"];
+        assert_eq!(bluecoat.len(), 2);
+        assert_eq!(
+            bluecoat[&"5.0.0.1".parse().unwrap()],
+            vec!["proxysg".to_string()]
+        );
+        let netsweeper = &hits["netsweeper"];
+        assert_eq!(netsweeper.len(), 1);
+        assert_eq!(
+            netsweeper[&"5.0.1.1".parse().unwrap()],
+            vec!["netsweeper".to_string()]
+        );
+        assert!(hits["websense"].is_empty());
+        assert!(hits["smartfilter"].is_empty());
+    }
+
+    #[test]
+    fn batched_sweep_scope_excludes_unlisted_countries() {
+        let idx = index();
+        // Only Syria in scope: the US ProxySG must not surface.
+        let hits = idx.search_products(KEYWORD_TABLE, [("SY", "sy")]);
+        assert_eq!(hits["bluecoat"].len(), 1);
+        assert!(hits["bluecoat"].contains_key(&"5.0.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_agree() {
+        let idx = index();
+        let pairs = [("SY", "sy"), ("QA", "qa"), ("SE", "se"), ("US", "us")];
+        let serial = idx.search_products_with_threads(KEYWORD_TABLE, pairs, 1);
+        let parallel = idx.search_products_with_threads(KEYWORD_TABLE, pairs, 4);
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -191,8 +501,8 @@ mod tests {
     #[test]
     fn matching_ips_deduplicates_ports() {
         let mut records = vec![
-            rec("5.0.0.1", 80, "x proxysg", "a", "SY"),
-            rec("5.0.0.1", 8080, "y proxysg", "a", "SY"),
+            rec("5.0.0.1", 80, "x proxysg", "a.example.sy", "SY"),
+            rec("5.0.0.1", 8080, "y proxysg", "a.example.sy", "SY"),
         ];
         records.sort_by_key(|a| (a.ip, a.port));
         let idx = ScanIndex::from_records(records);

@@ -35,5 +35,5 @@ mod record;
 pub use census::{enrich, CensusRecord, CensusSweep};
 pub use dump::{diff, IndexDiff};
 pub use engine::ScanEngine;
-pub use index::{IndexStats, ScanIndex};
+pub use index::{IndexStats, ProductHits, ScanIndex};
 pub use record::ScanRecord;

@@ -30,7 +30,11 @@ impl ScanRecord {
     /// The searchable text of the record: everything a keyword query is
     /// matched against, including the `port/path` form (`8080/webadmin/`)
     /// that Table 2's Netsweeper keywords rely on.
-    pub fn text(&self) -> String {
+    ///
+    /// Building this string is the cost `ScanIndex` amortizes: the
+    /// index caches `searchable_text().to_ascii_lowercase()` per record
+    /// at construction, so queries never call this.
+    pub(crate) fn searchable_text(&self) -> String {
         format!(
             "{} {}{} {} {} {}",
             self.ip,
@@ -40,6 +44,16 @@ impl ScanRecord {
             self.banner,
             self.body_snippet
         )
+    }
+
+    /// The searchable text of the record, rebuilt on every call.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh String per call; use the corpus cached at \
+                index build time (`ScanIndex::corpus_of` / `ScanIndex::corpus`)"
+    )]
+    pub fn text(&self) -> String {
+        self.searchable_text()
     }
 }
 
@@ -77,10 +91,17 @@ mod tests {
 
     #[test]
     fn text_includes_port_path_form() {
-        let text = record().text();
+        let text = record().searchable_text();
         assert!(text.contains("8080/webadmin/"));
         assert!(text.contains("netsweeper/5.1"));
         assert!(text.contains("gw.isp.qa"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_text_matches_searchable_text() {
+        let r = record();
+        assert_eq!(r.text(), r.searchable_text());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the scan index, its dump format and diffs.
 
 use filterwatch_netsim::SimTime;
-use filterwatch_scanner::{diff, ScanIndex, ScanRecord};
+use filterwatch_scanner::{diff, keywords, ScanIndex, ScanRecord};
 use proptest::prelude::*;
 
 fn any_record() -> impl Strategy<Value = ScanRecord> {
@@ -58,12 +58,13 @@ proptest! {
     }
 
     /// Keyword search results are always a subset of the records and
-    /// every hit's text really contains the keyword.
+    /// every hit's cached corpus text really contains the keyword.
     #[test]
     fn search_soundness(records in proptest::collection::vec(any_record(), 0..15), kw in "[a-z]{2,6}") {
         let index = ScanIndex::from_records(records);
-        for hit in index.search(&kw) {
-            prop_assert!(hit.text().to_ascii_lowercase().contains(&kw));
+        prop_assert_eq!(index.search(&kw).len(), index.search_ids(&kw).len());
+        for id in index.search_ids(&kw) {
+            prop_assert!(index.corpus_of(id).contains(&kw));
         }
     }
 
@@ -83,5 +84,50 @@ proptest! {
     #[test]
     fn dump_parser_total(text in "\\PC{0,300}") {
         let _ = ScanIndex::from_dump(&text);
+    }
+
+    /// The posting-list country search equals the brute-force
+    /// predicate from the seed implementation, record for record.
+    #[test]
+    fn country_search_equals_bruteforce(
+        records in proptest::collection::vec(any_record(), 0..25),
+        kw in "[a-z]{1,4}",
+        cc in "[A-Z]{2}",
+        tld in "[a-z]{2,3}",
+    ) {
+        let index = ScanIndex::from_records(records);
+        let fast: Vec<&ScanRecord> = index.search_in_country(&kw, &cc, &tld);
+        let suffix = format!(".{}", tld);
+        let brute: Vec<&ScanRecord> = index
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                index.corpus_of(*i).contains(&kw)
+                    && (r.country.as_deref() == Some(cc.as_str())
+                        || r.hostnames.iter().any(|h| h.to_ascii_lowercase().ends_with(&suffix)))
+            })
+            .map(|(_, r)| r)
+            .collect();
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Parallel batched search equals the serial sweep, record for
+    /// record, for any worker count.
+    #[test]
+    fn parallel_search_equals_serial(
+        records in proptest::collection::vec(any_record(), 0..40),
+        threads in 2usize..6,
+    ) {
+        let index = ScanIndex::from_records(records);
+        let pairs: Vec<(&str, &str)> = vec![("QA", "qa"), ("SY", "sy"), ("US", "us"), ("AA", "aa")];
+        let serial =
+            index.search_products_with_threads(keywords::KEYWORD_TABLE, pairs.iter().copied(), 1);
+        let parallel = index.search_products_with_threads(
+            keywords::KEYWORD_TABLE,
+            pairs.iter().copied(),
+            threads,
+        );
+        prop_assert_eq!(serial, parallel);
     }
 }

@@ -19,30 +19,66 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Declared per-iteration work volume, used to report a throughput
+/// figure (records/sec or bytes/sec) alongside the median latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements (records).
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+impl Throughput {
+    /// Render `amount / median_ns` as a human-readable rate.
+    fn rate(&self, median_ns: u64) -> String {
+        let (amount, unit) = match self {
+            Throughput::Elements(n) => (*n, "elem"),
+            Throughput::Bytes(n) => (*n, "B"),
+        };
+        if median_ns == 0 {
+            return format!("inf {unit}/s");
+        }
+        let per_sec = amount as f64 * 1e9 / median_ns as f64;
+        if per_sec >= 1e6 {
+            format!("{:.3} M{unit}/s", per_sec / 1e6)
+        } else if per_sec >= 1e3 {
+            format!("{:.3} K{unit}/s", per_sec / 1e3)
+        } else {
+            format!("{per_sec:.1} {unit}/s")
+        }
+    }
+}
+
 /// Benchmark harness entry point.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Smoke mode (CI): shrink the loop so every bench still runs
         // end-to-end — catching panics and determinism regressions —
-        // without paying for statistically meaningful timings.
+        // without paying for statistically meaningful timings. The
+        // builder methods clamp to these limits too, so a bench's own
+        // config cannot talk its way back into a long run.
         if std::env::var_os("FILTERWATCH_BENCH_SMOKE").is_some() {
             return Criterion {
                 sample_size: 3,
                 measurement_time: Duration::from_millis(50),
                 warm_up_time: Duration::from_millis(10),
+                smoke: true,
             };
         }
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
             warm_up_time: Duration::from_millis(300),
+            smoke: false,
         }
     }
 }
@@ -50,24 +86,61 @@ impl Default for Criterion {
 impl Criterion {
     /// Number of timed samples per benchmark.
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(2);
+        self.sample_size = if self.smoke {
+            self.sample_size
+        } else {
+            n.max(2)
+        };
         self
     }
 
     /// Target wall time spent measuring each benchmark.
     pub fn measurement_time(mut self, d: Duration) -> Self {
-        self.measurement_time = d;
+        self.measurement_time = d.min(self.measurement_time_cap());
         self
     }
 
     /// Target wall time spent warming up each benchmark.
     pub fn warm_up_time(mut self, d: Duration) -> Self {
-        self.warm_up_time = d;
+        self.warm_up_time = if self.smoke {
+            self.warm_up_time.min(d)
+        } else {
+            d
+        };
         self
     }
 
+    fn measurement_time_cap(&self) -> Duration {
+        if self.smoke {
+            self.measurement_time
+        } else {
+            Duration::MAX
+        }
+    }
+
     /// Run one benchmark and print its median time per iteration.
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (median, n) = self.measure(f);
+        println!("bench: {name:<40} {median:>12} ns/iter (n={n})");
+        self
+    }
+
+    /// Start a named group of related benchmarks. The group can declare
+    /// a per-iteration [`Throughput`], which adds a records/sec (or
+    /// bytes/sec) column to every bench it runs.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Warmup, calibrate, and collect timed samples for one routine.
+    fn measure<F>(&mut self, mut f: F) -> (u64, usize)
     where
         F: FnMut(&mut Bencher),
     {
@@ -90,17 +163,48 @@ impl Criterion {
         let mut samples = bencher.samples;
         samples.sort_unstable();
         let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
-        println!(
-            "bench: {:<40} {:>12} ns/iter (n={})",
-            name,
-            median,
-            samples.len()
-        );
-        self
+        (median, samples.len())
     }
 
     /// Run all registered groups (used by `criterion_main!`).
     pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and an optional
+/// throughput declaration (see [`Criterion::benchmark_group`]).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration of subsequent benches does.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group, printing `group/name`, median
+    /// ns/iter and — when a throughput is declared — the implied rate.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (median, n) = self.criterion.measure(f);
+        let full = format!("{}/{}", self.name, name);
+        match self.throughput {
+            Some(t) => println!(
+                "bench: {full:<40} {median:>12} ns/iter  {:>14} (n={n})",
+                t.rate(median)
+            ),
+            None => println!("bench: {full:<40} {median:>12} ns/iter (n={n})"),
+        }
+        self
+    }
+
+    /// End the group (parity with the real criterion API).
+    pub fn finish(self) {}
 }
 
 /// Passed to each benchmark closure; runs and times the routine.
@@ -215,5 +319,24 @@ mod tests {
             .measurement_time(Duration::from_millis(50))
             .warm_up_time(Duration::from_millis(10));
         tiny_bench(&mut c);
+    }
+
+    #[test]
+    fn grouped_bench_with_throughput_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(128));
+        group.bench_function("summed", |b| b.iter(|| (0..128u32).sum::<u32>()));
+        group.finish();
+    }
+
+    #[test]
+    fn throughput_rate_formats() {
+        assert_eq!(Throughput::Elements(1_000).rate(1_000_000), "1.000 Melem/s");
+        assert_eq!(Throughput::Bytes(500).rate(1_000_000_000), "500.0 B/s");
+        assert_eq!(Throughput::Elements(10).rate(0), "inf elem/s");
     }
 }
