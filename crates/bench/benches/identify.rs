@@ -3,8 +3,8 @@
 //! ccTLD sweep recorded in `BENCH_identify.json`:
 //!
 //! 1. `sweep/naive` — the pre-optimization shape: one full-index pass
-//!    per (keyword, country) pair, recompiling the pattern and
-//!    rebuilding each record's searchable text on every probe;
+//!    per (keyword, country) pair, recompiling the pattern on every
+//!    probe, no posting-list scoping;
 //! 2. `sweep/cached-corpus` — posting-list-scoped per-keyword queries
 //!    over the corpus cached at index build time;
 //! 3. `sweep/automaton` — every keyword fused into one Aho-Corasick
@@ -22,7 +22,7 @@ use filterwatch_scanner::{keywords, ScanEngine, ScanIndex, ScanRecord};
 
 /// The seed implementation of the whole keyword × ccTLD sweep, kept
 /// here as the baseline rung: a full-index scan per (keyword, country)
-/// pair, pattern recompiled and record text rebuilt per probe.
+/// pair, pattern recompiled per probe, no posting-list scoping.
 fn naive_sweep(index: &ScanIndex, cctlds: &[(String, String)]) -> usize {
     let mut total = 0;
     for product in keywords::KEYWORD_TABLE {
@@ -37,14 +37,10 @@ fn naive_sweep(index: &ScanIndex, cctlds: &[(String, String)]) -> usize {
                             .iter()
                             .any(|h| h.to_ascii_lowercase().ends_with(&suffix))
                 };
-                #[allow(deprecated)]
-                for r in index
-                    .records()
-                    .iter()
-                    .filter(|r| pattern.is_match(&r.text()))
-                    .filter(scoped)
-                {
-                    seen.insert((r.ip.value(), r.port, r.path.clone()));
+                for (i, r) in index.records().iter().enumerate() {
+                    if pattern.is_match(index.corpus_of(i)) && scoped(&r) {
+                        seen.insert((r.ip.value(), r.port, r.path.clone()));
+                    }
                 }
             }
             total += seen.len();

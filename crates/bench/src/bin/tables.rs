@@ -30,6 +30,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut artifact = String::from("all");
     let mut seed = DEFAULT_SEED;
+    let mut wall = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -40,6 +41,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
+            "--wall" => wall = true,
             name if !name.starts_with('-') => artifact = name.to_string(),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -72,7 +74,7 @@ fn main() {
     artifact!("challenge2", challenge2(seed));
     artifact!("ablation", ablation(seed));
     artifact!("websense2009", websense2009(seed));
-    artifact!("telemetry", telemetry(seed));
+    artifact!("telemetry", telemetry(seed, wall));
     if artifact == "report" {
         ran = true;
         report(seed);
@@ -86,7 +88,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|all] [--seed N]"
+        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|all] [--seed N] [--wall]"
     );
     std::process::exit(2);
 }
@@ -322,21 +324,31 @@ fn websense2009(seed: u64) {
     );
 }
 
-/// Telemetry readout of the standard campaign: per-stage span timings
-/// (virtual + wall), counters (per-vendor middlebox verdicts among
-/// them), the fetch-latency histogram, and the auditable event log.
-fn telemetry(seed: u64) {
+/// Telemetry readout of the standard campaign: per-stage span timings,
+/// counters (per-vendor middlebox verdicts among them), the
+/// fetch-latency histogram, and the auditable event log. By default the
+/// output is byte-stable across runs (wall-clock readings excluded);
+/// `--wall` switches to the full report including wall timings.
+fn telemetry(seed: u64, wall: bool) {
     use filterwatch_telemetry::render;
     let report = filterwatch_core::Campaign::standard(seed).run();
     let snap = &report.telemetry;
-    print!("{}", render::text_report(snap));
+    if wall {
+        print!("{}", render::text_report(snap));
+    } else {
+        print!("{}", render::stable_text_report(snap));
+    }
     println!();
     println!("event log:");
     print!("{}", render::events_log(snap));
     println!();
     println!("csv exports:");
     println!("--- spans.csv ---");
-    print!("{}", render::spans_csv(snap));
+    if wall {
+        print!("{}", render::spans_csv(snap));
+    } else {
+        print!("{}", render::stable_spans_csv(snap));
+    }
     println!("--- metrics.csv ---");
     print!("{}", render::metrics_csv(snap));
 }

@@ -25,7 +25,6 @@ use filterwatch_telemetry::{stage, Snapshot, TelemetryHandle};
 use crate::characterize::{characterize, Characterization, Table4Column};
 use crate::confirm::{render_table3, run_case_study, table3_specs, CaseStudyResult, CaseStudySpec};
 use crate::identify::{IdentificationReport, IdentifyPipeline};
-use crate::report::TextTable;
 use crate::world::{World, WorldOptions};
 
 /// A configured campaign.
@@ -215,17 +214,7 @@ impl CampaignReport {
     /// byte-compared against clean runs on exactly this rendering, so it
     /// must contain verdicts only, never timing or quality noise.
     pub fn identify_table(&self) -> String {
-        let mut table = TextTable::new(["Product", "Country", "ASN", "AS name", "IP"]);
-        for inst in &self.identification.installations {
-            table.row([
-                inst.product.name().to_string(),
-                inst.country.clone(),
-                inst.asn.map(|a| format!("AS{a}")).unwrap_or_default(),
-                inst.as_name.clone(),
-                inst.ip.to_string(),
-            ]);
-        }
-        table.render()
+        self.identification.render_installations()
     }
 
     /// The confirm-stage verdict table as stable text (same byte-
@@ -305,8 +294,14 @@ impl CampaignReport {
             q.inconclusive_rate() * 100.0
         ));
 
+        // The stable rendering (virtual-clock timings only): the whole
+        // report is a pure function of the seed, byte-identical across
+        // runs, which is what the golden-snapshot suite checks against.
+        // Wall-clock profiles live in `tables -- telemetry --wall`.
         out.push_str("\n## Telemetry\n\n```text\n");
-        out.push_str(&filterwatch_telemetry::render::text_report(&self.telemetry));
+        out.push_str(&filterwatch_telemetry::render::stable_text_report(
+            &self.telemetry,
+        ));
         out.push_str("```\n");
         out
     }

@@ -64,6 +64,24 @@ impl IdentificationReport {
             .collect()
     }
 
+    /// Render the installation table as stable text: one row per
+    /// validated installation, verdict data only (no timing or quality
+    /// noise). Chaos runs, permutation invariants and the differential
+    /// runner all byte-compare on exactly this rendering.
+    pub fn render_installations(&self) -> String {
+        let mut table = TextTable::new(["Product", "Country", "ASN", "AS name", "IP"]);
+        for inst in &self.installations {
+            table.row([
+                inst.product.name().to_string(),
+                inst.country.clone(),
+                inst.asn.map(|a| format!("AS{a}")).unwrap_or_default(),
+                inst.as_name.clone(),
+                inst.ip.to_string(),
+            ]);
+        }
+        table.render()
+    }
+
     /// Render the Figure 1 product→countries map as text.
     pub fn render_figure1(&self) -> String {
         let mut table = TextTable::new(["Product", "Countries with validated installations"]);

@@ -92,6 +92,22 @@ pub struct UrlVerdict {
     pub verdict: Verdict,
 }
 
+impl UrlVerdict {
+    /// One stable tab-separated line: URL, verdict label, and the
+    /// attributed product (`-` when none). Error/reason strings are
+    /// deliberately excluded — they may carry timing-dependent detail —
+    /// so differential runners and metamorphic invariants can byte-
+    /// compare verdict sweeps across configurations.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}",
+            self.url,
+            self.verdict.label(),
+            self.verdict.blocked_by().unwrap_or("-")
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +147,26 @@ mod tests {
             .to_string(),
             "inaccessible"
         );
+    }
+
+    #[test]
+    fn stable_line_excludes_noise() {
+        let blocked = UrlVerdict {
+            url: "http://a.example/".into(),
+            verdict: Verdict::Blocked(BlockMatch {
+                product: Some("netsweeper".into()),
+                evidence: "sig".into(),
+            }),
+        };
+        assert_eq!(blocked.to_line(), "http://a.example/\tblocked\tnetsweeper");
+        let inconclusive = UrlVerdict {
+            url: "http://b.example/".into(),
+            verdict: Verdict::Inconclusive {
+                reason: "breaker open until t=1234".into(),
+            },
+        };
+        // The reason (timing detail) must not leak into the line.
+        assert_eq!(inconclusive.to_line(), "http://b.example/\tinconclusive\t-");
     }
 
     #[test]

@@ -577,6 +577,68 @@ impl Internet {
         };
         Some(service.handle(req, &ctx))
     }
+
+    /// A stable digest of the built topology: countries, ASes, networks
+    /// (with their middlebox chains and fault profiles), hosts (with
+    /// hostnames and open ports) and vantage points.
+    ///
+    /// Two [`Internet`]s built by the same deterministic recipe produce
+    /// the same digest, so generative test harnesses can assert "same
+    /// plan ⇒ same world" cheaply, and world minimizers can detect when
+    /// a shrink step actually changed the topology. The digest covers
+    /// construction-time shape only — never the clock, the RNG state,
+    /// the flow log or telemetry — so it is unchanged by running
+    /// measurements against the world.
+    pub fn topology_digest(&self) -> u64 {
+        // FNV-1a, stable across platforms and runs.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h ^= 0xff; // field separator
+            h = h.wrapping_mul(PRIME);
+        };
+        for c in self.registry.countries() {
+            eat(c.code.as_str().as_bytes());
+            eat(c.name.as_bytes());
+            eat(c.cctld.as_bytes());
+        }
+        for rec in self.registry.ases() {
+            eat(&rec.asn.0.to_le_bytes());
+            eat(rec.name.as_bytes());
+            eat(rec.country.as_str().as_bytes());
+        }
+        for net in &self.networks {
+            eat(net.name.as_bytes());
+            eat(&net.asn.0.to_le_bytes());
+            eat(net.country.as_str().as_bytes());
+            for cidr in &net.cidrs {
+                eat(cidr.to_string().as_bytes());
+            }
+            for name in net.middlebox_names() {
+                eat(name.as_bytes());
+            }
+            eat(format!("{:?}", net.faults).as_bytes());
+        }
+        for (ip, host) in &self.hosts {
+            eat(&ip.value().to_le_bytes());
+            for name in &host.hostnames {
+                eat(name.as_bytes());
+            }
+            for port in host.open_ports() {
+                eat(&port.to_le_bytes());
+            }
+        }
+        for v in &self.vantages {
+            eat(v.name.as_bytes());
+            eat(&v.ip.value().to_le_bytes());
+        }
+        h
+    }
 }
 
 impl std::fmt::Debug for Internet {
@@ -953,5 +1015,44 @@ mod tests {
         net.add_service(ip, 8080, Box::new(StaticSite::new("b", "")));
         net.add_service(ip, 80, Box::new(StaticSite::new("a", "")));
         assert_eq!(net.host(ip).unwrap().open_ports(), vec![80, 8080]);
+    }
+
+    #[test]
+    fn topology_digest_is_reproducible_and_shape_sensitive() {
+        let (a, _, _) = world();
+        let (b, _, _) = world();
+        assert_eq!(a.topology_digest(), b.topology_digest());
+
+        // Adding a host changes the digest.
+        let (mut c, lab, _) = world();
+        let ip = c.alloc_ip(lab).unwrap();
+        c.add_host(ip, lab, &["extra.example"]);
+        assert_ne!(a.topology_digest(), c.topology_digest());
+
+        // Attaching a middlebox changes it too.
+        let (mut d, _, isp) = world();
+        d.attach_middlebox(isp, Arc::new(BlockAll));
+        assert_ne!(a.topology_digest(), d.topology_digest());
+    }
+
+    #[test]
+    fn topology_digest_ignores_runtime_state() {
+        let (net, lab_net, _) = world();
+        let before = net.topology_digest();
+        let mut net = net;
+        let ip = net.alloc_ip(lab_net).unwrap();
+        net.add_host(ip, lab_net, &["site.example"]);
+        net.add_service(ip, 80, Box::new(StaticSite::new("s", "hello")));
+        let shaped = net.topology_digest();
+        assert_ne!(before, shaped);
+
+        // Fetching and advancing the clock leave the digest untouched.
+        let v = net.add_vantage("tester", lab_net);
+        let with_vantage = net.topology_digest();
+        assert_ne!(shaped, with_vantage, "vantages are part of the shape");
+        let url = Url::parse("http://site.example/").unwrap();
+        let _ = net.fetch(v, &url);
+        net.advance_days(3);
+        assert_eq!(net.topology_digest(), with_vantage);
     }
 }

@@ -85,6 +85,23 @@ impl ScanIndex {
         &self.records
     }
 
+    /// A new index over the same records in a deterministically shuffled
+    /// order (seeded Fisher–Yates), posting lists and corpus rebuilt to
+    /// match. Identification is defined to be record-order-invariant;
+    /// metamorphic tests permute an index with this and byte-compare the
+    /// resulting reports.
+    pub fn shuffled(&self, seed: u64) -> ScanIndex {
+        use rand::Rng as _;
+        use rand::SeedableRng as _;
+        let mut records = self.records.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for i in (1..records.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            records.swap(i, j);
+        }
+        ScanIndex::from_records(records)
+    }
+
     /// The cached corpus: one lowercased searchable text per record,
     /// parallel to [`records`](Self::records).
     pub fn corpus(&self) -> &[String] {
@@ -496,6 +513,34 @@ mod tests {
         assert_eq!(s.addresses, 4);
         assert_eq!(s.by_country["SY"], 1);
         assert_eq!(s.by_country.len(), 4);
+    }
+
+    #[test]
+    fn shuffled_preserves_records_and_search_results() {
+        let idx = index();
+        let shuffled = idx.shuffled(42);
+        // Same record multiset (here: same sorted (ip, port) keys).
+        let mut orig: Vec<_> = idx.records().iter().map(|r| (r.ip, r.port)).collect();
+        let mut perm: Vec<_> = shuffled.records().iter().map(|r| (r.ip, r.port)).collect();
+        orig.sort_unstable();
+        perm.sort_unstable();
+        assert_eq!(orig, perm);
+        // Determinism: the same seed yields the same permutation.
+        let again: Vec<_> = idx
+            .shuffled(42)
+            .records()
+            .iter()
+            .map(|r| (r.ip, r.port))
+            .collect();
+        let first: Vec<_> = shuffled.records().iter().map(|r| (r.ip, r.port)).collect();
+        assert_eq!(first, again);
+        // Query results are order-insensitive: the batched sweep over the
+        // shuffled index equals the sweep over the original.
+        let pairs = [("SY", "sy"), ("QA", "qa"), ("SE", "se"), ("US", "us")];
+        assert_eq!(
+            idx.search_products(KEYWORD_TABLE, pairs),
+            shuffled.search_products(KEYWORD_TABLE, pairs)
+        );
     }
 
     #[test]

@@ -62,20 +62,23 @@ fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-fn span_rows(snapshot: &Snapshot) -> Vec<Vec<String>> {
+fn span_rows(snapshot: &Snapshot, wall: bool) -> Vec<Vec<String>> {
     snapshot
         .spans
         .iter()
         .map(|s| {
             let indent = "  ".repeat(s.depth as usize);
-            vec![
+            let mut row = vec![
                 format!("{indent}{}", s.stage),
                 s.label.clone(),
                 format_vtime(s.v_start),
                 format_vtime(s.v_end),
                 format!("{}s", s.v_elapsed()),
-                format!("{:.3}", s.wall_nanos as f64 / 1e6),
-            ]
+            ];
+            if wall {
+                row.push(format!("{:.3}", s.wall_nanos as f64 / 1e6));
+            }
+            row
         })
         .collect()
 }
@@ -85,8 +88,24 @@ fn span_rows(snapshot: &Snapshot) -> Vec<Vec<String>> {
 pub fn spans_table(snapshot: &Snapshot) -> String {
     text_table(
         &["stage", "label", "v.start", "v.end", "v.elapsed", "wall ms"],
-        &span_rows(snapshot),
+        &span_rows(snapshot, true),
     )
+}
+
+/// [`spans_table`] without the wall-clock column: virtual timings only,
+/// so the rendering is byte-identical across runs at the same seed.
+pub fn spans_table_stable(snapshot: &Snapshot) -> String {
+    text_table(
+        &["stage", "label", "v.start", "v.end", "v.elapsed"],
+        &span_rows(snapshot, false),
+    )
+}
+
+/// Whether a histogram records wall-clock measurements (and therefore
+/// cannot appear in a byte-stable rendering). The convention: wall-time
+/// histograms carry `wall` in their metric name (`classify.wall_nanos`).
+pub fn is_wall_histogram(name: &str) -> bool {
+    name.contains("wall")
 }
 
 /// Span records as CSV.
@@ -117,6 +136,39 @@ pub fn spans_csv(snapshot: &Snapshot) -> String {
             "v_start_secs",
             "v_end_secs",
             "wall_nanos",
+        ],
+        &rows,
+    )
+}
+
+/// Span records as CSV without the `wall_nanos` column: byte-identical
+/// across two runs at the same seed. The stable counterpart of
+/// [`spans_csv`], the way [`stable_text_report`] is of [`text_report`].
+pub fn stable_spans_csv(snapshot: &Snapshot) -> String {
+    let rows: Vec<Vec<String>> = snapshot
+        .spans
+        .iter()
+        .map(|s| {
+            vec![
+                s.id.to_string(),
+                s.parent.map(|p| p.to_string()).unwrap_or_default(),
+                s.depth.to_string(),
+                s.stage.to_string(),
+                s.label.clone(),
+                s.v_start.to_string(),
+                s.v_end.to_string(),
+            ]
+        })
+        .collect();
+    csv(
+        &[
+            "id",
+            "parent",
+            "depth",
+            "stage",
+            "label",
+            "v_start_secs",
+            "v_end_secs",
         ],
         &rows,
     )
@@ -172,8 +224,23 @@ pub fn metrics_csv(snapshot: &Snapshot) -> String {
 
 /// One table per histogram: a row per bucket plus count/mean summary.
 pub fn histograms_table(snapshot: &Snapshot) -> String {
+    histograms_table_filtered(snapshot, false)
+}
+
+/// [`histograms_table`] with wall-clock histograms elided: their bucket
+/// counts and means vary run to run, so stable renderings skip them
+/// (the observation *count* still appears in the stable report footer
+/// via the metrics section, where recorded).
+pub fn histograms_table_stable(snapshot: &Snapshot) -> String {
+    histograms_table_filtered(snapshot, true)
+}
+
+fn histograms_table_filtered(snapshot: &Snapshot, stable_only: bool) -> String {
     let mut out = String::new();
     for h in &snapshot.histograms {
+        if stable_only && is_wall_histogram(&h.name) {
+            continue;
+        }
         out.push_str(&format!(
             "{} — {} observations, mean {:.1}\n",
             render_key(&h.name, &h.label),
@@ -227,11 +294,32 @@ pub fn events_log(snapshot: &Snapshot) -> String {
 }
 
 /// The full plain-text report: spans, metrics, histograms, event count.
+/// Includes wall-clock measurements, so two runs at the same seed render
+/// differently — use [`stable_text_report`] wherever byte-stability
+/// matters (campaign reports, goldens, differential comparisons).
 pub fn text_report(snapshot: &Snapshot) -> String {
+    text_report_impl(snapshot, false)
+}
+
+/// The byte-stable plain-text report: identical layout to
+/// [`text_report`] minus every wall-clock measurement (the spans table's
+/// wall-ms column and any histogram whose name marks it as wall-based).
+/// Two runs at the same seed produce byte-identical output; this is the
+/// rendering campaign reports embed and goldens are checked against.
+pub fn stable_text_report(snapshot: &Snapshot) -> String {
+    text_report_impl(snapshot, true)
+}
+
+fn text_report_impl(snapshot: &Snapshot, stable: bool) -> String {
     let mut out = String::new();
     if !snapshot.spans.is_empty() {
         out.push_str("Spans\n\n");
-        out.push_str(&spans_table(snapshot));
+        let spans = if stable {
+            spans_table_stable(snapshot)
+        } else {
+            spans_table(snapshot)
+        };
+        out.push_str(&spans);
         out.push('\n');
     }
     if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
@@ -240,8 +328,15 @@ pub fn text_report(snapshot: &Snapshot) -> String {
         out.push('\n');
     }
     if !snapshot.histograms.is_empty() {
-        out.push_str("Histograms\n\n");
-        out.push_str(&histograms_table(snapshot));
+        let rendered = if stable {
+            histograms_table_stable(snapshot)
+        } else {
+            histograms_table(snapshot)
+        };
+        if !rendered.is_empty() {
+            out.push_str("Histograms\n\n");
+            out.push_str(&rendered);
+        }
     }
     out.push_str(&format!("{} events logged\n", snapshot.events.len()));
     out
@@ -293,6 +388,9 @@ mod tests {
             "id,parent,depth,stage,label,v_start_secs,v_end_secs,wall_nanos"
         );
         assert_eq!(lines.count(), 2);
+        let stable = stable_spans_csv(&snap);
+        assert!(!stable.contains("wall_nanos"));
+        assert_eq!(stable.lines().count(), csv.lines().count());
         assert!(metrics_csv(&snap).contains("counter,middlebox.verdict,smartfilter,4"));
         assert!(histograms_csv(&snap)
             .lines()
@@ -315,5 +413,57 @@ mod tests {
         assert!(report.contains("Metrics\n"));
         assert!(report.contains("1 events logged"));
         assert!(events_log(&sample()).starts_with("v0\tscan.start\thosts=3"));
+    }
+
+    fn wall_sample() -> Snapshot {
+        let t = TelemetryHandle::enabled();
+        let span = t.span_start(stage::IDENTIFY, "run", 0);
+        t.span_end(span, 60);
+        t.register_histogram("classify.wall_nanos", &[10.0, 100.0]);
+        t.observe("classify.wall_nanos", "", 42.0);
+        t.register_histogram("retry.backoff_secs", &[1.0, 8.0]);
+        t.observe("retry.backoff_secs", "", 2.0);
+        t.snapshot()
+    }
+
+    #[test]
+    fn stable_report_omits_wall_measurements() {
+        let snap = wall_sample();
+        let stable = stable_text_report(&snap);
+        assert!(!stable.contains("wall"), "{stable}");
+        assert!(
+            stable.contains("retry.backoff_secs"),
+            "virtual-clock histograms stay: {stable}"
+        );
+        // The profiling view still carries both.
+        let full = text_report(&snap);
+        assert!(full.contains("wall ms"));
+        assert!(full.contains("classify.wall_nanos"));
+    }
+
+    #[test]
+    fn stable_spans_table_has_no_wall_column() {
+        let snap = sample();
+        let stable = spans_table_stable(&snap);
+        assert!(stable.contains("v.elapsed"));
+        assert!(!stable.contains("wall ms"));
+        // Same rows, same indentation as the profiling table.
+        assert_eq!(stable.lines().count(), spans_table(&snap).lines().count());
+    }
+
+    #[test]
+    fn wall_histogram_naming_convention() {
+        assert!(is_wall_histogram("classify.wall_nanos"));
+        assert!(is_wall_histogram("fetch.wall_ms"));
+        assert!(!is_wall_histogram("retry.backoff_secs"));
+    }
+
+    #[test]
+    fn stable_report_is_deterministic_for_same_virtual_activity() {
+        // Two separately recorded but virtually identical snapshots
+        // render byte-identically in stable mode (wall times differ).
+        let a = stable_text_report(&wall_sample());
+        let b = stable_text_report(&wall_sample());
+        assert_eq!(a, b);
     }
 }

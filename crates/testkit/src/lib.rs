@@ -1,0 +1,42 @@
+//! # filterwatch-testkit
+//!
+//! A deterministic simulation test harness for the whole measurement
+//! pipeline. Where the crate-level unit tests pin the *paper world*
+//! (one hand-built scenario at pinned seeds), the testkit generates
+//! *arbitrary-but-valid* worlds from a seed and checks properties that
+//! must hold on every one of them:
+//!
+//! - [`plan`] / [`strategies`] — declarative, shrinkable scenario plans
+//!   and the proptest strategies that generate them (`plan_for_seed` is
+//!   the deterministic seed → plan map everything shares);
+//! - [`worldgen`] — turning a plan into a live simulated Internet:
+//!   random AS topologies across a fixed country pool, per-vendor
+//!   product deployments with visible or hidden consoles, flapping
+//!   middleboxes, pre-categorized URL lists, fault profiles;
+//! - [`runner`] — the paper's identify → submit-and-retest loop on a
+//!   generated world, rendered as stable, byte-comparable text;
+//! - [`invariants`] — the metamorphic suite (permutation invariance,
+//!   bystander indifference, fault degradation, holdout integrity);
+//! - [`golden`] — checked-in snapshots with
+//!   `FILTERWATCH_UPDATE_GOLDENS=1` regeneration;
+//! - [`differential`] — the multi-seed differential runner with greedy
+//!   failure minimization.
+//!
+//! Everything is a pure function of the seed: two runs of any testkit
+//! entry point at the same seed produce byte-identical output.
+
+pub mod differential;
+pub mod golden;
+pub mod invariants;
+pub mod plan;
+pub mod runner;
+pub mod strategies;
+pub mod worldgen;
+
+pub use differential::{minimize, run_seed, seeds_from_env, Divergence};
+pub use golden::{check_golden, golden_path, update_mode, UPDATE_ENV};
+pub use invariants::{check_plan, check_seed, Violation};
+pub use plan::{ContentKind, DeploymentPlan, FaultPlan, ScenarioPlan};
+pub use runner::{run_campaign, run_campaign_with, CaseOutcome, GeneratedReport, RunConfig};
+pub use strategies::{plan_for_seed, plan_strategy};
+pub use worldgen::{build_world, GeneratedSite, GeneratedWorld};

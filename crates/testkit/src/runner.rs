@@ -1,0 +1,297 @@
+//! Running the paper's submit-and-retest loop on a generated world and
+//! rendering the outcome as stable text.
+//!
+//! [`run_campaign`] is the single entry point everything in the testkit
+//! byte-compares on: the invariant suite runs it on metamorphic
+//! variants of one plan, the golden framework snapshots its
+//! [`GeneratedReport::stable_text`], and the differential runner
+//! diffs it across configurations that must not matter.
+
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_measure::ResilienceConfig;
+use filterwatch_products::{ProductKind, SubmitterProfile};
+use filterwatch_scanner::ScanEngine;
+use filterwatch_telemetry::TelemetryHandle;
+use filterwatch_urllists::TestList;
+
+use crate::plan::ScenarioPlan;
+use crate::worldgen::{build_world, GeneratedSite};
+
+/// Days waited between submission and retest — past every vendor's
+/// maximum review delay, so accepted submissions are always in effect
+/// at retest.
+pub const WAIT_DAYS: u64 = 6;
+
+/// How a campaign run is configured (the knobs that must NOT change
+/// verdicts).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Resilience configuration for every measurement client.
+    pub resilience: ResilienceConfig,
+    /// Attach an enabled telemetry collector to the world.
+    pub telemetry: bool,
+}
+
+impl RunConfig {
+    /// The canonical configuration for a plan: passthrough resilience on
+    /// clean worlds, the chaos profile (retries + breaker + quorum) when
+    /// the plan injects faults.
+    pub fn for_plan(plan: &ScenarioPlan) -> RunConfig {
+        RunConfig {
+            resilience: if plan.fault.is_clean() {
+                ResilienceConfig::default()
+            } else {
+                ResilienceConfig::chaos()
+            },
+            telemetry: false,
+        }
+    }
+}
+
+/// The outcome of one deployment's case study.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Deployment index in the plan.
+    pub deployment: usize,
+    /// The vendor exercised.
+    pub product: ProductKind,
+    /// Sites minted / submitted.
+    pub n_sites: usize,
+    /// Of which submitted.
+    pub n_submit: usize,
+    /// Submissions the vendor accepted.
+    pub submissions_accepted: usize,
+    /// Submitted sites blocked at retest.
+    pub submitted_blocked: usize,
+    /// Held-out sites blocked at retest.
+    pub holdout_blocked: usize,
+    /// Retest verdicts the machinery declined to render.
+    pub retest_inconclusive: usize,
+    /// §4.2 verdict: majority of submitted sites became blocked.
+    pub confirmed: bool,
+    /// Stable per-site retest lines (submitted first, then held out).
+    pub retest_lines: Vec<String>,
+}
+
+/// A full generated-campaign report.
+#[derive(Debug, Clone)]
+pub struct GeneratedReport {
+    /// The plan that was run.
+    pub plan: ScenarioPlan,
+    /// Topology digest of the built world (before any site minting).
+    pub topology_digest: u64,
+    /// Stage-1 installations table (stable rendering).
+    pub identify_table: String,
+    /// Pre-submission verdict sweep of the global test list from every
+    /// deployment vantage (`depN <url> <label> <product>` lines).
+    pub list_lines: Vec<String>,
+    /// Per-deployment case studies, in plan order.
+    pub cases: Vec<CaseOutcome>,
+}
+
+impl GeneratedReport {
+    /// The comparison surface metamorphic variants must agree on:
+    /// verdict data only — no plan echo, no topology digest, no counts
+    /// that scale with world size rather than filtering behaviour.
+    pub fn comparable_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("## identify\n");
+        out.push_str(&self.identify_table);
+        out.push_str("\n## list sweep\n");
+        for line in &self.list_lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("\n## cases\n");
+        for c in &self.cases {
+            out.push_str(&format!(
+                "dep{} {} submitted={}/{} accepted={} blocked={} holdout_blocked={} \
+                 inconclusive={} confirmed={}\n",
+                c.deployment,
+                c.product.slug(),
+                c.n_submit,
+                c.n_sites,
+                c.submissions_accepted,
+                c.submitted_blocked,
+                c.holdout_blocked,
+                c.retest_inconclusive,
+                if c.confirmed { "yes" } else { "no" },
+            ));
+            for line in &c.retest_lines {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The full stable rendering: plan summary and topology digest on
+    /// top of [`GeneratedReport::comparable_text`]. Byte-identical for
+    /// the same (plan, config) — this is what goldens snapshot.
+    pub fn stable_text(&self) -> String {
+        format!(
+            "# generated campaign\nplan: {}\ntopology: {:016x}\n\n{}",
+            self.plan.summary(),
+            self.topology_digest,
+            self.comparable_text()
+        )
+    }
+}
+
+/// Run the full loop — identify, sweep the test list, then one
+/// submit-and-retest case study per deployment — with the plan's
+/// canonical [`RunConfig`].
+pub fn run_campaign(plan: &ScenarioPlan) -> GeneratedReport {
+    run_campaign_with(plan, &RunConfig::for_plan(plan))
+}
+
+/// Run the full loop with an explicit configuration.
+pub fn run_campaign_with(plan: &ScenarioPlan, config: &RunConfig) -> GeneratedReport {
+    let mut gw = build_world(plan);
+    if config.telemetry {
+        gw.net.set_telemetry(TelemetryHandle::enabled());
+    }
+    let topology_digest = gw.net.topology_digest();
+
+    // Stage 1: identify.
+    let index = ScanEngine::new().scan(&gw.net);
+    let identify = IdentifyPipeline::new().run_on_index(&gw.net, &index);
+    let identify_table = identify.render_installations();
+
+    // Pre-submission sweep of the (pre-categorized) global list.
+    let list = TestList::global(plan.urls_per_category);
+    let mut list_lines = Vec::new();
+    for dep in 0..plan.deployments.len() {
+        let client = gw.client(dep, &config.resilience);
+        for test_url in &list.urls {
+            let url = filterwatch_http::Url::parse(&test_url.url).expect("list URL");
+            let v = client.test_url(&gw.net, &url);
+            list_lines.push(format!("dep{dep} {}", v.to_line()));
+        }
+    }
+
+    // Stage 2: one case study per deployment, sequentially (the virtual
+    // clock advances past the vendor review window between each).
+    let mut cases = Vec::new();
+    for (i, d) in plan
+        .deployments
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (i, d.clone()))
+    {
+        let sites: Vec<GeneratedSite> = (0..d.n_sites).map(|_| gw.mint_site(d.content)).collect();
+        let cloud = gw.cloud(d.product).clone();
+        let now = gw.net.now();
+        let mut submissions_accepted = 0;
+        for site in &sites[..d.n_submit] {
+            if cloud
+                .submit(&site.submit_url(), SubmitterProfile::COVERT, now)
+                .accepted
+            {
+                submissions_accepted += 1;
+            }
+        }
+        gw.net.advance_days(WAIT_DAYS);
+
+        let client = gw.client(i, &config.resilience);
+        let mut blocked = vec![false; sites.len()];
+        let mut retest_inconclusive = 0;
+        let mut retest_lines = Vec::new();
+        for (s, site) in sites.iter().enumerate() {
+            let v = client.test_url(&gw.net, &site.test_url());
+            if v.verdict.is_blocked() {
+                blocked[s] = true;
+            } else if v.verdict.is_inconclusive() {
+                retest_inconclusive += 1;
+            }
+            retest_lines.push(format!(
+                "{} {}",
+                if s < d.n_submit {
+                    "submitted"
+                } else {
+                    "heldout"
+                },
+                v.to_line()
+            ));
+        }
+        let submitted_blocked = blocked[..d.n_submit].iter().filter(|&&b| b).count();
+        let holdout_blocked = blocked[d.n_submit..].iter().filter(|&&b| b).count();
+        cases.push(CaseOutcome {
+            deployment: i,
+            product: d.product,
+            n_sites: d.n_sites,
+            n_submit: d.n_submit,
+            submissions_accepted,
+            submitted_blocked,
+            holdout_blocked,
+            retest_inconclusive,
+            confirmed: submitted_blocked * 2 > d.n_submit,
+            retest_lines,
+        });
+    }
+
+    GeneratedReport {
+        plan: plan.clone(),
+        topology_digest,
+        identify_table,
+        list_lines,
+        cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use crate::strategies::plan_for_seed;
+
+    #[test]
+    fn campaign_runs_and_reports_every_deployment() {
+        let plan = plan_for_seed(0);
+        let report = run_campaign(&plan);
+        assert_eq!(report.cases.len(), plan.deployments.len());
+        for (c, d) in report.cases.iter().zip(&plan.deployments) {
+            assert_eq!(c.n_sites, d.n_sites);
+            assert_eq!(c.retest_lines.len(), d.n_sites);
+        }
+        assert_eq!(
+            report.list_lines.len(),
+            plan.deployments.len() * TestList::global(plan.urls_per_category).urls.len()
+        );
+    }
+
+    #[test]
+    fn accepted_majorities_confirm_on_clean_worlds() {
+        // On a clean, non-flapping world the arithmetic is exact: every
+        // accepted submission is blocked at retest, nothing else is.
+        for seed in 0..16 {
+            let mut plan = plan_for_seed(seed);
+            plan.fault = FaultPlan::Clean;
+            for d in &mut plan.deployments {
+                d.flapping = None;
+            }
+            let report = run_campaign(&plan);
+            for c in &report.cases {
+                assert_eq!(
+                    c.submitted_blocked, c.submissions_accepted,
+                    "seed {seed}: {c:?}"
+                );
+                assert_eq!(c.holdout_blocked, 0, "seed {seed}: {c:?}");
+                assert_eq!(
+                    c.confirmed,
+                    c.submissions_accepted * 2 > c.n_submit,
+                    "seed {seed}: {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stable_text_is_byte_identical_across_runs() {
+        let plan = plan_for_seed(5);
+        let a = run_campaign(&plan).stable_text();
+        let b = run_campaign(&plan).stable_text();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,398 @@
+//! Building a live simulated Internet from a [`ScenarioPlan`].
+//!
+//! The construction order is load-bearing for the metamorphic suite:
+//! infrastructure first (lab, hosting, vendor clouds, test-list origin
+//! sites), then deployments in plan order, then bystander ASes *last* —
+//! so adding a bystander to a plan perturbs no allocation made for
+//! anything else, which is exactly what the bystander-indifference
+//! invariant byte-compares on.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use filterwatch_http::Url;
+use filterwatch_measure::{MeasurementClient, ResilienceConfig};
+use filterwatch_netsim::service::{AdultImageSite, GlypeProxySite, StaticSite};
+use filterwatch_netsim::{
+    Flapping, Internet, IpAddr, Middlebox, NetworkId, NetworkSpec, VantageId,
+};
+use filterwatch_products::bluecoat::{
+    BlueCoatProxy, CfAuthPortal, ProxySgConsole, ProxySgIntercept,
+};
+use filterwatch_products::netsweeper::{NetsweeperBox, NetsweeperConsole};
+use filterwatch_products::smartfilter::{SmartFilterBox, SmartFilterConsole};
+use filterwatch_products::websense::{WebsenseBlockpage, WebsenseBox, BLOCKPAGE_PORT};
+use filterwatch_products::{taxonomy, FilterPolicy, ProductKind, VendorCloud};
+use filterwatch_urllists::{Category, DomainForge, TestList};
+
+use crate::plan::{ContentKind, DeploymentPlan, ScenarioPlan, COUNTRY_POOL, DEPLOYABLE};
+
+/// A researcher-controlled site minted on the hosting network.
+#[derive(Debug, Clone)]
+pub struct GeneratedSite {
+    /// The registered domain.
+    pub domain: String,
+    /// Hosted content kind.
+    pub content: ContentKind,
+    /// Host address.
+    pub ip: IpAddr,
+}
+
+impl GeneratedSite {
+    /// The URL testers fetch (the benign object for adult sites).
+    pub fn test_url(&self) -> Url {
+        let path = match self.content {
+            ContentKind::Proxy => "/",
+            ContentKind::Adult => "/benign.png",
+        };
+        Url::parse(&format!("http://{}{path}", self.domain)).expect("valid")
+    }
+
+    /// The URL submitted to vendors.
+    pub fn submit_url(&self) -> Url {
+        Url::parse(&format!("http://{}/", self.domain)).expect("valid")
+    }
+}
+
+/// The built world for a plan.
+pub struct GeneratedWorld {
+    /// The simulated Internet.
+    pub net: Internet,
+    /// The plan this world was built from.
+    pub plan: ScenarioPlan,
+    /// Control vantage (unfiltered lab network).
+    pub lab: VantageId,
+    /// Hosting network controlled sites and list origins stand on.
+    pub hosting: NetworkId,
+    /// One field vantage per deployment, in plan order.
+    pub vantages: Vec<VantageId>,
+    clouds: BTreeMap<ProductKind, Arc<VendorCloud>>,
+    forge: DomainForge,
+}
+
+impl GeneratedWorld {
+    /// The vendor cloud for a product.
+    pub fn cloud(&self, product: ProductKind) -> &Arc<VendorCloud> {
+        &self.clouds[&product]
+    }
+
+    /// A lab-controlled measurement client inside deployment `dep`.
+    pub fn client(&self, dep: usize, resilience: &ResilienceConfig) -> MeasurementClient {
+        MeasurementClient::new(self.vantages[dep], self.lab)
+            .with_resilience(resilience.clone())
+            .with_telemetry(self.net.telemetry().clone())
+    }
+
+    /// Mint a fresh controlled domain hosting `content`, resolvable
+    /// worldwide, with reviewer ground truth registered at every vendor.
+    pub fn mint_site(&mut self, content: ContentKind) -> GeneratedSite {
+        let domain = self.forge.mint();
+        let ip = self.net.alloc_ip(self.hosting).expect("hosting space");
+        self.net.add_host(ip, self.hosting, &[&domain]);
+        match content {
+            ContentKind::Proxy => self.net.add_service(ip, 80, Box::new(GlypeProxySite)),
+            ContentKind::Adult => self
+                .net
+                .add_service(ip, 80, Box::new(AdultImageSite::new())),
+        }
+        for cloud in self.clouds.values() {
+            cloud.register_site_profile(&domain, content.category());
+        }
+        GeneratedSite {
+            domain,
+            content,
+            ip,
+        }
+    }
+}
+
+/// Deployment network name (`dep0-netsweeper` style).
+pub fn deployment_name(i: usize, d: &DeploymentPlan) -> String {
+    format!("dep{i}-{}", d.product.slug())
+}
+
+fn deny_host_name(name: &str, tld: &str) -> String {
+    format!("gw.{name}.{tld}")
+}
+
+/// The blocked vendor categories of a deployment's policy: its content
+/// kind plus pornography (so pre-categorized test-list URLs produce
+/// blocked verdicts even before any submission lands).
+fn policy_for(d: &DeploymentPlan) -> FilterPolicy {
+    let mut cats = vec![taxonomy::vendor_category(d.product, d.content.category())];
+    let porn = taxonomy::vendor_category(d.product, Category::Pornography);
+    if !cats.contains(&porn) {
+        cats.push(porn);
+    }
+    FilterPolicy::blocking(cats)
+}
+
+/// Build the simulated Internet a plan describes.
+///
+/// # Panics
+/// When the plan fails [`ScenarioPlan::validate`].
+pub fn build_world(plan: &ScenarioPlan) -> GeneratedWorld {
+    plan.validate().expect("plan must be valid");
+    let seed = plan.seed;
+    let mut net = Internet::new(seed);
+
+    // The whole pool is registered up front so keyword × ccTLD scope is
+    // identical across metamorphic variants of the same plan.
+    for &(code, name, tld) in COUNTRY_POOL {
+        net.registry_mut().register_country(code, name, tld);
+    }
+
+    let mut clouds = BTreeMap::new();
+    for product in ProductKind::ALL {
+        clouds.insert(product, Arc::new(VendorCloud::new(product, seed)));
+    }
+
+    let lab_net = {
+        let asn = net.registry_mut().register_as(64500, "GEN-LAB", "CA");
+        let p = net.registry_mut().allocate_prefix(asn, 1).expect("prefix");
+        net.add_network(NetworkSpec::new("gen-lab", asn, "CA").with_cidr(p))
+    };
+    let lab = net.add_vantage("gen-lab", lab_net);
+    let hosting = {
+        let asn = net.registry_mut().register_as(64501, "GEN-HOSTING", "US");
+        let p = net.registry_mut().allocate_prefix(asn, 4).expect("prefix");
+        net.add_network(NetworkSpec::new("gen-hosting", asn, "US").with_cidr(p))
+    };
+    // Vendor-side infrastructure blocked flows depend on: Blue Coat
+    // deployments redirect to the cfauth portal, so the host must
+    // resolve worldwide or blocks would present as DNS failures.
+    {
+        let asn = net.registry_mut().register_as(64502, "GEN-VENDOR", "US");
+        let p = net.registry_mut().allocate_prefix(asn, 1).expect("prefix");
+        let vendor_net = net.add_network(NetworkSpec::new("gen-vendor", asn, "US").with_cidr(p));
+        let ip = net.alloc_ip(vendor_net).expect("cfauth ip");
+        net.add_host(ip, vendor_net, &["www.cfauth.com"]);
+        net.add_service(ip, 80, Box::new(CfAuthPortal));
+    }
+
+    // Test-list origin sites, pre-categorized at every vendor.
+    let list = TestList::global(plan.urls_per_category);
+    for test_url in &list.urls {
+        let url = Url::parse(&test_url.url).expect("list URL parses");
+        let ip = net.alloc_ip(hosting).expect("origin ip");
+        net.add_host(ip, hosting, &[url.host()]);
+        net.add_service(
+            ip,
+            80,
+            Box::new(StaticSite::new(
+                test_url.category.name(),
+                &format!(
+                    "<p>Reference content for the {} category.</p>",
+                    test_url.category.name()
+                ),
+            )),
+        );
+        let domain = url.registrable_domain();
+        for (product, cloud) in &clouds {
+            cloud.register_site_profile(&domain, test_url.category);
+            cloud.seed_categorization(
+                &domain,
+                taxonomy::vendor_category(*product, test_url.category),
+            );
+        }
+    }
+
+    // Deployments, in plan order.
+    let mut vantages = Vec::new();
+    for (i, d) in plan.deployments.iter().enumerate() {
+        let (code, _, tld) = d.country_row();
+        let name = deployment_name(i, d);
+        let asn = net
+            .registry_mut()
+            .register_as(64600 + i as u32, &format!("GEN-DEP{i}"), code);
+        let p = net.registry_mut().allocate_prefix(asn, 1).expect("prefix");
+        let isp = net.add_network(
+            NetworkSpec::new(&name, asn, code)
+                .with_cidr(p)
+                .with_faults(plan.fault.profile()),
+        );
+
+        let cloud = Arc::clone(&clouds[&d.product]);
+        let policy = policy_for(d);
+        let deny_host = deny_host_name(&name, tld);
+        let label = format!("{}@{name}", d.product.slug());
+        let inner: Arc<dyn Middlebox> = match d.product {
+            ProductKind::BlueCoat => Arc::new(BlueCoatProxy::new(&label, cloud, policy)),
+            ProductKind::SmartFilter => Arc::new(SmartFilterBox::new(&label, cloud, policy)),
+            // No `with_queueing`: generated worlds keep the held-out
+            // half structurally uncategorizable, which is what the
+            // holdout-integrity invariant relies on.
+            ProductKind::Netsweeper => {
+                Arc::new(NetsweeperBox::new(&label, cloud, policy, &deny_host))
+            }
+            ProductKind::Websense => Arc::new(WebsenseBox::new(&label, cloud, policy, &deny_host)),
+        };
+        let boxed: Arc<dyn Middlebox> = match d.flapping {
+            Some(prob) => Arc::new(
+                Flapping::try_new(
+                    inner,
+                    prob,
+                    filterwatch_netsim::rng::mix(seed, &format!("testkit-flap/{i}")),
+                )
+                .expect("plan validated probability"),
+            ),
+            None => inner,
+        };
+        net.attach_middlebox(isp, boxed);
+
+        add_surface(&mut net, isp, &name, tld, d);
+        vantages.push(net.add_vantage(&format!("dep{i}-field"), isp));
+    }
+
+    // Bystander ASes last: purely additive, no middlebox, no vantage.
+    for j in 0..plan.bystanders {
+        let slot = DEPLOYABLE.start + (j % (DEPLOYABLE.end - DEPLOYABLE.start));
+        let (code, _, tld) = COUNTRY_POOL[slot];
+        let asn = net
+            .registry_mut()
+            .register_as(65100 + j as u32, &format!("GEN-BYS{j}"), code);
+        let p = net.registry_mut().allocate_prefix(asn, 1).expect("prefix");
+        let nid =
+            net.add_network(NetworkSpec::new(&format!("bystander{j}"), asn, code).with_cidr(p));
+        let ip = net.alloc_ip(nid).expect("bystander ip");
+        let host = format!("www.quiet{j}.{tld}");
+        net.add_host(ip, nid, &[&host]);
+        net.add_service(
+            ip,
+            80,
+            Box::new(StaticSite::new("Bystander", "<p>nothing to see</p>")),
+        );
+    }
+
+    GeneratedWorld {
+        net,
+        plan: plan.clone(),
+        lab,
+        hosting,
+        vantages,
+        clouds,
+        forge: DomainForge::new(filterwatch_netsim::rng::mix(seed, "testkit-forge")),
+    }
+}
+
+/// The externally probeable surface of a deployment: the product's
+/// console/gateway host. Hidden Netsweeper and Websense deployments
+/// still need their deny/block-page host to exist (in-network clients
+/// fetch it when blocked); Netsweeper hides by answering only the deny
+/// path, Websense is never hidden (validated upstream).
+fn add_surface(net: &mut Internet, isp: NetworkId, name: &str, tld: &str, d: &DeploymentPlan) {
+    let host = match d.product {
+        ProductKind::BlueCoat => format!("proxy.{name}.{tld}"),
+        ProductKind::SmartFilter => format!("mwg.{name}.{tld}"),
+        ProductKind::Netsweeper | ProductKind::Websense => deny_host_name(name, tld),
+    };
+    if !d.console_visible && matches!(d.product, ProductKind::BlueCoat | ProductKind::SmartFilter) {
+        // Inline blockers: no external host at all when hidden.
+        return;
+    }
+    let ip = net.alloc_ip(isp).expect("console ip");
+    net.add_host(ip, isp, &[&host]);
+    match d.product {
+        ProductKind::BlueCoat => {
+            net.add_service(ip, 80, Box::new(ProxySgConsole));
+            net.add_service(ip, 8080, Box::new(ProxySgIntercept));
+        }
+        ProductKind::SmartFilter => net.add_service(ip, 80, Box::new(SmartFilterConsole)),
+        ProductKind::Netsweeper => {
+            if d.console_visible {
+                net.add_service(ip, 8080, Box::new(NetsweeperConsole));
+            } else {
+                net.add_service(ip, 8080, Box::new(DenyOnly));
+            }
+        }
+        ProductKind::Websense => net.add_service(ip, BLOCKPAGE_PORT, Box::new(WebsenseBlockpage)),
+    }
+}
+
+/// A Netsweeper deny host that answers only the deny path — the
+/// "properly configured" installation of §6.1: deny pages work, probes
+/// learn nothing.
+#[derive(Debug, Clone, Default)]
+struct DenyOnly;
+
+impl filterwatch_netsim::Service for DenyOnly {
+    fn handle(
+        &self,
+        req: &filterwatch_http::Request,
+        ctx: &filterwatch_netsim::ServiceCtx,
+    ) -> filterwatch_http::Response {
+        if req.url.path().starts_with("/webadmin/deny") {
+            NetsweeperConsole.handle(req, ctx)
+        } else {
+            filterwatch_http::Response::not_found()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::plan_for_seed;
+    use filterwatch_core::identify::IdentifyPipeline;
+
+    #[test]
+    fn builds_a_world_for_every_early_seed() {
+        for seed in 0..8 {
+            let plan = plan_for_seed(seed);
+            let gw = build_world(&plan);
+            assert_eq!(gw.vantages.len(), plan.deployments.len());
+            assert!(gw.net.host_count() > 0);
+        }
+    }
+
+    #[test]
+    fn same_plan_same_topology_digest() {
+        let plan = plan_for_seed(3);
+        let a = build_world(&plan).net.topology_digest();
+        let b = build_world(&plan).net.topology_digest();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn visible_consoles_are_identified() {
+        // Find a plan with a visible console and check the identify
+        // pipeline validates an installation in its country.
+        for seed in 0..32 {
+            let plan = plan_for_seed(seed);
+            let Some(d) = plan.deployments.iter().find(|d| d.console_visible) else {
+                continue;
+            };
+            let (cc, _, _) = d.country_row();
+            let gw = build_world(&plan);
+            let report = IdentifyPipeline::new().run(&gw.net);
+            assert!(
+                report
+                    .installations
+                    .iter()
+                    .any(|inst| inst.product == d.product && inst.country == cc),
+                "seed {seed}: {} not identified in {cc}\n{}",
+                d.product,
+                report.render_installations()
+            );
+            return;
+        }
+        panic!("no visible deployment in 32 seeds");
+    }
+
+    #[test]
+    fn minted_sites_resolve_and_start_accessible() {
+        let mut plan = plan_for_seed(1);
+        plan.fault = crate::plan::FaultPlan::Clean;
+        for d in &mut plan.deployments {
+            d.flapping = None;
+        }
+        let mut gw = build_world(&plan);
+        let site = gw.mint_site(ContentKind::Proxy);
+        assert!(gw.net.dns().resolve(&site.domain).is_some());
+        // Freshly minted and never submitted: no vendor has categorized
+        // it, so even the filtered path lets it through.
+        let client = gw.client(0, &ResilienceConfig::default());
+        let v = client.test_url(&gw.net, &site.test_url());
+        assert!(v.verdict.is_accessible(), "{:?}", v.verdict);
+    }
+}

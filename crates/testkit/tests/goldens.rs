@@ -1,0 +1,32 @@
+//! Golden-snapshot checks.
+//!
+//! The checked-in goldens pin today's behaviour byte-for-byte: the
+//! generated-campaign renderings for two pinned scenario seeds, and the
+//! paper world's demo-campaign tables at the documented default seed.
+//! After an intentional behaviour change, regenerate with
+//! `FILTERWATCH_UPDATE_GOLDENS=1 cargo test -p filterwatch-testkit --test goldens`
+//! and commit the diff.
+
+use filterwatch_core::campaign::Campaign;
+use filterwatch_core::DEFAULT_SEED;
+use filterwatch_testkit::{check_golden, plan_for_seed, run_campaign};
+
+#[test]
+fn generated_scenario_goldens() {
+    for seed in [1u64, 6] {
+        let report = run_campaign(&plan_for_seed(seed));
+        check_golden(&format!("scenario-seed-{seed}"), &report.stable_text())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn paper_demo_campaign_tables_golden() {
+    let report = Campaign::demo(DEFAULT_SEED).run();
+    let rendering = format!(
+        "# demo campaign (seed {DEFAULT_SEED})\n\n## identify\n{}\n## confirm\n{}",
+        report.identify_table(),
+        report.confirm_table()
+    );
+    check_golden("campaign-demo-tables", &rendering).unwrap_or_else(|e| panic!("{e}"));
+}

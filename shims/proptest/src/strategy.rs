@@ -21,6 +21,18 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Generate a value, then build a *dependent* strategy from it and
+    /// generate from that — e.g. pick a length, then a vector of exactly
+    /// that length.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erase into a clonable [`BoxedStrategy`].
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -68,6 +80,26 @@ where
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
@@ -215,6 +247,20 @@ mod tests {
         }
         let mapped = (0u8..10).prop_map(|v| v as u32 + 100);
         assert!(mapped.generate(&mut rng) >= 100);
+    }
+
+    #[test]
+    fn flat_map_generates_dependent_values() {
+        let mut rng = TestRng::for_case("flat_map", 0);
+        // Pick a length, then a vector of exactly that length.
+        let strat = (1usize..=8).prop_flat_map(|len| {
+            crate::collection::vec(0u8..=255, len..=len).prop_map(move |v| (len, v))
+        });
+        for _ in 0..100 {
+            let (len, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), len);
+            assert!((1..=8).contains(&len));
+        }
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Byte-stability of every rendered artifact: running the same
+//! campaign twice at the same seed must produce identical reports,
+//! including the telemetry sections (which deliberately exclude
+//! wall-clock readings — see `stable_text_report`).
+
+use filterwatch_core::confirm::{render_table3, run_table3};
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_core::{Campaign, World, DEFAULT_SEED};
+use filterwatch_telemetry::render;
+
+#[test]
+fn demo_campaign_markdown_is_byte_stable() {
+    let first = Campaign::demo(DEFAULT_SEED).run().to_markdown();
+    let second = Campaign::demo(DEFAULT_SEED).run().to_markdown();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn standard_campaign_markdown_is_byte_stable() {
+    let first = Campaign::standard(DEFAULT_SEED).run().to_markdown();
+    let second = Campaign::standard(DEFAULT_SEED).run().to_markdown();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn campaign_tables_are_byte_stable() {
+    let run = || {
+        let report = Campaign::standard(DEFAULT_SEED).run();
+        (report.identify_table(), report.confirm_table())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn telemetry_stable_sections_are_byte_stable() {
+    let run = || {
+        let report = Campaign::standard(DEFAULT_SEED).run();
+        (
+            render::stable_text_report(&report.telemetry),
+            render::events_log(&report.telemetry),
+            render::metrics_csv(&report.telemetry),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn table3_artifact_is_byte_stable() {
+    let run = || render_table3(&run_table3(&mut World::paper(DEFAULT_SEED)));
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn figure1_artifact_is_byte_stable() {
+    let run = || {
+        let world = World::paper(DEFAULT_SEED);
+        IdentifyPipeline::new().run(&world.net).render_figure1()
+    };
+    assert_eq!(run(), run());
+}
