@@ -1,0 +1,6 @@
+//! Fixture: `a1-deprecated` — a surviving `ScanRecord::text()` call
+//! site. Expected: one `deprecated:ScanRecord::text` finding.
+
+pub fn summarize(record: &ScanRecord) -> usize {
+    record.text().len()
+}

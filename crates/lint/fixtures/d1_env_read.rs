@@ -1,0 +1,6 @@
+//! Fixture: `d1-env-read` — environment variable not in the allowlist.
+//! Expected: one `env:FILTERWATCH_VERBOSE` finding.
+
+pub fn verbose() -> bool {
+    std::env::var("FILTERWATCH_VERBOSE").is_ok()
+}

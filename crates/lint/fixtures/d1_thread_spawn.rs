@@ -1,0 +1,18 @@
+//! Fixture: `d1-thread-spawn` — threads with no ordered-merge marker
+//! and no sort of the merged results. Expected: one `spawn` finding.
+
+pub fn fan_out(shards: Vec<Vec<String>>) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for shard in shards {
+            handles.push(s.spawn(move || shard.len()));
+        }
+        for handle in handles {
+            if let Ok(n) = handle.join() {
+                sizes.push(n);
+            }
+        }
+    });
+    sizes
+}

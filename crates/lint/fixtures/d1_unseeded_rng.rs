@@ -1,0 +1,7 @@
+//! Fixture: `d1-unseeded-rng` — RNG constructed from ambient entropy.
+//! Expected: one `rng:thread_rng` finding.
+
+pub fn jitter_millis() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..50)
+}

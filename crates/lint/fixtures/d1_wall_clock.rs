@@ -1,0 +1,12 @@
+//! Fixture: `d1-wall-clock` — wall-clock reads in library code.
+//! Expected: one `Instant::now` finding, one `SystemTime` finding.
+
+pub fn elapsed_nanos() -> u128 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos()
+}
+
+pub fn stamp_secs() -> u64 {
+    let now = std::time::SystemTime::now();
+    seconds_since_epoch(now)
+}

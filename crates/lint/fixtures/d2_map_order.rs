@@ -1,0 +1,18 @@
+//! Fixture: `d2-map-order` — hash iteration feeding a render path.
+//! Expected: one `iter:tallies` finding.
+
+use std::collections::HashMap;
+
+pub struct ProductTally {
+    tallies: HashMap<String, u64>,
+}
+
+impl ProductTally {
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for (product, hits) in self.tallies.iter() {
+            out.push_str(&format_row(product, *hits));
+        }
+        out
+    }
+}

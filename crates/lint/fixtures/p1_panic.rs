@@ -1,0 +1,16 @@
+//! Fixture: `p1-panic` — panic hygiene in library code. Expected:
+//! one `unwrap` (warning), one `expect` (info), one `panic!` (warning).
+
+pub fn first_hop(hops: &[String]) -> &String {
+    hops.first().unwrap()
+}
+
+pub fn first_hop_documented(hops: &[String]) -> &String {
+    hops.first().expect("campaign plans always have a hop")
+}
+
+pub fn assert_mode(mode: &str) {
+    if mode != "field" && mode != "lab" {
+        panic!("unsupported mode {mode}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: `w1-wire-pair` — a disposition token added to `to_token`
+//! with no `parse_token` arm (`quarantined`). Expected: one
+//! `emit-without-parse:quarantined` finding — the acceptance case the
+//! cross-check exists for.
+
+pub enum FlowDisposition {
+    Origin,
+    Quarantined,
+}
+
+impl FlowDisposition {
+    pub fn to_token(&self) -> String {
+        match self {
+            FlowDisposition::Origin => "origin".to_string(),
+            FlowDisposition::Quarantined => "quarantined".to_string(),
+        }
+    }
+
+    pub fn parse_token(token: &str) -> Result<FlowDisposition, String> {
+        match token {
+            "origin" => Ok(FlowDisposition::Origin),
+            other => Err(format!("unknown disposition token {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The accepted-findings baseline.
+//!
+//! Existing findings that the team has reviewed and accepted live in a
+//! checked-in file (`crates/lint/baseline.tsv`): CI fails only on
+//! *drift* — findings not in the baseline (regressions) or baseline
+//! entries no longer observed (stale entries that must be pruned so
+//! the baseline stays honest). The baseline keys on
+//! [`Diagnostic::fingerprint`] — rule, file, function, kind — never on
+//! line numbers, so unrelated edits don't churn it.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Default baseline location, relative to the workspace root.
+pub const DEFAULT_BASELINE_PATH: &str = "crates/lint/baseline.tsv";
+
+const HEADER: &str = "\
+# filterwatch-lint baseline v1
+# One accepted finding class per line: rule<TAB>file<TAB>function<TAB>kind<TAB>xCOUNT
+# Regenerate with: cargo run -p filterwatch-lint -- --write-baseline
+";
+
+/// Multiset of accepted finding classes: fingerprint → count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<String, usize>,
+}
+
+/// The difference between current findings and the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Drift {
+    /// Finding classes (with excess counts) not covered by the baseline.
+    pub new: Vec<(String, usize)>,
+    /// Baseline entries (with missing counts) no longer observed.
+    pub stale: Vec<(String, usize)>,
+}
+
+impl Drift {
+    pub fn is_empty(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Collapse diagnostics into a fingerprint multiset.
+pub fn fingerprint_counts(diags: &[Diagnostic]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.fingerprint()).or_insert(0) += 1;
+    }
+    counts
+}
+
+impl Baseline {
+    /// Build a baseline accepting exactly the given findings.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        Baseline {
+            entries: fingerprint_counts(diags),
+        }
+    }
+
+    /// Parse the checked-in baseline format. Unknown or malformed
+    /// lines are errors: a corrupt baseline must not silently accept
+    /// findings.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let [rule, file, function, kind, count] = fields.as_slice() else {
+                return Err(format!(
+                    "baseline line {}: expected 5 tab-separated fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ));
+            };
+            let count: usize = count
+                .strip_prefix('x')
+                .ok_or_else(|| format!("baseline line {}: count must be xN", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("baseline line {}: bad count: {e}", lineno + 1))?;
+            if count == 0 {
+                return Err(format!("baseline line {}: zero count", lineno + 1));
+            }
+            let fp = format!("{rule}\t{file}\t{function}\t{kind}");
+            if entries.insert(fp.clone(), count).is_some() {
+                return Err(format!(
+                    "baseline line {}: duplicate entry {fp:?}",
+                    lineno + 1
+                ));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Render to the checked-in format (sorted, commented header).
+    pub fn render(&self) -> String {
+        let mut out = String::from(HEADER);
+        for (fp, count) in &self.entries {
+            out.push_str(&format!("{fp}\tx{count}\n"));
+        }
+        out
+    }
+
+    /// Number of accepted finding classes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline accepts nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compare current findings against this baseline.
+    pub fn drift(&self, diags: &[Diagnostic]) -> Drift {
+        let current = fingerprint_counts(diags);
+        let mut drift = Drift::default();
+        for (fp, &n) in &current {
+            let accepted = self.entries.get(fp).copied().unwrap_or(0);
+            if n > accepted {
+                drift.new.push((fp.clone(), n - accepted));
+            }
+        }
+        for (fp, &accepted) in &self.entries {
+            let n = current.get(fp).copied().unwrap_or(0);
+            if accepted > n {
+                drift.stale.push((fp.clone(), accepted - n));
+            }
+        }
+        drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn diag(file: &str, kind: &str) -> Diagnostic {
+        Diagnostic {
+            rule: "p1-panic",
+            severity: Severity::Warning,
+            file: file.into(),
+            line: 1,
+            function: Some("f".into()),
+            kind: kind.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let diags = vec![
+            diag("a.rs", "unwrap"),
+            diag("a.rs", "unwrap"),
+            diag("b.rs", "panic!"),
+        ];
+        let b = Baseline::from_diagnostics(&diags);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert!(parsed.drift(&diags).is_empty());
+    }
+
+    #[test]
+    fn detects_new_and_stale() {
+        let b = Baseline::from_diagnostics(&[diag("a.rs", "unwrap"), diag("a.rs", "unwrap")]);
+        // One unwrap fixed → count drops → stale by 1.
+        let drift = b.drift(&[diag("a.rs", "unwrap")]);
+        assert!(drift.new.is_empty());
+        assert_eq!(drift.stale.len(), 1);
+        assert_eq!(drift.stale[0].1, 1);
+        // A brand-new finding class → new.
+        let drift = b.drift(&[
+            diag("a.rs", "unwrap"),
+            diag("a.rs", "unwrap"),
+            diag("c.rs", "expect"),
+        ]);
+        assert_eq!(drift.new.len(), 1);
+        assert!(drift.stale.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("p1-panic\ta.rs\tf\tunwrap\t2").is_err()); // no x
+        assert!(Baseline::parse("p1-panic\ta.rs\tf\tx1").is_err()); // 4 fields
+        assert!(Baseline::parse("p1-panic\ta.rs\tf\tunwrap\tx0").is_err()); // zero
+        let dup = "p1-panic\ta.rs\tf\tunwrap\tx1\np1-panic\ta.rs\tf\tunwrap\tx2\n";
+        assert!(Baseline::parse(dup).is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().is_empty());
+    }
+}

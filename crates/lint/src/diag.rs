@@ -1,0 +1,195 @@
+//! Diagnostics: severity, stable fingerprints, text and JSON output.
+
+use std::fmt;
+
+/// How bad a finding is. Severity orders `Error > Warning > Info`;
+/// baseline gating treats all three identically (any unbaselined
+/// finding fails), severity exists so humans can triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule slug, e.g. `d1-wall-clock`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Enclosing function name, if the finding sits inside one.
+    pub function: Option<String>,
+    /// Short, stable *kind* of the finding (no line numbers, no
+    /// free-form detail) — the unit the baseline counts.
+    pub kind: String,
+    /// Human-readable explanation with remediation advice.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The stable identity used for baselining: everything except the
+    /// line number (lines churn on unrelated edits) and prose message.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}",
+            self.rule,
+            self.file,
+            self.function.as_deref().unwrap_or("-"),
+            self.kind
+        )
+    }
+
+    /// One-line text rendering.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}: {} [{}] {}:{}{} — {}",
+            self.severity,
+            self.rule,
+            self.kind,
+            self.file,
+            self.line,
+            self.function
+                .as_deref()
+                .map(|f| format!(" (fn {f})"))
+                .unwrap_or_default(),
+            self.message
+        )
+    }
+}
+
+/// Sort diagnostics into the canonical report order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.kind.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.kind.as_str(),
+        ))
+    });
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings (and optional baseline drift) as a stable JSON
+/// document. Hand-rolled: the workspace vendors no serde.
+pub fn render_json(diags: &[Diagnostic], drift: Option<&crate::baseline::Drift>) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"function\": {}, \"kind\": \"{}\", \"message\": \"{}\"}}{}\n",
+            d.rule,
+            d.severity,
+            json_escape(&d.file),
+            d.line,
+            d.function
+                .as_deref()
+                .map(|f| format!("\"{}\"", json_escape(f)))
+                .unwrap_or_else(|| "null".to_string()),
+            json_escape(&d.kind),
+            json_escape(&d.message),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let count = |sev: Severity| diags.iter().filter(|d| d.severity == sev).count();
+    out.push_str(&format!(
+        "  \"counts\": {{\"error\": {}, \"warning\": {}, \"info\": {}}}",
+        count(Severity::Error),
+        count(Severity::Warning),
+        count(Severity::Info)
+    ));
+    if let Some(drift) = drift {
+        let render_list = |entries: &[(String, usize)]| {
+            entries
+                .iter()
+                .map(|(fp, n)| format!("{{\"id\": \"{}\", \"count\": {}}}", json_escape(fp), n))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            ",\n  \"baseline\": {{\"new\": [{}], \"stale\": [{}]}}",
+            render_list(&drift.new),
+            render_list(&drift.stale)
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "p1-panic",
+            severity: Severity::Warning,
+            file: "crates/x/src/lib.rs".into(),
+            line: 12,
+            function: Some("parse".into()),
+            kind: "unwrap".into(),
+            message: "`.unwrap()` in library code".into(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_excludes_line() {
+        let mut d = diag();
+        let fp = d.fingerprint();
+        d.line = 99;
+        assert_eq!(d.fingerprint(), fp);
+        assert_eq!(fp, "p1-panic\tcrates/x/src/lib.rs\tparse\tunwrap");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_renders_null_function() {
+        let mut d = diag();
+        d.function = None;
+        let json = render_json(&[d], None);
+        assert!(json.contains("\"function\": null"));
+        assert!(json.contains("\"counts\": {\"error\": 0, \"warning\": 1, \"info\": 0}"));
+    }
+}

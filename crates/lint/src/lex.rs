@@ -1,0 +1,439 @@
+//! A minimal token-level lexer for Rust source.
+//!
+//! The analyzer deliberately avoids a full parse (`syn` is not in the
+//! vendored dependency set): every rule in this crate operates on a
+//! flat token stream plus a comment side-table. The lexer therefore
+//! only needs to get four things exactly right, because rules depend
+//! on them:
+//!
+//! 1. string/char literals are single tokens (so braces and keywords
+//!    inside literals never confuse brace matching or ident rules);
+//! 2. comments are captured with their line numbers (suppression
+//!    directives and ordered-merge markers live in comments);
+//! 3. identifiers are maximal (`unwrap_or` never matches `unwrap`);
+//! 4. lifetimes are not char literals (`'a` must not swallow source).
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (normal, raw, or byte); `text` holds the body
+    /// *as written*, without quotes or `r#` framing.
+    Str,
+    /// Character literal, body as written.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// One comment (line or block) with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    /// Body without the `//` / `/*` framing.
+    pub text: String,
+}
+
+/// Lex `src` into tokens plus a comment side-table.
+///
+/// Unterminated constructs (strings, block comments) are tolerated:
+/// the lexer consumes to end-of-input rather than erroring, since a
+/// linter must not die on the file it is diagnosing.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advance over `bytes[from..to]`, counting newlines.
+    let count_lines = |from: usize, to: usize, line: &mut u32| {
+        *line += bytes[from..to].iter().filter(|&&b| b == b'\n').count() as u32;
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start..j].to_string(),
+                });
+                i = j; // newline handled on next loop turn
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                let body_start = i + 2;
+                let mut depth = 1u32;
+                let mut j = body_start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let body_end = if depth == 0 { j - 2 } else { j };
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[body_start..body_end].to_string(),
+                });
+                count_lines(i, j, &mut line);
+                i = j;
+            }
+            b'"' => {
+                let (tok, next) = lex_string(src, i, line);
+                count_lines(i, next, &mut line);
+                toks.push(tok);
+                i = next;
+            }
+            b'r' | b'b' => {
+                // Raw / byte string prefixes, else an ordinary ident.
+                if let Some((tok, next)) = lex_prefixed_string(src, i, line) {
+                    count_lines(i, next, &mut line);
+                    toks.push(tok);
+                    i = next;
+                } else {
+                    let (tok, next) = lex_ident(src, i, line);
+                    toks.push(tok);
+                    i = next;
+                }
+            }
+            b'\'' => {
+                let (tok, next) = lex_quote(src, i, line);
+                count_lines(i, next, &mut line);
+                toks.push(tok);
+                i = next;
+            }
+            _ if b.is_ascii_digit() => {
+                let (tok, next) = lex_number(src, i, line);
+                toks.push(tok);
+                i = next;
+            }
+            _ if b == b'_' || b.is_ascii_alphabetic() => {
+                let (tok, next) = lex_ident(src, i, line);
+                toks.push(tok);
+                i = next;
+            }
+            _ => {
+                // Multi-byte UTF-8 (only legal in literals/comments in
+                // valid Rust, but tolerate it anywhere) or punctuation.
+                let ch_len = utf8_len(b);
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: src[i..i + ch_len].to_string(),
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn lex_ident(src: &str, start: usize, line: u32) -> (Tok, usize) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    (
+        Tok {
+            kind: TokKind::Ident,
+            text: src[start..j].to_string(),
+            line,
+        },
+        j,
+    )
+}
+
+fn lex_number(src: &str, start: usize, line: u32) -> (Tok, usize) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    // Integer part (also covers 0x/0b/0o bodies and `_` separators).
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part — but never eat `..` (range) or `.method()`.
+    if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Num,
+            text: src[start..j].to_string(),
+            line,
+        },
+        j,
+    )
+}
+
+/// Lex a normal `"…"` string starting at the opening quote.
+fn lex_string(src: &str, start: usize, line: u32) -> (Tok, usize) {
+    let bytes = src.as_bytes();
+    let body_start = start + 1;
+    let mut j = body_start;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j = (j + 2).min(bytes.len()),
+            b'"' => {
+                return (
+                    Tok {
+                        kind: TokKind::Str,
+                        text: src[body_start..j].to_string(),
+                        line,
+                    },
+                    j + 1,
+                );
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Str,
+            text: src[body_start..].to_string(),
+            line,
+        },
+        j,
+    )
+}
+
+/// Lex `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` starting at the prefix.
+/// Returns `None` if this is not actually a string prefix.
+fn lex_prefixed_string(src: &str, start: usize, line: u32) -> Option<(Tok, usize)> {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    // Consume `r`, `b`, `br`, or `rb` (only the real prefixes matter).
+    let mut saw_r = false;
+    for _ in 0..2 {
+        if j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+            saw_r |= bytes[j] == b'r';
+            j += 1;
+        }
+    }
+    if !saw_r {
+        // `b"…"` byte string: plain string rules.
+        if j < bytes.len() && bytes[j] == b'"' && j == start + 1 {
+            let (tok, next) = lex_string(src, j, line);
+            return Some((tok, next));
+        }
+        return None;
+    }
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return None; // `r` the ident, or `r#ident` raw identifier
+    }
+    let body_start = j + 1;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat(b'#').take(hashes))
+        .collect();
+    let mut k = body_start;
+    while k < bytes.len() {
+        if bytes[k] == b'"' && bytes[k..].starts_with(&closer) {
+            return Some((
+                Tok {
+                    kind: TokKind::Str,
+                    text: src[body_start..k].to_string(),
+                    line,
+                },
+                k + closer.len(),
+            ));
+        }
+        k += 1;
+    }
+    Some((
+        Tok {
+            kind: TokKind::Str,
+            text: src[body_start..].to_string(),
+            line,
+        },
+        k,
+    ))
+}
+
+/// Lex a `'` — either a lifetime (`'a`) or a char literal (`'x'`).
+fn lex_quote(src: &str, start: usize, line: u32) -> (Tok, usize) {
+    let bytes = src.as_bytes();
+    let after = start + 1;
+    // Lifetime: 'ident not followed by a closing quote.
+    if after < bytes.len() && (bytes[after] == b'_' || bytes[after].is_ascii_alphabetic()) {
+        let mut j = after;
+        while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b'\'' {
+            return (
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text: src[after..j].to_string(),
+                    line,
+                },
+                j,
+            );
+        }
+    }
+    // Char literal.
+    let mut j = after;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j = (j + 2).min(bytes.len()),
+            b'\'' => {
+                return (
+                    Tok {
+                        kind: TokKind::Char,
+                        text: src[after..j].to_string(),
+                        line,
+                    },
+                    j + 1,
+                );
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        Tok {
+            kind: TokKind::Char,
+            text: src[after..].to_string(),
+            line,
+        },
+        j,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn idents_are_maximal() {
+        assert_eq!(idents("x.unwrap_or(y)"), ["x", "unwrap_or", "y"]);
+    }
+
+    #[test]
+    fn strings_swallow_keywords_and_braces() {
+        let (toks, _) = lex(r#"let s = "fn main() { }"; "#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "fn main() { }");
+        assert!(!toks.iter().any(|t| t.is_ident("main")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let (toks, _) = lex(r###"let s = r#"a "quoted" b"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs[0].text, r#"a "quoted" b"#);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn comments_capture_lines() {
+        let (_, comments) = lex("let a = 1;\n// lint marker here\nlet b = 2; // trailing\n");
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        assert_eq!(comments[0].text.trim(), "lint marker here");
+        assert_eq!(comments[1].line, 3);
+    }
+
+    #[test]
+    fn block_comments_nest_and_count_lines() {
+        let (toks, comments) = lex("/* a /* b */ c\nd */ let x = 1;\n");
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].text.contains("b"));
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let (toks, _) = lex("0..10; 1.5; 2.pow(3); 0xff_u8;");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5", "2", "3", "0xff_u8"]);
+    }
+
+    #[test]
+    fn format_braces_inside_literals_do_not_leak() {
+        let (toks, _) = lex(r#"format!("origin:{status}")"#);
+        assert!(!toks.iter().any(|t| t.is_punct('{')));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

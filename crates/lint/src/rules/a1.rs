@@ -1,0 +1,60 @@
+//! A1 — deprecated-API usage.
+//!
+//! `#[deprecated]` only warns at the *compile* of the calling crate,
+//! and `-D warnings` pressure tends to get it `#[allow]`ed away in
+//! place. The lint registry is the workspace's authoritative list of
+//! APIs being retired ([`crate::rules::Config::deprecated`]); this
+//! rule finds surviving call sites so the deprecation can actually
+//! conclude with a removal.
+//!
+//! Matching is token-level: the path form `Type::method` always
+//! matches; the method-call form `.method()` matches only in files
+//! that mention the type at all, which keeps unrelated methods of the
+//! same name (e.g. `FetchTrace::text`) out of the results.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::model::FileModel;
+use crate::rules::Config;
+
+pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for dep in &cfg.deprecated {
+        let mentions_type = m.toks.iter().any(|t| t.is_ident(&dep.type_name));
+        if !mentions_type {
+            continue;
+        }
+        let toks = &m.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if m.in_test(t.line) {
+                continue;
+            }
+            let path_form = t.is_ident(&dep.type_name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident(&dep.method));
+            let call_form = t.is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_ident(&dep.method))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+            if !(path_form || call_form) {
+                continue;
+            }
+            // Skip the definition site itself (`fn method(…)`).
+            if path_form && i >= 1 && toks[i - 1].is_ident("fn") {
+                continue;
+            }
+            let line = if call_form { toks[i + 1].line } else { t.line };
+            out.push(Diagnostic {
+                rule: "a1-deprecated",
+                severity: Severity::Warning,
+                file: m.path.clone(),
+                line,
+                function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                kind: format!("deprecated:{}::{}", dep.type_name, dep.method),
+                message: format!(
+                    "`{}::{}` is deprecated; use {} instead",
+                    dep.type_name, dep.method, dep.replacement
+                ),
+            });
+        }
+    }
+}

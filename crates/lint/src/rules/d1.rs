@@ -1,0 +1,218 @@
+//! D1 — determinism: wall clocks, entropy, environment, threads.
+//!
+//! Every rendered artifact in this workspace must be byte-identical
+//! for a given seed. The four rules here catch the classic leaks at
+//! build time instead of hoping a differential run trips over them:
+//!
+//! * `d1-wall-clock` — `Instant::now()` / `SystemTime` anywhere
+//!   outside the allow-listed telemetry `--wall` path. Wall time may
+//!   only be *observed into* telemetry histograms (never rendered by
+//!   default); code that needs a timestamp uses the virtual clock.
+//! * `d1-unseeded-rng` — RNG construction from ambient entropy
+//!   (`thread_rng`, `from_entropy`, `OsRng`, `rand::random`). All
+//!   randomness flows from an explicit seed.
+//! * `d1-env-read` — `std::env::var` of a variable not in the
+//!   registered allowlist. Environment toggles that never influence
+//!   rendered artifacts (`FILTERWATCH_SEEDS`, …) are registered in
+//!   [`crate::rules::Config::env_allowlist`].
+//! * `d1-thread-spawn` — spawning threads in a function with no
+//!   ordered-merge marker (a comment containing `ordered-merge` /
+//!   `ordered merge`) and no sort of the merged results. Threads are
+//!   fine; nondeterministic merge order is not.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lex::TokKind;
+use crate::model::FileModel;
+use crate::rules::Config;
+use std::collections::BTreeMap;
+
+/// Identifiers whose mere construction pulls ambient entropy.
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "ThreadRng"];
+
+/// `env::<reader>(…)` functions the env rule watches.
+const ENV_READERS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// Sort-family identifiers that make a threaded merge deterministic.
+pub const SORT_IDENTS: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    // Resolve `const NAME: &str = "…";` so env reads through named
+    // constants can still be checked against the allowlist.
+    let consts = string_consts(m);
+    let toks = &m.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+
+        // --- d1-wall-clock -------------------------------------------------
+        if !m.in_test(t.line) {
+            if t.is_ident("SystemTime") {
+                out.push(Diagnostic {
+                    rule: "d1-wall-clock",
+                    severity: Severity::Error,
+                    file: m.path.clone(),
+                    line: t.line,
+                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    kind: "SystemTime".into(),
+                    message: "`SystemTime` is wall-clock state; timestamps must come from \
+                              the virtual clock (`SimTime`)"
+                        .into(),
+                });
+            }
+            if t.is_ident("Instant")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+            {
+                out.push(Diagnostic {
+                    rule: "d1-wall-clock",
+                    severity: Severity::Error,
+                    file: m.path.clone(),
+                    line: t.line,
+                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    kind: "Instant::now".into(),
+                    message: "wall-clock read; route timing through the virtual clock or the \
+                              telemetry `--wall` path (`TelemetryHandle::observe_timed`)"
+                        .into(),
+                });
+            }
+        }
+
+        // --- d1-unseeded-rng (applies everywhere, tests included:
+        // entropy-seeded tests are flaky tests) ---------------------------
+        let entropy = ENTROPY_IDENTS.contains(&t.text.as_str())
+            || (t.is_ident("random")
+                && i >= 2
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && i >= 3
+                && toks[i - 3].is_ident("rand"));
+        if entropy {
+            out.push(Diagnostic {
+                rule: "d1-unseeded-rng",
+                severity: Severity::Error,
+                file: m.path.clone(),
+                line: t.line,
+                function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                kind: format!("rng:{}", t.text),
+                message: "entropy-seeded RNG; construct generators with an explicit seed \
+                          (`SeedableRng::seed_from_u64`)"
+                    .into(),
+            });
+        }
+
+        // --- d1-env-read ---------------------------------------------------
+        if t.is_ident("env")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| ENV_READERS.contains(&t.text.as_str()))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            let reader = &toks[i + 3];
+            let arg = toks.get(i + 5);
+            let var_name: Option<String> = match arg.map(|a| (&a.kind, a.text.as_str())) {
+                Some((TokKind::Str, lit)) => Some(lit.to_string()),
+                Some((TokKind::Ident, name)) => consts.get(name).cloned(),
+                _ => None,
+            };
+            let allowed = var_name
+                .as_deref()
+                .is_some_and(|v| cfg.env_allowlist.iter().any(|a| a == v));
+            if !allowed {
+                let shown = var_name.unwrap_or_else(|| "<dynamic>".into());
+                out.push(Diagnostic {
+                    rule: "d1-env-read",
+                    severity: Severity::Error,
+                    file: m.path.clone(),
+                    line: reader.line,
+                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    kind: format!("env:{shown}"),
+                    message: format!(
+                        "read of environment variable `{shown}` not in the registered \
+                         allowlist; register it in the lint config or derive the value \
+                         from explicit configuration"
+                    ),
+                });
+            }
+        }
+
+        // --- d1-thread-spawn ----------------------------------------------
+        if !m.in_test(t.line)
+            && t.is_ident("spawn")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && i >= 1
+            && (toks[i - 1].is_punct('.')
+                || (toks[i - 1].is_punct(':')
+                    && i >= 3
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("thread")))
+        {
+            let merged_ok = match m.enclosing_fn(i) {
+                Some(f) => {
+                    let marker = m.comments_in(f.line, f.end_line).any(|c| {
+                        let lc = c.text.to_ascii_lowercase();
+                        lc.contains("ordered-merge") || lc.contains("ordered merge")
+                    });
+                    let sorts = m.toks[f.body_start..f.body_end]
+                        .iter()
+                        .any(|t| SORT_IDENTS.contains(&t.text.as_str()));
+                    marker || sorts
+                }
+                None => false,
+            };
+            if !merged_ok {
+                out.push(Diagnostic {
+                    rule: "d1-thread-spawn",
+                    severity: Severity::Error,
+                    file: m.path.clone(),
+                    line: t.line,
+                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    kind: "spawn".into(),
+                    message: "thread spawn without an ordered-merge marker; merge worker \
+                              results in a deterministic order and say so in a comment \
+                              containing `ordered-merge` (or sort the merged results)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+/// `const NAME: &str = "LIT";` (and `static`) declarations in `m`.
+fn string_consts(m: &FileModel) -> BTreeMap<String, String> {
+    let mut consts = BTreeMap::new();
+    let toks = &m.toks;
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("const") || toks[i].is_ident("static")) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Scan a short window to the `=` then take a string literal.
+        for j in i + 2..(i + 10).min(toks.len()) {
+            if toks[j].is_punct(';') {
+                break;
+            }
+            if toks[j].is_punct('=') {
+                if let Some(lit) = toks.get(j + 1).filter(|t| t.kind == TokKind::Str) {
+                    consts.insert(name.text.clone(), lit.text.clone());
+                }
+                break;
+            }
+        }
+    }
+    consts
+}

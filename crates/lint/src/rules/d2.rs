@@ -1,0 +1,196 @@
+//! D2 — map-ordering: unsorted hash iteration reaching rendered output.
+//!
+//! `HashMap`/`HashSet` iteration order is unspecified; any such
+//! iteration that feeds a `to_line`/render/report path makes rendered
+//! artifacts nondeterministic even under a pinned seed. This is a
+//! *dataflow-lite* check on function names:
+//!
+//! 1. every name bound to a hash container anywhere in the workspace
+//!    (struct field, param, annotated local, `HashMap::new()` binding)
+//!    becomes a watched receiver;
+//! 2. an iteration site (`recv.iter()`, `recv.keys()`,
+//!    `for … in &recv`, …) over a watched receiver is a candidate;
+//! 3. the site is *discharged* when the iteration ends in an
+//!    order-insensitive terminal (`count`, `sum`, `any`, …), when the
+//!    enclosing function sorts (`sort*`) or collects into an ordered
+//!    container (`BTreeMap`/`BTreeSet`/`BinaryHeap`), or when the
+//!    enclosing function cannot reach rendered output: it is flagged
+//!    only if it is a render/report sink by name, is transitively
+//!    called from one (name-based call graph), or escapes as an
+//!    `impl Iterator` return.
+//!
+//! Name-based matching is deliberately conservative: a false positive
+//! costs a suppression comment or a baseline entry; a false negative
+//! costs a flaky golden three PRs later.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lex::TokKind;
+use crate::model::{FileModel, FnInfo};
+use crate::rules::d1::SORT_IDENTS;
+use crate::rules::Workspace;
+use std::collections::BTreeSet;
+
+/// Iterator-producing methods that expose hash ordering.
+const ITER_METHODS: &[&str] = &["iter", "iter_mut", "into_iter", "keys", "values", "drain"];
+
+/// Chain terminals whose result does not depend on iteration order.
+const ORDER_INSENSITIVE: &[&str] = &[
+    "count",
+    "sum",
+    "any",
+    "all",
+    "max",
+    "min",
+    "max_by_key",
+    "min_by_key",
+    "len",
+    "is_empty",
+    "contains",
+    "contains_key",
+];
+
+/// Ordered containers; collecting into one re-sorts the stream.
+const ORDERED_SINKS: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+pub fn check(models: &[FileModel], ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for m in models {
+        for f in &m.fns {
+            if m.in_test(f.line) {
+                continue;
+            }
+            let body = &m.toks[f.body_start..f.body_end.min(m.toks.len())];
+            // Locals bound via `let x = HashMap::new()` style (the
+            // annotated `let x: HashMap<…>` form is already in the
+            // global name set).
+            let locals = hash_locals(body);
+            let watched = |name: &str| ws.hash_names.contains(name) || locals.contains(name);
+
+            let fn_escapes = escapes_render(m, f, ws);
+            let fn_discharged = body.iter().any(|t| {
+                SORT_IDENTS.contains(&t.text.as_str()) || ORDERED_SINKS.contains(&t.text.as_str())
+            });
+
+            for i in 0..body.len() {
+                let Some(recv) = iteration_receiver(body, i) else {
+                    continue;
+                };
+                if !watched(recv) {
+                    continue;
+                }
+                if fn_discharged || !fn_escapes || insensitive_terminal(body, i) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: "d2-map-order",
+                    severity: Severity::Warning,
+                    file: m.path.clone(),
+                    line: body[i].line,
+                    function: Some(f.name.clone()),
+                    kind: format!("iter:{recv}"),
+                    message: format!(
+                        "iteration over hash container `{recv}` can reach rendered output \
+                         in unspecified order; sort before emission or use a BTreeMap/BTreeSet"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// If token `i` starts an iteration over a hash receiver, return the
+/// receiver name: `recv.iter()` patterns and `for … in … recv {` loops.
+fn iteration_receiver(body: &[crate::lex::Tok], i: usize) -> Option<&str> {
+    let t = body.get(i)?;
+    // recv . iter ( …
+    if t.kind == TokKind::Ident
+        && body.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && body
+            .get(i + 2)
+            .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+        && body.get(i + 3).is_some_and(|t| t.is_punct('('))
+    {
+        return Some(&t.text);
+    }
+    // for pat in [&] path … recv {
+    if t.is_ident("for") {
+        let mut j = i + 1;
+        // Find the `in` keyword before any block opens.
+        while j < body.len() && !body[j].is_ident("in") && !body[j].is_punct('{') {
+            j += 1;
+        }
+        if j >= body.len() || !body[j].is_ident("in") {
+            return None;
+        }
+        // Last identifier before the loop body `{` is the receiver
+        // (for `for x in map.keys()` the method pattern above already
+        // fires; here we want `for (k, v) in &self.map`).
+        let mut last: Option<&str> = None;
+        let mut k = j + 1;
+        while k < body.len() && !body[k].is_punct('{') {
+            if body[k].kind == TokKind::Ident {
+                last = Some(&body[k].text);
+            }
+            if body[k].is_punct('(') {
+                // A call in the head: defer to the method-pattern scan
+                // so `for x in make_map()` doesn't blame `make_map`.
+                return None;
+            }
+            k += 1;
+        }
+        return last;
+    }
+    None
+}
+
+/// Does the chain starting at site `i` end in an order-insensitive
+/// terminal before the statement ends?
+fn insensitive_terminal(body: &[crate::lex::Tok], i: usize) -> bool {
+    for t in body.iter().skip(i).take(60) {
+        if t.is_punct(';') {
+            return false;
+        }
+        if t.kind == TokKind::Ident && ORDER_INSENSITIVE.contains(&t.text.as_str()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Can `f`'s iteration order escape into rendered output?
+fn escapes_render(m: &FileModel, f: &FnInfo, ws: &Workspace) -> bool {
+    if ws.render_reaching.contains(&f.name) {
+        return true;
+    }
+    // `-> impl Iterator` hands the unspecified order to every caller.
+    let sig = &m.toks[f.sig_start..f.body_start.min(m.toks.len())];
+    sig.iter()
+        .any(|t| t.is_ident("Iterator") || t.is_ident("IntoIterator"))
+}
+
+/// Locals bound to a hash container without a type annotation.
+fn hash_locals(body: &[crate::lex::Tok]) -> BTreeSet<String> {
+    let mut locals = BTreeSet::new();
+    for i in 0..body.len() {
+        if !body[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = body.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Look ahead to the end of the statement for a hash type.
+        for t in body.iter().skip(j + 1).take(40) {
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                locals.insert(name.text.clone());
+                break;
+            }
+        }
+    }
+    locals
+}

@@ -1,0 +1,229 @@
+//! Rule families and the cross-file analysis context.
+//!
+//! | rule              | family | severity | what it catches                                   |
+//! |-------------------|--------|----------|---------------------------------------------------|
+//! | `d1-wall-clock`   | D1     | error    | `Instant::now` / `SystemTime` outside the allow-listed `--wall` telemetry path |
+//! | `d1-unseeded-rng` | D1     | error    | entropy-seeded RNG construction                   |
+//! | `d1-env-read`     | D1     | error    | `std::env::var` of unregistered variables         |
+//! | `d1-thread-spawn` | D1     | error    | spawned threads without an ordered-merge marker   |
+//! | `d2-map-order`    | D2     | warning  | `HashMap`/`HashSet` iteration reaching render/report paths unsorted |
+//! | `w1-wire-pair`    | W1     | error    | `to_line`/`to_token` emitters whose tokens lack a `parse_line`/`parse_token` arm (and vice versa) |
+//! | `a1-deprecated`   | A1     | warning  | calls into the registered deprecated-API set      |
+//! | `p1-panic`        | P1     | warning/info | `unwrap`/`panic!` (warning), `expect` (info) in library code |
+
+pub mod a1;
+pub mod d1;
+pub mod d2;
+pub mod p1;
+pub mod w1;
+
+use crate::diag::{sort_diagnostics, Diagnostic};
+use crate::lex::TokKind;
+use crate::model::FileModel;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A deprecated API the A1 rule hunts for.
+#[derive(Debug, Clone)]
+pub struct DeprecatedApi {
+    /// Self type of the deprecated method.
+    pub type_name: String,
+    /// Method name.
+    pub method: String,
+    /// What callers should use instead (quoted in the message).
+    pub replacement: String,
+}
+
+/// One emit/parse pairing the W1 rule cross-checks.
+#[derive(Debug, Clone)]
+pub struct WirePair {
+    /// (impl type, fn) that renders the wire form.
+    pub emit: (String, String),
+    /// (impl type, fn) that parses it back.
+    pub parse: (String, String),
+    /// When true, also cross-check the token heads appearing as string
+    /// literals in both bodies; when false, only paired existence.
+    pub check_tokens: bool,
+}
+
+/// Analyzer configuration. [`Config::workspace_default`] carries the
+/// registries for this workspace (allow-listed env vars, the
+/// deprecation set, the wire-format pairs).
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Environment variables the workspace may read (all are
+    /// test-harness toggles that never influence rendered artifacts).
+    pub env_allowlist: Vec<String>,
+    pub deprecated: Vec<DeprecatedApi>,
+    pub wire_pairs: Vec<WirePair>,
+}
+
+impl Config {
+    /// The registries for the filterwatch workspace.
+    pub fn workspace_default() -> Config {
+        let pair = |et: &str, ef: &str, pt: &str, pf: &str, check_tokens: bool| WirePair {
+            emit: (et.to_string(), ef.to_string()),
+            parse: (pt.to_string(), pf.to_string()),
+            check_tokens,
+        };
+        Config {
+            env_allowlist: [
+                "FILTERWATCH_SEEDS",
+                "FILTERWATCH_UPDATE_GOLDENS",
+                "FILTERWATCH_BENCH_SMOKE",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+            deprecated: vec![DeprecatedApi {
+                type_name: "ScanRecord".into(),
+                method: "text".into(),
+                replacement: "ScanIndex::corpus_of / ScanIndex::corpus".into(),
+            }],
+            wire_pairs: vec![
+                pair(
+                    "FlowDisposition",
+                    "to_token",
+                    "FlowDisposition",
+                    "parse_token",
+                    true,
+                ),
+                pair("Verdict", "label", "VerdictLabel", "parse_label", true),
+                pair("FlowRecord", "to_line", "FlowRecord", "parse_line", false),
+                pair("UrlVerdict", "to_line", "UrlVerdict", "parse_line", false),
+                pair("Event", "to_line", "Event", "parse_line", false),
+            ],
+        }
+    }
+}
+
+/// Cross-file indexes shared by the dataflow-lite rules.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Every function name defined anywhere in the scan set.
+    pub fn_names: BTreeSet<String>,
+    /// Name-based call edges: caller name → callee names (only callees
+    /// that are defined fn names; method calls count by name).
+    pub callees: BTreeMap<String, BTreeSet<String>>,
+    /// Function names that render output or are (transitively) called
+    /// by something that does.
+    pub render_reaching: BTreeSet<String>,
+    /// Names bound to `HashMap`/`HashSet` anywhere (struct fields,
+    /// params, locals) — the receivers D2 watches.
+    pub hash_names: BTreeSet<String>,
+    /// (impl type, fn name) → (model index, fn index) occurrences.
+    pub impl_fns: BTreeMap<(String, String), Vec<(usize, usize)>>,
+}
+
+/// Does this function name render human/machine-readable output?
+pub fn is_sink_name(name: &str) -> bool {
+    name == "fmt"
+        || name.starts_with("render")
+        || name.starts_with("report")
+        || name.starts_with("write_")
+        || name.starts_with("stable_")
+        || name.contains("to_line")
+        || name.contains("to_token")
+        || name.contains("to_text")
+        || name.contains("to_csv")
+        || name.ends_with("_report")
+        || name.ends_with("_csv")
+}
+
+impl Workspace {
+    /// Build the cross-file indexes over the whole scan set.
+    pub fn build(models: &[FileModel]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (mi, m) in models.iter().enumerate() {
+            for (fi, f) in m.fns.iter().enumerate() {
+                ws.fn_names.insert(f.name.clone());
+                if let Some(ty) = &f.impl_type {
+                    ws.impl_fns
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push((mi, fi));
+                }
+            }
+            // `name : HashMap<` / `name : HashSet<` — struct fields,
+            // fn params and annotated locals all look alike at token
+            // level; one global name set is deliberately conservative.
+            for w in m.toks.windows(3) {
+                if w[0].kind == TokKind::Ident
+                    && w[1].is_punct(':')
+                    && (w[2].is_ident("HashMap") || w[2].is_ident("HashSet"))
+                {
+                    ws.hash_names.insert(w[0].text.clone());
+                }
+            }
+        }
+        // Call edges by name: any defined-fn ident followed by `(`.
+        for m in models {
+            for f in &m.fns {
+                let body = &m.toks[f.body_start..f.body_end.min(m.toks.len())];
+                let mut edges = BTreeSet::new();
+                for w in body.windows(2) {
+                    if w[0].kind == TokKind::Ident
+                        && w[1].is_punct('(')
+                        && ws.fn_names.contains(&w[0].text)
+                        && w[0].text != f.name
+                    {
+                        edges.insert(w[0].text.clone());
+                    }
+                }
+                ws.callees.entry(f.name.clone()).or_default().extend(edges);
+            }
+        }
+        // Render-reaching = sinks plus everything a sink transitively
+        // calls (a sink iterating a map *or* formatting data an
+        // unsorted helper handed it both corrupt rendered output).
+        let mut reaching: BTreeSet<String> = ws
+            .fn_names
+            .iter()
+            .filter(|n| is_sink_name(n))
+            .cloned()
+            .collect();
+        loop {
+            let mut grew = false;
+            for (caller, callees) in &ws.callees {
+                if reaching.contains(caller) {
+                    for c in callees {
+                        if reaching.insert(c.clone()) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        ws.render_reaching = reaching;
+        ws
+    }
+}
+
+/// Run every rule over the scan set, apply suppressions, and return
+/// canonically-ordered diagnostics.
+pub fn run_all(models: &[FileModel], cfg: &Config) -> Vec<Diagnostic> {
+    let ws = Workspace::build(models);
+    let mut out = Vec::new();
+    for m in models {
+        d1::check(m, cfg, &mut out);
+        a1::check(m, cfg, &mut out);
+        p1::check(m, &mut out);
+    }
+    d2::check(models, &ws, &mut out);
+    w1::check(models, &ws, cfg, &mut out);
+
+    // Central suppression pass: a `// filterwatch-lint: allow(rule)`
+    // on the finding's line (or the line above) or an `allow-file`
+    // discharges it, whichever rule produced it.
+    let by_path: BTreeMap<&str, &FileModel> = models.iter().map(|m| (m.path.as_str(), m)).collect();
+    out.retain(|d| {
+        by_path
+            .get(d.file.as_str())
+            .map(|m| !m.suppressed(d.rule, d.line))
+            .unwrap_or(true)
+    });
+    sort_diagnostics(&mut out);
+    out
+}

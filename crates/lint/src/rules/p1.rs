@@ -1,0 +1,74 @@
+//! P1 — panic hygiene in library code.
+//!
+//! A panic in a measurement campaign throws away every verdict
+//! gathered before it; library code should surface errors as values.
+//! The rule is advisory by design: `unwrap()`/`panic!()` in non-test,
+//! non-binary code is a warning, `.expect("…")` is info (the message
+//! at least documents the invariant). Accepted sites live in the
+//! baseline; new ones need a justification — either an
+//! `// filterwatch-lint: allow(p1-panic): why` or a baseline review.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::model::{FileCtx, FileModel};
+
+pub fn check(m: &FileModel, out: &mut Vec<Diagnostic>) {
+    if m.ctx != FileCtx::Lib {
+        return;
+    }
+    let toks = &m.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if m.in_test(t.line) {
+            continue;
+        }
+        let (kind, severity, advice): (&str, Severity, &str) = if t.is_ident("unwrap")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            (
+                "unwrap",
+                Severity::Warning,
+                "return a Result or use `.expect(\"invariant…\")` to document why this \
+                 cannot fail",
+            )
+        } else if t.is_ident("expect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            (
+                "expect",
+                Severity::Info,
+                "acceptable when the message states an invariant; prefer returning a Result",
+            )
+        } else if (t.is_ident("panic")
+            || t.is_ident("unreachable")
+            || t.is_ident("todo")
+            || t.is_ident("unimplemented"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            (
+                match t.text.as_str() {
+                    "panic" => "panic!",
+                    "unreachable" => "unreachable!",
+                    "todo" => "todo!",
+                    _ => "unimplemented!",
+                },
+                Severity::Warning,
+                "library code should return an error instead of aborting the campaign",
+            )
+        } else {
+            continue;
+        };
+        out.push(Diagnostic {
+            rule: "p1-panic",
+            severity,
+            file: m.path.clone(),
+            line: t.line,
+            function: m.enclosing_fn(i).map(|f| f.name.clone()),
+            kind: kind.into(),
+            message: format!("`{kind}` in library code; {advice}"),
+        });
+    }
+}

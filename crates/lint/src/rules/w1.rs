@@ -1,0 +1,182 @@
+//! W1 — wire-format consistency.
+//!
+//! The stable line formats (`FlowRecord::to_line`, disposition tokens,
+//! verdict labels, telemetry events) are load-bearing: campaigns write
+//! them, auditors and the differential runner parse them back. The
+//! costly failure mode is one-sided evolution — a new disposition
+//! token added to `to_token` with no `parse_token` arm means logs that
+//! can no longer be read back (or a parser arm for a token nothing
+//! emits, i.e. dead wire format).
+//!
+//! For every registered [`crate::rules::WirePair`] this rule checks,
+//! across files:
+//!
+//! * **paired existence** — if the emit fn is defined somewhere in the
+//!   scan set, the parse fn must be too (and vice versa);
+//! * **token heads** (when `check_tokens`) — the set of token heads
+//!   appearing as string literals in the emit body equals the set in
+//!   the parse body. A token head is the literal up to the first `:`,
+//!   kept only when it looks like a wire token (`[a-z][a-z0-9_-]*`),
+//!   which filters out format strings and error prose.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lex::TokKind;
+use crate::model::FileModel;
+use crate::rules::{Config, Workspace};
+use std::collections::BTreeSet;
+
+pub fn check(models: &[FileModel], ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for pair in &cfg.wire_pairs {
+        let emit_sites = ws.impl_fns.get(&pair.emit).cloned().unwrap_or_default();
+        let parse_sites = ws.impl_fns.get(&pair.parse).cloned().unwrap_or_default();
+        if emit_sites.is_empty() && parse_sites.is_empty() {
+            // Neither side is in the scan set (e.g. a fixtures-only
+            // run): nothing to pair.
+            continue;
+        }
+        let describe = |(ty, f): &(String, String)| format!("{ty}::{f}");
+        if parse_sites.is_empty() {
+            let (mi, fi) = emit_sites[0];
+            let f = &models[mi].fns[fi];
+            out.push(Diagnostic {
+                rule: "w1-wire-pair",
+                severity: Severity::Error,
+                file: models[mi].path.clone(),
+                line: f.line,
+                function: Some(f.name.clone()),
+                kind: format!("missing-parse:{}", describe(&pair.parse)),
+                message: format!(
+                    "`{}` renders a wire format but `{}` is not defined anywhere in the \
+                     scan set; every emitter needs a parser",
+                    describe(&pair.emit),
+                    describe(&pair.parse)
+                ),
+            });
+            continue;
+        }
+        if emit_sites.is_empty() {
+            let (mi, fi) = parse_sites[0];
+            let f = &models[mi].fns[fi];
+            out.push(Diagnostic {
+                rule: "w1-wire-pair",
+                severity: Severity::Error,
+                file: models[mi].path.clone(),
+                line: f.line,
+                function: Some(f.name.clone()),
+                kind: format!("missing-emit:{}", describe(&pair.emit)),
+                message: format!(
+                    "`{}` parses a wire format but `{}` is not defined anywhere in the \
+                     scan set; dead parser or missing emitter",
+                    describe(&pair.parse),
+                    describe(&pair.emit)
+                ),
+            });
+            continue;
+        }
+        if !pair.check_tokens {
+            continue;
+        }
+        let heads_of = |sites: &[(usize, usize)]| -> BTreeSet<String> {
+            let mut heads = BTreeSet::new();
+            for &(mi, fi) in sites {
+                let f = &models[mi].fns[fi];
+                let body = &models[mi].toks[f.body_start..f.body_end.min(models[mi].toks.len())];
+                for (k, t) in body.iter().enumerate() {
+                    if t.kind != TokKind::Str {
+                        continue;
+                    }
+                    // A literal directly inside an uppercase-ident call
+                    // — `PathFault("timeout")`, `Some("x")` — is a data
+                    // constructor argument, not wire syntax.
+                    let constructor_arg = k >= 2
+                        && body[k - 1].is_punct('(')
+                        && body[k - 2].kind == TokKind::Ident
+                        && body[k - 2]
+                            .text
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_uppercase());
+                    if constructor_arg {
+                        continue;
+                    }
+                    if let Some(h) = token_head(&t.text) {
+                        heads.insert(h);
+                    }
+                }
+            }
+            heads
+        };
+        let emitted = heads_of(&emit_sites);
+        let parsed = heads_of(&parse_sites);
+        for head in emitted.difference(&parsed) {
+            let (mi, fi) = emit_sites[0];
+            let f = &models[mi].fns[fi];
+            out.push(Diagnostic {
+                rule: "w1-wire-pair",
+                severity: Severity::Error,
+                file: models[mi].path.clone(),
+                line: f.line,
+                function: Some(f.name.clone()),
+                kind: format!("emit-without-parse:{head}"),
+                message: format!(
+                    "token head `{head}` is emitted by `{}` but has no arm in `{}`; \
+                     lines carrying it cannot be parsed back",
+                    describe(&pair.emit),
+                    describe(&pair.parse)
+                ),
+            });
+        }
+        for head in parsed.difference(&emitted) {
+            let (mi, fi) = parse_sites[0];
+            let f = &models[mi].fns[fi];
+            out.push(Diagnostic {
+                rule: "w1-wire-pair",
+                severity: Severity::Error,
+                file: models[mi].path.clone(),
+                line: f.line,
+                function: Some(f.name.clone()),
+                kind: format!("parse-without-emit:{head}"),
+                message: format!(
+                    "token head `{head}` has a parse arm in `{}` but `{}` never emits it; \
+                     dead wire format (or the emitter lost a variant)",
+                    describe(&pair.parse),
+                    describe(&pair.emit)
+                ),
+            });
+        }
+    }
+}
+
+/// The wire-token head of a string literal, if it looks like one:
+/// text up to the first `:`, matching `[a-z][a-z0-9_-]*`. Everything
+/// else (format strings, error prose, separators) yields `None`.
+pub fn token_head(lit: &str) -> Option<String> {
+    let head = lit.split(':').next().unwrap_or("");
+    let mut chars = head.chars();
+    let first = chars.next()?;
+    if !first.is_ascii_lowercase() {
+        return None;
+    }
+    if !chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-') {
+        return None;
+    }
+    Some(head.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_heads_accept_wire_tokens_only() {
+        assert_eq!(token_head("origin:{status}"), Some("origin".into()));
+        assert_eq!(token_head("breaker-skip:{}"), Some("breaker-skip".into()));
+        assert_eq!(token_head("dnsfail"), Some("dnsfail".into()));
+        assert_eq!(token_head("dnsfail:injected"), Some("dnsfail".into()));
+        assert_eq!(token_head("{}\\t{}"), None);
+        assert_eq!(token_head("bad status in {token:?}: {e}"), None);
+        assert_eq!(token_head("-"), None);
+        assert_eq!(token_head(""), None);
+        assert_eq!(token_head("Day 2"), None);
+    }
+}

@@ -15,8 +15,6 @@
 //! tier). Per-call latency can be recorded into a telemetry histogram
 //! via [`BlockPageLibrary::with_telemetry`].
 
-use std::time::Instant;
-
 use filterwatch_pattern::{CompiledPatternSet, Pattern, PatternSet};
 use filterwatch_telemetry::TelemetryHandle;
 
@@ -113,17 +111,10 @@ impl BlockPageLibrary {
     /// Classify a fetch trace (concatenated URLs, banners and bodies of
     /// every hop). Vendor signatures win over the generic fallback.
     pub fn classify(&self, trace_text: &str) -> Option<BlockMatch> {
-        if !self.telemetry.is_enabled() {
-            return self.classify_inner(trace_text);
-        }
-        let started = Instant::now();
-        let result = self.classify_inner(trace_text);
-        self.telemetry.observe(
-            CLASSIFY_LATENCY_METRIC,
-            "",
-            started.elapsed().as_nanos() as f64,
-        );
-        result
+        self.telemetry
+            .observe_timed(CLASSIFY_LATENCY_METRIC, "", || {
+                self.classify_inner(trace_text)
+            })
     }
 
     fn classify_inner(&self, trace_text: &str) -> Option<BlockMatch> {

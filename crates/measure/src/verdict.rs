@@ -83,6 +83,57 @@ impl std::fmt::Display for Verdict {
     }
 }
 
+/// The label half of a [`Verdict`], as it appears on the wire.
+///
+/// Verdict lines drop the payload (evidence, similarity, reasons), so
+/// parsing a line back recovers the label, not the full [`Verdict`].
+/// This enum is the parse-side counterpart of [`Verdict::label`]: one
+/// variant per label, so adding a verdict kind without a parse arm is
+/// caught by the `w1-wire-pair` lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictLabel {
+    /// `accessible`
+    Accessible,
+    /// `blocked`
+    Blocked,
+    /// `modified`
+    Modified,
+    /// `inaccessible`
+    Inaccessible,
+    /// `unavailable`
+    Unavailable,
+    /// `inconclusive`
+    Inconclusive,
+}
+
+impl VerdictLabel {
+    /// Parse a wire label produced by [`Verdict::label`].
+    pub fn parse_label(label: &str) -> Result<VerdictLabel, String> {
+        match label {
+            "accessible" => Ok(VerdictLabel::Accessible),
+            "blocked" => Ok(VerdictLabel::Blocked),
+            "modified" => Ok(VerdictLabel::Modified),
+            "inaccessible" => Ok(VerdictLabel::Inaccessible),
+            "unavailable" => Ok(VerdictLabel::Unavailable),
+            "inconclusive" => Ok(VerdictLabel::Inconclusive),
+            other => Err(format!("unknown verdict label {other:?}")),
+        }
+    }
+
+    /// The wire label, identical to [`Verdict::label`] for the
+    /// corresponding variant.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VerdictLabel::Accessible => "accessible",
+            VerdictLabel::Blocked => "blocked",
+            VerdictLabel::Modified => "modified",
+            VerdictLabel::Inaccessible => "inaccessible",
+            VerdictLabel::Unavailable => "unavailable",
+            VerdictLabel::Inconclusive => "inconclusive",
+        }
+    }
+}
+
 /// A verdict attached to the URL it concerns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UrlVerdict {
@@ -90,6 +141,18 @@ pub struct UrlVerdict {
     pub url: String,
     /// The comparison outcome.
     pub verdict: Verdict,
+}
+
+/// One [`UrlVerdict::to_line`] line read back from a report: the
+/// fields the wire format actually carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedVerdictLine {
+    /// The tested URL (as text).
+    pub url: String,
+    /// The verdict label.
+    pub label: VerdictLabel,
+    /// The attributed product, when blocked and identified.
+    pub product: Option<String>,
 }
 
 impl UrlVerdict {
@@ -105,6 +168,26 @@ impl UrlVerdict {
             self.verdict.label(),
             self.verdict.blocked_by().unwrap_or("-")
         )
+    }
+
+    /// Parse a [`UrlVerdict::to_line`] line back into its wire fields.
+    pub fn parse_line(line: &str) -> Result<ParsedVerdictLine, String> {
+        let mut fields = line.split('\t');
+        let (Some(url), Some(label), Some(product), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return Err(format!(
+                "verdict line needs 3 tab-separated fields: {line:?}"
+            ));
+        };
+        Ok(ParsedVerdictLine {
+            url: url.to_string(),
+            label: VerdictLabel::parse_label(label)?,
+            product: match product {
+                "-" => None,
+                p => Some(p.to_string()),
+            },
+        })
     }
 }
 
@@ -167,6 +250,59 @@ mod tests {
         };
         // The reason (timing detail) must not leak into the line.
         assert_eq!(inconclusive.to_line(), "http://b.example/\tinconclusive\t-");
+    }
+
+    #[test]
+    fn lines_round_trip() {
+        let cases = vec![
+            UrlVerdict {
+                url: "http://a.example/".into(),
+                verdict: Verdict::Blocked(BlockMatch {
+                    product: Some("netsweeper".into()),
+                    evidence: "sig".into(),
+                }),
+            },
+            UrlVerdict {
+                url: "http://b.example/".into(),
+                verdict: Verdict::Accessible,
+            },
+            UrlVerdict {
+                url: "http://c.example/".into(),
+                verdict: Verdict::Modified { similarity: 0.4 },
+            },
+            UrlVerdict {
+                url: "http://d.example/".into(),
+                verdict: Verdict::Inaccessible {
+                    field_error: "reset".into(),
+                },
+            },
+            UrlVerdict {
+                url: "http://e.example/".into(),
+                verdict: Verdict::Unavailable {
+                    lab_error: "dns".into(),
+                },
+            },
+            UrlVerdict {
+                url: "http://f.example/".into(),
+                verdict: Verdict::Inconclusive {
+                    reason: "no quorum".into(),
+                },
+            },
+        ];
+        for uv in cases {
+            let parsed = UrlVerdict::parse_line(&uv.to_line()).unwrap();
+            assert_eq!(parsed.url, uv.url);
+            assert_eq!(parsed.label.as_str(), uv.verdict.label());
+            assert_eq!(parsed.product.as_deref(), uv.verdict.blocked_by());
+        }
+    }
+
+    #[test]
+    fn parse_line_rejects_malformed_input() {
+        assert!(UrlVerdict::parse_line("only-two\tfields").is_err());
+        assert!(UrlVerdict::parse_line("u\tblocked\tx\textra").is_err());
+        assert!(UrlVerdict::parse_line("u\tbogus-label\t-").is_err());
+        assert!(VerdictLabel::parse_label("Accessible").is_err());
     }
 
     #[test]

@@ -5,16 +5,20 @@
 //! resolution is global and unfiltered; per-ISP DNS tampering could be
 //! layered on via a middlebox if ever needed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ip::IpAddr;
 
 /// The global simulated DNS zone.
+///
+/// Records live in `BTreeMap`s so that [`Dns::records`] iterates in
+/// hostname order — zone dumps are part of rendered world reports and
+/// must not depend on hash seeding.
 #[derive(Debug, Default)]
 pub struct Dns {
-    exact: HashMap<String, IpAddr>,
+    exact: BTreeMap<String, IpAddr>,
     /// Wildcard suffix records: `*.example.info` stored as `example.info`.
-    wildcard: HashMap<String, IpAddr>,
+    wildcard: BTreeMap<String, IpAddr>,
 }
 
 impl Dns {
@@ -68,7 +72,7 @@ impl Dns {
         self.exact.is_empty() && self.wildcard.is_empty()
     }
 
-    /// All exact records (arbitrary order).
+    /// All exact records, sorted by hostname.
     pub fn records(&self) -> impl Iterator<Item = (&str, IpAddr)> {
         self.exact.iter().map(|(h, &ip)| (h.as_str(), ip))
     }
@@ -147,5 +151,15 @@ mod tests {
         dns.register("b.example", "5.0.0.2".parse().unwrap());
         assert_eq!(dns.len(), 2);
         assert_eq!(dns.records().count(), 2);
+    }
+
+    #[test]
+    fn records_iterate_in_hostname_order() {
+        let mut dns = Dns::new();
+        dns.register("zeta.example", "5.0.0.3".parse().unwrap());
+        dns.register("alpha.example", "5.0.0.1".parse().unwrap());
+        dns.register("mid.example", "5.0.0.2".parse().unwrap());
+        let hosts: Vec<&str> = dns.records().map(|(h, _)| h).collect();
+        assert_eq!(hosts, vec!["alpha.example", "mid.example", "zeta.example"]);
     }
 }

@@ -444,14 +444,9 @@ impl Internet {
 
     /// Fetch a request as a client at `client_ip` inside `net`.
     pub fn fetch_as(&self, net: NetworkId, client_ip: IpAddr, req: &Request) -> FetchOutcome {
-        if !self.telemetry.is_enabled() {
-            return self.fetch_as_inner(net, client_ip, req);
-        }
-        let started = std::time::Instant::now();
-        let outcome = self.fetch_as_inner(net, client_ip, req);
-        self.telemetry
-            .observe("fetch.wall_nanos", "", started.elapsed().as_nanos() as f64);
-        outcome
+        self.telemetry.observe_timed("fetch.wall_nanos", "", || {
+            self.fetch_as_inner(net, client_ip, req)
+        })
     }
 
     fn fetch_as_inner(&self, net: NetworkId, client_ip: IpAddr, req: &Request) -> FetchOutcome {

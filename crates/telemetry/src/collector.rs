@@ -86,6 +86,8 @@ impl TelemetryHandle {
                 depth,
                 closed: false,
             },
+            // filterwatch-lint: allow(d1-wall-clock): span wall_nanos is the
+            // `--wall` telemetry path — stripped from stable output by default.
             started: Instant::now(),
         });
         state.open.push(id);
@@ -155,6 +157,23 @@ impl TelemetryHandle {
             .registered_buckets
             .entry(name.to_string())
             .or_insert_with(|| bounds.to_vec());
+    }
+
+    /// Run `f`, recording its wall-clock duration (nanoseconds) into
+    /// the histogram `name` when this handle is enabled. This is the
+    /// one sanctioned way to take wall timings outside the collector:
+    /// the result only ever reaches the `--wall` telemetry path and is
+    /// never part of stable output.
+    pub fn observe_timed<T>(&self, name: &str, label: &str, f: impl FnOnce() -> T) -> T {
+        if !self.is_enabled() {
+            return f();
+        }
+        // filterwatch-lint: allow(d1-wall-clock): wall timings feed the
+        // `--wall` telemetry path only, never stable output.
+        let started = Instant::now();
+        let out = f();
+        self.observe(name, label, started.elapsed().as_nanos() as f64);
+        out
     }
 
     /// Record one histogram observation.
