@@ -1,0 +1,88 @@
+//! Bench-regression gate CLI.
+//!
+//! ```text
+//! FILTERWATCH_BENCH_SMOKE=1 FILTERWATCH_BENCH_OUT=target/bench.tsv \
+//!     cargo bench -p filterwatch-bench --bench identify
+//! cargo run -p filterwatch-bench --bin bench_gate -- \
+//!     --baseline BENCH_identify.json --fresh target/bench.tsv
+//! ```
+//!
+//! Compares the fresh run's internal ratios against the checked-in
+//! baseline (see `filterwatch_bench::gate`), prints the comparison
+//! table plus a trajectory entry for the bench history, and exits
+//! non-zero on regression.
+
+use filterwatch_bench::gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut fresh_path = None;
+    let mut tolerance = gate::DEFAULT_TOLERANCE;
+    let mut label = String::from("local");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).cloned();
+            }
+            "--fresh" => {
+                i += 1;
+                fresh_path = args.get(i).cloned();
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a number"));
+            }
+            "--label" => {
+                i += 1;
+                label = args.get(i).cloned().unwrap_or_else(|| {
+                    usage("--label needs a value");
+                });
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| usage("--baseline is required"));
+    let fresh_path = fresh_path.unwrap_or_else(|| usage("--fresh is required"));
+    if tolerance < 1.0 {
+        usage("--tolerance must be >= 1.0");
+    }
+
+    let baseline = parse_step("baseline", &baseline_path, gate::parse_baseline);
+    let fresh = parse_step("fresh run", &fresh_path, gate::parse_fresh);
+
+    let outcome = gate::run_gate(&baseline, &fresh, tolerance);
+    print!("{}", gate::render_outcome(&baseline, &outcome, tolerance));
+    println!("trajectory: {}", gate::trajectory_entry(&label, &fresh));
+    if outcome.passed() {
+        println!("bench gate: PASS");
+    } else {
+        println!("bench gate: FAIL ({} failure(s))", outcome.failures.len());
+        std::process::exit(1);
+    }
+}
+
+fn parse_step<T>(what: &str, path: &str, parse: impl Fn(&str) -> Result<T, String>) -> T {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {what} {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse {what} {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: bench_gate --baseline BENCH_x.json --fresh out.tsv [--tolerance N] [--label L]"
+    );
+    std::process::exit(2);
+}

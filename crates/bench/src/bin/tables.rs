@@ -8,7 +8,10 @@
 //!
 //! Artifacts: `table1` `table2` `figure1` `table3` `table4` `table5`
 //! `denypagetests` `challenge1` `challenge2` `ablation` `websense2009`
-//! `telemetry` `report` `all`.
+//! `telemetry` `report` `all`, plus the provenance queries
+//! `explain [<url>]` (full causal chain behind every verdict of the
+//! demo campaign, or one URL's) and `trace-profile` (span-tree rollup
+//! with self/total virtual time).
 
 use filterwatch_core::ablate::{
     acceptance_sweep, geo_error_sweep, license_sweep, render_acceptance, render_geo_error,
@@ -28,7 +31,7 @@ use filterwatch_urllists::Category;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut artifact = String::from("all");
+    let mut positional: Vec<String> = Vec::new();
     let mut seed = DEFAULT_SEED;
     let mut wall = false;
     let mut i = 0;
@@ -42,10 +45,19 @@ fn main() {
                     .unwrap_or_else(|| usage("--seed needs an integer"));
             }
             "--wall" => wall = true,
-            name if !name.starts_with('-') => artifact = name.to_string(),
+            name if !name.starts_with('-') => positional.push(name.to_string()),
             other => usage(&format!("unknown flag {other}")),
         }
         i += 1;
+    }
+    let artifact = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| String::from("all"));
+    // `explain <url>` takes the target URL as a second positional arg.
+    let target = positional.get(1).cloned();
+    if positional.len() > 2 || (target.is_some() && artifact != "explain") {
+        usage("only `explain` takes a second positional argument");
     }
 
     let all = artifact == "all";
@@ -79,6 +91,14 @@ fn main() {
         ran = true;
         report(seed);
     }
+    if artifact == "explain" {
+        ran = true;
+        explain(seed, target.as_deref());
+    }
+    if artifact == "trace-profile" {
+        ran = true;
+        trace_profile(seed);
+    }
 
     if !ran {
         usage(&format!("unknown artifact {artifact:?}"));
@@ -88,7 +108,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|all] [--seed N] [--wall]"
+        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|explain [<url>]|trace-profile|all] [--seed N] [--wall]"
     );
     std::process::exit(2);
 }
@@ -357,4 +377,50 @@ fn telemetry(seed: u64, wall: bool) {
 fn report(seed: u64) {
     let report = filterwatch_core::Campaign::standard(seed).run();
     print!("{}", report.to_markdown());
+}
+
+/// `explain [<url>]`: render the complete causal chain behind every
+/// verdict of the traced demo campaign — DNS, middlebox hops, fetch
+/// attempts (retries and breaker skips included), fingerprint matches
+/// and the quorum decision — or just one URL's when a target is given.
+fn explain(seed: u64, target: Option<&str>) {
+    let report = filterwatch_core::Campaign::demo(seed)
+        .with_trace(filterwatch_trace::TraceMode::Full)
+        .run();
+    let index = filterwatch_trace::ProvenanceIndex::build(&report.trace);
+    println!("== explain (seed {seed}, demo campaign) ==");
+    println!();
+    print!("{}", index.render_summary());
+    match target {
+        Some(url) => match index.explain(url) {
+            Some(text) => {
+                println!();
+                print!("{text}");
+            }
+            None => {
+                eprintln!("error: no url-test recorded for {url:?}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            for url in index.urls() {
+                println!();
+                if let Some(text) = index.explain(url) {
+                    print!("{text}");
+                }
+            }
+        }
+    }
+}
+
+/// `trace-profile`: aggregate span-tree rollup of the traced demo
+/// campaign — per step-path call counts plus total and self virtual
+/// time.
+fn trace_profile(seed: u64) {
+    let report = filterwatch_core::Campaign::demo(seed)
+        .with_trace(filterwatch_trace::TraceMode::Full)
+        .run();
+    println!("== trace-profile (seed {seed}, demo campaign) ==");
+    println!();
+    print!("{}", filterwatch_trace::render_profile(&report.trace));
 }

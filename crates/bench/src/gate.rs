@@ -1,0 +1,622 @@
+//! Bench-regression gate: compare a fresh bench run against the
+//! checked-in `BENCH_*.json` baselines.
+//!
+//! The fresh side is the TSV the criterion shim appends when
+//! `FILTERWATCH_BENCH_OUT` names a file (`name\tmedian_ns` per line).
+//! Absolute ns/iter figures are machine- and load-dependent — CI smoke
+//! runs doubly so — so the gate never compares raw medians across runs.
+//! Instead it compares *internal ratios*: the fastest baseline entry of
+//! a suite anchors the scale, and every other entry must stay within
+//! `tolerance ×` its baseline ratio to that anchor. A genuine
+//! regression (one rung suddenly 50× slower relative to its siblings)
+//! trips the gate on any machine; a uniformly slower box does not.
+//!
+//! The gate also renders a trajectory entry — a JSON object holding the
+//! fresh medians — ready to append to the baseline's `trajectory`
+//! array, so bench history accretes run over run.
+
+use std::collections::BTreeMap;
+
+/// One benchmark result inside a baseline suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Bench name as printed by the harness (e.g. `sweep/naive`).
+    pub name: String,
+    /// Median ns/iter recorded in the baseline.
+    pub median_ns: u64,
+}
+
+/// A parsed `BENCH_*.json` baseline.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Suite name (the file's `suite` field).
+    pub suite: String,
+    /// The `results` array: every bench the gate will require.
+    pub entries: Vec<BaselineEntry>,
+    /// Number of recorded trajectory entries (history length).
+    pub trajectory_len: usize,
+}
+
+/// One per-bench comparison the gate performed.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Bench name.
+    pub name: String,
+    /// Baseline median / baseline anchor median.
+    pub baseline_ratio: f64,
+    /// Fresh median / fresh anchor median.
+    pub fresh_ratio: f64,
+    /// Largest fresh ratio accepted (`baseline_ratio × tolerance`).
+    pub limit: f64,
+    /// Whether the fresh ratio stayed within the limit.
+    pub ok: bool,
+}
+
+/// Everything a gate run produced.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Anchor bench name (fastest baseline entry).
+    pub anchor: String,
+    /// Per-bench ratio comparisons.
+    pub checks: Vec<Check>,
+    /// Human-readable failure descriptions; empty means the gate passed.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Did every check pass and every baseline bench report a fresh
+    /// result?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the BENCH_*.json shape. No
+// external crates; parse errors come back as strings.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (floats and integers alike).
+    Num(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload rounded to u64, if this is a non-negative
+    /// number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "json: expected {:?} at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(format!("json: bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("json: unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("json: expected , or }} at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("json: expected , or ] at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(String::from("json: unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(String::from("json: unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| {
+                                    format!("json: bad \\u escape at byte {}", self.pos)
+                                })?;
+                            out.push(hex);
+                            self.pos = end;
+                        }
+                        other => {
+                            return Err(format!("json: bad escape \\{}", other as char));
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the raw
+                    // input instead of pushing lone bytes.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = self
+                            .bytes
+                            .get(start..start + len)
+                            .and_then(|c| std::str::from_utf8(c).ok())
+                            .ok_or_else(|| format!("json: bad utf-8 at byte {start}"))?;
+                        out.push_str(chunk);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("json: bad number at byte {start}"))
+    }
+}
+
+/// Parse a complete JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut reader = Reader::new(text);
+    let value = reader.value()?;
+    if reader.peek().is_some() {
+        return Err(format!("json: trailing content at byte {}", reader.pos));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// Baseline / fresh-run parsing
+// ---------------------------------------------------------------------
+
+/// Parse a `BENCH_*.json` baseline document.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = parse_json(text)?;
+    let suite = doc
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or("baseline: missing \"suite\"")?
+        .to_string();
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing \"results\" array")?;
+    let mut entries = Vec::new();
+    for item in results {
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("baseline: result without \"name\"")?
+            .to_string();
+        let median_ns = item
+            .get("median_ns_per_iter")
+            .and_then(Json::as_u64)
+            .ok_or("baseline: result without \"median_ns_per_iter\"")?;
+        entries.push(BaselineEntry { name, median_ns });
+    }
+    if entries.is_empty() {
+        return Err(String::from("baseline: empty \"results\" array"));
+    }
+    let trajectory_len = doc
+        .get("trajectory")
+        .and_then(Json::as_arr)
+        .map(|a| a.len())
+        .unwrap_or(0);
+    Ok(Baseline {
+        suite,
+        entries,
+        trajectory_len,
+    })
+}
+
+/// Parse the criterion shim's `FILTERWATCH_BENCH_OUT` TSV: one
+/// `name\tmedian_ns` line per bench; later lines win on duplicates
+/// (re-runs append).
+pub fn parse_fresh(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut out = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (name, ns) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("fresh line {}: expected name\\tns", lineno + 1))?;
+        let median: u64 = ns
+            .trim()
+            .parse()
+            .map_err(|e| format!("fresh line {}: bad ns value: {e}", lineno + 1))?;
+        out.insert(name.to_string(), median);
+    }
+    if out.is_empty() {
+        return Err(String::from("fresh run: no bench lines recorded"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The gate proper
+// ---------------------------------------------------------------------
+
+/// Default tolerance on internal ratios. Smoke-mode medians come from 3
+/// samples over 50ms, so run-to-run noise is large; the gate exists to
+/// catch order-of-magnitude relative regressions, not single-digit
+/// percentage drift.
+pub const DEFAULT_TOLERANCE: f64 = 10.0;
+
+/// Compare a fresh run against a baseline at the given ratio tolerance.
+pub fn run_gate(baseline: &Baseline, fresh: &BTreeMap<String, u64>, tolerance: f64) -> GateOutcome {
+    let mut failures = Vec::new();
+    // Fastest baseline entry anchors the internal-ratio scale.
+    let anchor = baseline
+        .entries
+        .iter()
+        .min_by_key(|e| (e.median_ns, e.name.clone()))
+        .cloned()
+        .unwrap_or(BaselineEntry {
+            name: String::new(),
+            median_ns: 1,
+        });
+    let b_ref = anchor.median_ns.max(1) as f64;
+    let f_ref = match fresh.get(&anchor.name) {
+        Some(&ns) => ns.max(1) as f64,
+        None => {
+            failures.push(format!(
+                "anchor bench {:?} missing from fresh run",
+                anchor.name
+            ));
+            return GateOutcome {
+                anchor: anchor.name,
+                checks: Vec::new(),
+                failures,
+            };
+        }
+    };
+    let mut checks = Vec::new();
+    for entry in &baseline.entries {
+        let Some(&fresh_ns) = fresh.get(&entry.name) else {
+            failures.push(format!(
+                "bench {:?} in baseline but missing from fresh run (deleted bench?)",
+                entry.name
+            ));
+            continue;
+        };
+        let baseline_ratio = entry.median_ns.max(1) as f64 / b_ref;
+        let fresh_ratio = fresh_ns.max(1) as f64 / f_ref;
+        let limit = baseline_ratio * tolerance;
+        let ok = fresh_ratio <= limit;
+        if !ok {
+            failures.push(format!(
+                "bench {:?} regressed: fresh ratio {fresh_ratio:.2}x vs anchor exceeds \
+                 baseline ratio {baseline_ratio:.2}x by more than {tolerance}x",
+                entry.name
+            ));
+        }
+        checks.push(Check {
+            name: entry.name.clone(),
+            baseline_ratio,
+            fresh_ratio,
+            limit,
+            ok,
+        });
+    }
+    GateOutcome {
+        anchor: anchor.name,
+        checks,
+        failures,
+    }
+}
+
+/// Render a trajectory entry for the fresh run — a JSON object ready to
+/// append to the baseline's `trajectory` array (medians keyed by bench
+/// name, sorted).
+pub fn trajectory_entry(label: &str, fresh: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{ \"label\": ");
+    out.push_str(&format!("{label:?}, \"median_ns\": {{ "));
+    let fields: Vec<String> = fresh
+        .iter()
+        .map(|(name, ns)| format!("{name:?}: {ns}"))
+        .collect();
+    out.push_str(&fields.join(", "));
+    out.push_str(" } }");
+    out
+}
+
+/// Render the gate outcome as an aligned report table.
+pub fn render_outcome(baseline: &Baseline, outcome: &GateOutcome, tolerance: f64) -> String {
+    let mut out = format!(
+        "bench gate: suite {:?} ({} benches, {} trajectory entries, anchor {:?}, tolerance {tolerance}x)\n",
+        baseline.suite,
+        baseline.entries.len(),
+        baseline.trajectory_len,
+        outcome.anchor,
+    );
+    let width = outcome
+        .checks
+        .iter()
+        .map(|c| c.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    out.push_str(&format!(
+        "  {:<width$}  {:>14}  {:>11}  {:>11}  ok\n",
+        "name", "baseline-ratio", "fresh-ratio", "limit"
+    ));
+    for check in &outcome.checks {
+        out.push_str(&format!(
+            "  {:<width$}  {:>14.3}  {:>11.3}  {:>11.3}  {}\n",
+            check.name,
+            check.baseline_ratio,
+            check.fresh_ratio,
+            check.limit,
+            if check.ok { "yes" } else { "NO" },
+        ));
+    }
+    for failure in &outcome.failures {
+        out.push_str(&format!("  FAIL: {failure}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "suite": "identify",
+        "results": [
+            { "name": "sweep/naive", "median_ns_per_iter": 1000000 },
+            { "name": "sweep/fast", "median_ns_per_iter": 1000 }
+        ],
+        "trajectory": [ { "label": "seed", "median_ns": { "sweep/fast": 900 } } ]
+    }"#;
+
+    fn fresh_of(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn parses_baseline_shape() {
+        let b = parse_baseline(SAMPLE).expect("parse");
+        assert_eq!(b.suite, "identify");
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[0].median_ns, 1_000_000);
+        assert_eq!(b.trajectory_len, 1);
+    }
+
+    #[test]
+    fn parses_real_checked_in_baselines() {
+        for text in [
+            include_str!("../../../BENCH_identify.json"),
+            include_str!("../../../BENCH_resilience.json"),
+        ] {
+            let b = parse_baseline(text).expect("checked-in baseline parses");
+            assert!(!b.entries.is_empty());
+            assert!(b.trajectory_len >= 1, "trajectory should not be empty");
+        }
+    }
+
+    #[test]
+    fn gate_passes_on_scaled_run() {
+        let b = parse_baseline(SAMPLE).expect("parse");
+        // Uniformly 3x slower machine: ratios unchanged, gate passes.
+        let fresh = fresh_of(&[("sweep/naive", 3_000_000), ("sweep/fast", 3_000)]);
+        let outcome = run_gate(&b, &fresh, DEFAULT_TOLERANCE);
+        assert!(outcome.passed(), "{:?}", outcome.failures);
+        assert_eq!(outcome.anchor, "sweep/fast");
+    }
+
+    #[test]
+    fn gate_fails_on_relative_regression() {
+        let b = parse_baseline(SAMPLE).expect("parse");
+        // The slow rung got 100x slower relative to the anchor.
+        let fresh = fresh_of(&[("sweep/naive", 100_000_000), ("sweep/fast", 1_000)]);
+        let outcome = run_gate(&b, &fresh, DEFAULT_TOLERANCE);
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("sweep/naive"));
+    }
+
+    #[test]
+    fn gate_fails_on_missing_bench() {
+        let b = parse_baseline(SAMPLE).expect("parse");
+        let fresh = fresh_of(&[("sweep/fast", 1_000)]);
+        let outcome = run_gate(&b, &fresh, DEFAULT_TOLERANCE);
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("missing from fresh run"));
+    }
+
+    #[test]
+    fn fresh_tsv_round_trips_and_dedupes() {
+        let fresh = parse_fresh("a/b\t100\n\na/b\t200\nc\t5\n").expect("parse");
+        assert_eq!(fresh.get("a/b"), Some(&200));
+        assert_eq!(fresh.get("c"), Some(&5));
+        assert!(parse_fresh("").is_err());
+        assert!(parse_fresh("no-tab-here\n").is_err());
+    }
+
+    #[test]
+    fn trajectory_entry_is_valid_json() {
+        let fresh = fresh_of(&[("a", 1), ("b", 2)]);
+        let entry = trajectory_entry("ci-smoke", &fresh);
+        let parsed = parse_json(&entry).expect("trajectory entry parses");
+        assert_eq!(parsed.get("label").and_then(Json::as_str), Some("ci-smoke"));
+        assert_eq!(
+            parsed
+                .get("median_ns")
+                .and_then(|m| m.get("b"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn json_reader_handles_escapes_and_rejects_trailing() {
+        let v = parse_json(r#"{"k": "a\tbA", "n": [1, -2.5e1, true, null]}"#).expect("parse");
+        assert_eq!(v.get("k").and_then(Json::as_str), Some("a\tbA"));
+        assert!(parse_json("{} trailing").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+}

@@ -5,7 +5,10 @@
 //!   binary docs);
 //! * `benches/` — Criterion benchmarks for each pipeline stage.
 //!
-//! The library target only re-exports a tiny helper shared by benches.
+//! The library target re-exports a tiny helper shared by benches plus
+//! the bench-regression gate (`gate`, driven by `src/bin/bench_gate.rs`).
+
+pub mod gate;
 
 use filterwatch_core::{World, DEFAULT_SEED};
 

@@ -21,6 +21,7 @@ use filterwatch_measure::{MeasurementQuality, ResilienceConfig};
 use filterwatch_netsim::FaultProfile;
 use filterwatch_products::ProductKind;
 use filterwatch_telemetry::{stage, Snapshot, TelemetryHandle};
+use filterwatch_trace::{StepKind, TraceEvent, TraceHandle, TraceMode};
 
 use crate::characterize::{characterize, Characterization, Table4Column};
 use crate::confirm::{render_table3, run_case_study, table3_specs, CaseStudyResult, CaseStudySpec};
@@ -44,6 +45,10 @@ pub struct Campaign {
     /// Fault profile injected into each field ISP named by the
     /// confirmation specs before measurement starts (`None` = clean).
     pub field_faults: Option<FaultProfile>,
+    /// Causal tracing mode ([`TraceMode::Off`] by default). Tracing is
+    /// a pure observer — it never draws randomness or moves the clock —
+    /// so identify/confirm tables are byte-identical in every mode.
+    pub trace: TraceMode,
 }
 
 impl Campaign {
@@ -60,6 +65,7 @@ impl Campaign {
             characterize_runs: 3,
             resilience: ResilienceConfig::default(),
             field_faults: None,
+            trace: TraceMode::Off,
         }
     }
 
@@ -96,6 +102,14 @@ impl Campaign {
         self
     }
 
+    /// Builder-style: set the causal tracing mode. The resulting
+    /// report carries the trace event log in
+    /// [`CampaignReport::trace`].
+    pub fn with_trace(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
+        self
+    }
+
     /// Run the whole campaign.
     pub fn run(self) -> CampaignReport {
         let mut world = World::build(self.options.clone());
@@ -122,8 +136,19 @@ impl Campaign {
         // world's Internet carries (disabled by default).
         let telemetry = TelemetryHandle::enabled();
         world.net.set_telemetry(telemetry.clone());
+        let tracer = TraceHandle::for_mode(self.trace, self.options.seed);
+        world.net.set_tracer(tracer.clone());
         let campaign_span =
             telemetry.span_start(stage::CAMPAIGN, "standard campaign", world.net.now().secs());
+        let campaign_scope = if tracer.is_enabled() {
+            tracer.open(
+                StepKind::Campaign,
+                world.net.now().secs(),
+                &[("seed", &self.options.seed.to_string())],
+            )
+        } else {
+            filterwatch_trace::ScopeId::NONE
+        };
 
         // Stage 1: identify.
         let identification = IdentifyPipeline::new().run(&world.net);
@@ -145,18 +170,27 @@ impl Campaign {
         let characterizations: Vec<(ProductKind, Characterization)> = confirmed_isps
             .iter()
             .map(|(isp, product)| {
-                (
-                    *product,
-                    characterize(
-                        &world,
-                        isp,
-                        self.list_urls_per_category,
-                        self.characterize_runs,
-                    ),
-                )
+                let scope = if tracer.is_enabled() {
+                    tracer.open(
+                        StepKind::Stage,
+                        world.net.now().secs(),
+                        &[("name", "characterize"), ("isp", isp)],
+                    )
+                } else {
+                    filterwatch_trace::ScopeId::NONE
+                };
+                let ch = characterize(
+                    &world,
+                    isp,
+                    self.list_urls_per_category,
+                    self.characterize_runs,
+                );
+                tracer.close(scope, world.net.now().secs(), &[]);
+                (*product, ch)
             })
             .collect();
 
+        tracer.close(campaign_scope, world.net.now().secs(), &[]);
         telemetry.span_end(campaign_span, world.net.now().secs());
 
         // Roll every stage client's quality counters into one campaign-
@@ -177,6 +211,7 @@ impl Campaign {
             characterizations,
             quality,
             telemetry: telemetry.snapshot(),
+            trace: tracer.snapshot(),
         }
     }
 }
@@ -202,6 +237,10 @@ pub struct CampaignReport {
     /// stage, counters (per-vendor verdicts among them), histograms and
     /// the event log.
     pub telemetry: Snapshot,
+    /// The causal trace event log (empty unless the campaign ran with
+    /// [`Campaign::with_trace`]). Feed it to
+    /// `filterwatch_trace::ProvenanceIndex` to explain any verdict.
+    pub trace: Vec<TraceEvent>,
 }
 
 impl CampaignReport {

@@ -92,11 +92,34 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         "cannot submit more than created"
     );
     let telemetry = world.net.telemetry().clone();
+    let tracer = world.net.tracer().clone();
+    let case_scope = if tracer.is_enabled() {
+        tracer.open(
+            filterwatch_trace::StepKind::Case,
+            world.net.now().secs(),
+            &[
+                ("case", &spec.label.to_lowercase().replace([' ', '/'], "-")),
+                ("isp", &spec.isp),
+                ("product", spec.product.slug()),
+            ],
+        )
+    } else {
+        filterwatch_trace::ScopeId::NONE
+    };
     let submit_span = telemetry.span_start(
         filterwatch_telemetry::stage::CONFIRM_SUBMIT,
         &spec.label,
         world.net.now().secs(),
     );
+    let submit_scope = if tracer.is_enabled() {
+        tracer.open(
+            filterwatch_trace::StepKind::Stage,
+            world.net.now().secs(),
+            &[("name", "confirm.submit")],
+        )
+    } else {
+        filterwatch_trace::ScopeId::NONE
+    };
     let sites = world.create_controlled_sites(spec.site_kind, spec.n_sites);
     let client = world.client(&spec.isp);
 
@@ -122,6 +145,16 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
     let mut submissions_accepted = 0;
     for site in &sites[..spec.n_submit] {
         let receipt = cloud.submit(&site.submit_url(), spec.submitter, now);
+        if tracer.recording() {
+            tracer.point(
+                filterwatch_trace::StepKind::Submit,
+                world.net.now().secs(),
+                &[
+                    ("url", &site.submit_url().to_string()),
+                    ("accepted", if receipt.accepted { "yes" } else { "no" }),
+                ],
+            );
+        }
         if receipt.accepted {
             submissions_accepted += 1;
         }
@@ -147,9 +180,17 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         spec.product.slug(),
         submissions_accepted as i64,
     );
+    tracer.close(submit_scope, world.net.now().secs(), &[]);
     telemetry.span_end(submit_span, world.net.now().secs());
 
     // Wait out the review period.
+    if tracer.recording() {
+        tracer.point(
+            filterwatch_trace::StepKind::Wait,
+            world.net.now().secs(),
+            &[("days", &spec.wait_days.to_string())],
+        );
+    }
     world.net.advance_days(spec.wait_days);
 
     let retest_span = telemetry.span_start(
@@ -157,6 +198,15 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         &spec.label,
         world.net.now().secs(),
     );
+    let retest_scope = if tracer.is_enabled() {
+        tracer.open(
+            filterwatch_trace::StepKind::Stage,
+            world.net.now().secs(),
+            &[("name", "confirm.retest")],
+        )
+    } else {
+        filterwatch_trace::ScopeId::NONE
+    };
     // Retest: a site is blocked if any retest run blocks it.
     let mut blocked = vec![false; sites.len()];
     let mut attributed: Vec<String> = Vec::new();
@@ -197,6 +247,30 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
             ("submitted", &spec.n_submit.to_string()),
             ("confirmed", if confirmed { "yes" } else { "no" }),
         ],
+    );
+    tracer.close(retest_scope, world.net.now().secs(), &[]);
+    if tracer.recording() {
+        tracer.point(
+            filterwatch_trace::StepKind::Verdict,
+            world.net.now().secs(),
+            &[
+                (
+                    "verdict",
+                    if confirmed {
+                        "confirmed"
+                    } else {
+                        "unconfirmed"
+                    },
+                ),
+                ("blocked", &submitted_blocked.to_string()),
+                ("submitted", &spec.n_submit.to_string()),
+            ],
+        );
+    }
+    tracer.close(
+        case_scope,
+        world.net.now().secs(),
+        &[("confirmed", if confirmed { "yes" } else { "no" })],
     );
     telemetry.span_end(retest_span, world.net.now().secs());
 

@@ -127,8 +127,22 @@ impl IdentifyPipeline {
             "scan + keyword search + validate",
             net.now().secs(),
         );
+        let scope = if net.tracer().is_enabled() {
+            net.tracer().open(
+                filterwatch_trace::StepKind::Stage,
+                net.now().secs(),
+                &[("name", "identify")],
+            )
+        } else {
+            filterwatch_trace::ScopeId::NONE
+        };
         let index = self.scanner.scan(net);
         let report = self.run_on_index(net, &index);
+        net.tracer().close(
+            scope,
+            net.now().secs(),
+            &[("installations", &report.installations.len().to_string())],
+        );
         telemetry.span_end(span, net.now().secs());
         report
     }
@@ -178,6 +192,13 @@ impl IdentifyPipeline {
             // we are not conservative, and rely on the following step to
             // confirm" — every candidate is fingerprinted.
             for (ip, kws) in candidate_ips {
+                if net.tracer().recording() {
+                    net.tracer().point(
+                        filterwatch_trace::StepKind::Candidate,
+                        net.now().secs(),
+                        &[("ip", &ip.to_string()), ("product", product.slug())],
+                    );
+                }
                 for finding in self.fingerprints.identify(net, ip) {
                     let Some(found) = ProductKind::ALL
                         .iter()

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use filterwatch_http::{Request, Response, Url};
 use filterwatch_netsim::{Internet, IpAddr};
+use filterwatch_trace::StepKind;
 
 use crate::plugin::{Plugin, Target};
 use crate::plugins::table2_plugins;
@@ -88,6 +89,20 @@ impl FingerprintEngine {
             }
         }
 
+        if net.tracer().recording() {
+            for f in &findings {
+                net.tracer().point(
+                    StepKind::FpMatch,
+                    net.now().secs(),
+                    &[
+                        ("ip", &f.ip.to_string()),
+                        ("product", f.product),
+                        ("plugin", f.plugin),
+                        ("evidence", &f.evidence.len().to_string()),
+                    ],
+                );
+            }
+        }
         let telemetry = net.telemetry();
         if telemetry.is_enabled() {
             telemetry.register_histogram(

@@ -1,0 +1,26 @@
+//! Fixture: `w1-wire-pair` over the trace step registry — a `StepKind`
+//! variant added to `to_token` (`quarantine`) with no `parse_token`
+//! arm. Expected: one `emit-without-parse:quarantine` finding, proving
+//! the trace wire pair registered in `Config::workspace_default` keeps
+//! the emit and parse sides in lockstep.
+
+pub enum StepKind {
+    Fetch,
+    Quarantine,
+}
+
+impl StepKind {
+    pub fn to_token(&self) -> &'static str {
+        match self {
+            StepKind::Fetch => "fetch",
+            StepKind::Quarantine => "quarantine",
+        }
+    }
+
+    pub fn parse_token(token: &str) -> Result<StepKind, String> {
+        match token {
+            "fetch" => Ok(StepKind::Fetch),
+            other => Err(format!("unknown step token {other:?}")),
+        }
+    }
+}

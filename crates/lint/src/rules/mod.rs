@@ -70,6 +70,7 @@ impl Config {
                 "FILTERWATCH_SEEDS",
                 "FILTERWATCH_UPDATE_GOLDENS",
                 "FILTERWATCH_BENCH_SMOKE",
+                "FILTERWATCH_BENCH_OUT",
             ]
             .into_iter()
             .map(String::from)
@@ -91,6 +92,8 @@ impl Config {
                 pair("FlowRecord", "to_line", "FlowRecord", "parse_line", false),
                 pair("UrlVerdict", "to_line", "UrlVerdict", "parse_line", false),
                 pair("Event", "to_line", "Event", "parse_line", false),
+                pair("StepKind", "to_token", "StepKind", "parse_token", true),
+                pair("TraceEvent", "to_line", "TraceEvent", "parse_line", false),
             ],
         }
     }

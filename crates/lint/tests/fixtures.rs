@@ -39,6 +39,10 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
         "w1_wire_missing_arm",
         &[("w1-wire-pair", "emit-without-parse:quarantined")],
     ),
+    (
+        "w1_trace_missing_arm",
+        &[("w1-wire-pair", "emit-without-parse:quarantine")],
+    ),
 ];
 
 fn fixtures_dir() -> PathBuf {

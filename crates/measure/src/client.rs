@@ -2,6 +2,7 @@
 
 use filterwatch_http::{Response, Url};
 use filterwatch_netsim::{FetchOutcome, FlowDisposition, Internet, VantageId};
+use filterwatch_trace::{ScopeId, StepKind};
 
 use crate::blockpage::BlockPageLibrary;
 use crate::resilience::{
@@ -144,6 +145,31 @@ impl MeasurementClient {
 
     /// Fetch a URL from one vantage, following redirects.
     pub fn fetch(&self, net: &Internet, vantage: VantageId, url: &Url) -> Observation {
+        let tracer = net.tracer();
+        let scope = if tracer.is_enabled() {
+            tracer.open(
+                StepKind::Fetch,
+                net.now().secs(),
+                &[
+                    ("vantage", &net.vantage(vantage).name),
+                    ("url", &url.to_string()),
+                ],
+            )
+        } else {
+            ScopeId::NONE
+        };
+        let obs = self.fetch_inner(net, vantage, url);
+        if tracer.is_enabled() {
+            let outcome = match &obs {
+                Observation::Reached { status, .. } => status.to_string(),
+                Observation::Failed { error } => error.clone(),
+            };
+            tracer.close(scope, net.now().secs(), &[("outcome", &outcome)]);
+        }
+        obs
+    }
+
+    fn fetch_inner(&self, net: &Internet, vantage: VantageId, url: &Url) -> Observation {
         let mut hops = Vec::new();
         let mut current = url.clone();
         for _ in 0..=self.max_redirects {
@@ -160,7 +186,16 @@ impl MeasurementClient {
             };
             hops.push((current.clone(), outcome));
             match next {
-                Some(next_url) => current = next_url,
+                Some(next_url) => {
+                    if net.tracer().recording() {
+                        net.tracer().point(
+                            StepKind::Redirect,
+                            net.now().secs(),
+                            &[("to", &next_url.to_string())],
+                        );
+                    }
+                    current = next_url;
+                }
                 None => break,
             }
         }
@@ -216,6 +251,17 @@ impl MeasurementClient {
             }
             let label = format!("{}/{}", net.vantage(vantage).name, url);
             let wait = policy.backoff_secs(attempt, net.seed(), &label);
+            if net.tracer().recording() {
+                net.tracer().point(
+                    StepKind::Retry,
+                    net.now().secs(),
+                    &[
+                        ("attempt", &attempt.to_string()),
+                        ("wait-secs", &wait.to_string()),
+                        ("error", error),
+                    ],
+                );
+            }
             net.advance_secs(wait);
             if net.telemetry().is_enabled() {
                 net.telemetry().counter_add("retry.attempt", error, 1);
@@ -231,6 +277,16 @@ impl MeasurementClient {
     /// enabled this becomes N quorum trials of breaker-guarded,
     /// retry-backed fetches.
     pub fn test_url(&self, net: &Internet, url: &Url) -> UrlVerdict {
+        let tracer = net.tracer();
+        let scope = if tracer.is_enabled() {
+            tracer.open(
+                StepKind::UrlTest,
+                net.now().secs(),
+                &[("url", &url.to_string())],
+            )
+        } else {
+            ScopeId::NONE
+        };
         let verdict = if self.resilience.is_passthrough() {
             let field = self.fetch(net, self.field, url);
             let lab = self.fetch(net, self.lab, url);
@@ -242,6 +298,17 @@ impl MeasurementClient {
         if verdict.is_inconclusive() {
             QualityCounters::bump(&self.quality.inconclusive);
         }
+        if tracer.recording() {
+            tracer.point(
+                StepKind::Verdict,
+                net.now().secs(),
+                &[
+                    ("verdict", verdict.label()),
+                    ("product", verdict.blocked_by().unwrap_or("-")),
+                ],
+            );
+        }
+        tracer.close(scope, net.now().secs(), &[]);
         UrlVerdict {
             url: url.to_string(),
             verdict,
@@ -261,6 +328,13 @@ impl MeasurementClient {
                 if !b.allows(net.now()) {
                     let name = net.vantage(vantage).name.clone();
                     QualityCounters::bump(&self.quality.breaker_skips);
+                    if net.tracer().recording() {
+                        net.tracer().point(
+                            StepKind::BreakerOpen,
+                            net.now().secs(),
+                            &[("vantage", &name)],
+                        );
+                    }
                     net.log_vantage_event(vantage, url, FlowDisposition::BreakerSkip(name.clone()));
                     return Verdict::Inconclusive {
                         reason: format!("circuit breaker open for vantage {name}"),
@@ -288,11 +362,22 @@ impl MeasurementClient {
     /// Run quorum trials and aggregate: the most common verdict wins if
     /// it reaches the quorum, otherwise the URL is `Inconclusive`.
     fn test_url_quorum(&self, net: &Internet, url: &Url) -> Verdict {
+        let tracer = net.tracer();
         let quorum = self.resilience.quorum;
         let mut verdicts: Vec<(Verdict, u32)> = Vec::new();
-        for _ in 0..quorum.trials {
+        for n in 0..quorum.trials {
             QualityCounters::bump(&self.quality.quorum_trials);
+            let scope = if tracer.is_enabled() {
+                tracer.open(
+                    StepKind::Trial,
+                    net.now().secs(),
+                    &[("n", &(n + 1).to_string())],
+                )
+            } else {
+                ScopeId::NONE
+            };
             let v = self.test_url_trial(net, url);
+            tracer.close(scope, net.now().secs(), &[("verdict", v.label())]);
             match verdicts.iter_mut().find(|(seen, _)| Self::agree(seen, &v)) {
                 Some((_, count)) => *count += 1,
                 None => verdicts.push((v, 1)),
@@ -304,6 +389,18 @@ impl MeasurementClient {
             .iter()
             .max_by_key(|(_, count)| *count)
             .expect("at least one trial");
+        if tracer.recording() {
+            tracer.point(
+                StepKind::Quorum,
+                net.now().secs(),
+                &[
+                    ("best", best.label()),
+                    ("count", &count.to_string()),
+                    ("trials", &quorum.trials.to_string()),
+                    ("need", &quorum.quorum.to_string()),
+                ],
+            );
+        }
         if *count >= quorum.quorum {
             best.clone()
         } else {

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use filterwatch_http::{Request, Response, Url};
 use filterwatch_telemetry::TelemetryHandle;
+use filterwatch_trace::{StepKind, TraceHandle};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 
@@ -121,6 +122,7 @@ pub struct Internet {
     flow_log: Mutex<Vec<FlowRecord>>,
     flow_log_enabled: std::sync::atomic::AtomicBool,
     telemetry: TelemetryHandle,
+    tracer: TraceHandle,
 }
 
 /// Source address used for scanner probes (outside all simulated networks).
@@ -141,6 +143,7 @@ impl Internet {
             flow_log: Mutex::new(Vec::new()),
             flow_log_enabled: std::sync::atomic::AtomicBool::new(false),
             telemetry: TelemetryHandle::disabled(),
+            tracer: TraceHandle::disabled(),
         }
     }
 
@@ -154,6 +157,21 @@ impl Internet {
     /// The telemetry handle (cheap to clone; disabled by default).
     pub fn telemetry(&self) -> &TelemetryHandle {
         &self.telemetry
+    }
+
+    /// Attach a trace collector; fetches then emit causal point events
+    /// (DNS, path faults, middlebox hops, origin replies) under
+    /// whichever span the measurement layer has open. The tracer is
+    /// a pure observer — it never draws from the fault RNG and never
+    /// moves the virtual clock — so fetch outcomes are identical with
+    /// tracing on or off.
+    pub fn set_tracer(&mut self, tracer: TraceHandle) {
+        self.tracer = tracer;
+    }
+
+    /// The trace handle (cheap to clone; disabled by default).
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
     }
 
     /// Enable or disable flow logging (disabled by default; logging
@@ -451,12 +469,34 @@ impl Internet {
 
     fn fetch_as_inner(&self, net: NetworkId, client_ip: IpAddr, req: &Request) -> FetchOutcome {
         let network = &self.networks[net.0];
+        // One recording check per fetch: the span stack cannot change
+        // while we are inside it, and suppressed (sampled-out) subtrees
+        // skip all field formatting below.
+        let tracing = self.tracer.recording();
 
         // 1. DNS.
         let Some(dest_ip) = self.dns.resolve(req.url.host()) else {
+            if tracing {
+                self.tracer.point(
+                    StepKind::Dns,
+                    self.now().secs(),
+                    &[("host", req.url.host()), ("outcome", "fail")],
+                );
+            }
             self.log_flow(network, client_ip, &req.url, FlowDisposition::DnsFailure);
             return FetchOutcome::DnsFailure;
         };
+        if tracing {
+            self.tracer.point(
+                StepKind::Dns,
+                self.now().secs(),
+                &[
+                    ("host", req.url.host()),
+                    ("ip", &dest_ip.to_string()),
+                    ("outcome", "ok"),
+                ],
+            );
+        }
 
         // 2. Access-path faults. Deterministic outage windows are checked
         // first (no RNG draw); probabilistic faults each draw only when
@@ -478,6 +518,26 @@ impl Internet {
                     },
                 ),
             };
+            if tracing {
+                let kind = match &disposition {
+                    FlowDisposition::PathFault(kind) => kind,
+                    FlowDisposition::InjectedDnsFailure => "dns-failure",
+                    FlowDisposition::Truncated => "truncated",
+                    FlowDisposition::Outage { .. } => "outage",
+                    _ => "other",
+                };
+                match &disposition {
+                    FlowDisposition::Outage { resumes_at_secs } => self.tracer.point(
+                        StepKind::PathFault,
+                        self.now().secs(),
+                        &[("kind", kind), ("resumes-at", &resumes_at_secs.to_string())],
+                    ),
+                    _ => {
+                        self.tracer
+                            .point(StepKind::PathFault, self.now().secs(), &[("kind", kind)])
+                    }
+                }
+            }
             self.log_flow(network, client_ip, &req.url, disposition);
             return outcome;
         }
@@ -488,6 +548,15 @@ impl Internet {
             client_ip,
         };
         let (verdict, passed) = network.chain.run_request(req, &flow);
+        if tracing {
+            for name in network.chain.names().iter().take(passed) {
+                self.tracer.point(
+                    StepKind::MbHop,
+                    self.now().secs(),
+                    &[("middlebox", name), ("action", "forward")],
+                );
+            }
+        }
         let decider = || {
             network
                 .chain
@@ -500,6 +569,17 @@ impl Internet {
             Verdict::Forward => {}
             Verdict::Respond(resp) => {
                 let resp = network.chain.run_response(req, *resp, &flow, passed);
+                if tracing {
+                    self.tracer.point(
+                        StepKind::MbHop,
+                        self.now().secs(),
+                        &[
+                            ("middlebox", &decider()),
+                            ("action", "respond"),
+                            ("status", &resp.status.code().to_string()),
+                        ],
+                    );
+                }
                 self.log_flow(
                     network,
                     client_ip,
@@ -512,6 +592,13 @@ impl Internet {
                 return FetchOutcome::Ok(resp);
             }
             Verdict::Drop => {
+                if tracing {
+                    self.tracer.point(
+                        StepKind::MbHop,
+                        self.now().secs(),
+                        &[("middlebox", &decider()), ("action", "drop")],
+                    );
+                }
                 self.log_flow(
                     network,
                     client_ip,
@@ -521,6 +608,13 @@ impl Internet {
                 return FetchOutcome::Timeout;
             }
             Verdict::Reset => {
+                if tracing {
+                    self.tracer.point(
+                        StepKind::MbHop,
+                        self.now().secs(),
+                        &[("middlebox", &decider()), ("action", "reset")],
+                    );
+                }
                 self.log_flow(
                     network,
                     client_ip,
@@ -533,12 +627,26 @@ impl Internet {
 
         // 4. Origin service.
         let Some(resp) = self.origin_response(dest_ip, req.url.port(), req, client_ip) else {
+            if tracing {
+                self.tracer.point(
+                    StepKind::OriginReply,
+                    self.now().secs(),
+                    &[("error", "connect-failed")],
+                );
+            }
             self.log_flow(network, client_ip, &req.url, FlowDisposition::ConnectFailed);
             return FetchOutcome::ConnectFailed;
         };
 
         // 5. Response path back through the chain.
         let resp = network.chain.run_response(req, resp, &flow, passed);
+        if tracing {
+            self.tracer.point(
+                StepKind::OriginReply,
+                self.now().secs(),
+                &[("status", &resp.status.code().to_string())],
+            );
+        }
         self.log_flow(
             network,
             client_ip,

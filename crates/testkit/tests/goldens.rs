@@ -30,3 +30,36 @@ fn paper_demo_campaign_tables_golden() {
     );
     check_golden("campaign-demo-tables", &rendering).unwrap_or_else(|e| panic!("{e}"));
 }
+
+/// Pin the `explain` surface: provenance summary, the tree profile,
+/// and the full causal chain for a deterministic subset of tested URLs
+/// (first, middle, last — covering different verdicts without pinning
+/// thousands of lines).
+#[test]
+fn demo_campaign_explain_golden() {
+    use filterwatch_trace::{render_profile, ProvenanceIndex, TraceMode};
+
+    let report = Campaign::demo(DEFAULT_SEED)
+        .with_trace(TraceMode::Full)
+        .run();
+    let index = ProvenanceIndex::build(&report.trace);
+    let urls = index.urls();
+    assert!(urls.len() >= 3, "demo campaign tested {} urls", urls.len());
+    let picks = [urls[0], urls[urls.len() / 2], urls[urls.len() - 1]];
+
+    let mut rendering = format!("# demo campaign explain (seed {DEFAULT_SEED})\n\n## summary\n");
+    rendering.push_str(&index.render_summary());
+    rendering.push_str("\n## profile\n");
+    rendering.push_str(&render_profile(&report.trace));
+    for url in picks {
+        rendering.push_str("\n## ");
+        rendering.push_str(url);
+        rendering.push('\n');
+        rendering.push_str(
+            &index
+                .explain(url)
+                .unwrap_or_else(|| panic!("explain({url}) empty")),
+        );
+    }
+    check_golden("campaign-demo-explain", &rendering).unwrap_or_else(|e| panic!("{e}"));
+}

@@ -1,0 +1,208 @@
+//! Parent-linked trace events and their stable line encoding.
+//!
+//! One event per line:
+//!
+//! ```text
+//! t<16 hex>\ts<span>\t<s<parent>|->\tv<start>\tv<end>\t<step-token>\t<key>=<value>…
+//! ```
+//!
+//! Spans and point events share the representation: a point is a span
+//! whose start and end coincide and which never has children. Keys are
+//! restricted to `[a-z0-9_.-]`; values use the telemetry event log's
+//! escaping (`\\`, `\t`, `\n`, `\r`), so any URL or error string is
+//! safe. `parse_line` inverts `to_line` exactly — the pair is
+//! registered in the w1-wire-pair lint.
+
+use crate::ids::{SpanId, TraceId};
+use crate::step::StepKind;
+use filterwatch_telemetry::event::{escape, unescape};
+
+/// One causal step: a closed span or a point event on the virtual clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Trace this event belongs to.
+    pub trace: TraceId,
+    /// This event's span ordinal within the trace.
+    pub span: SpanId,
+    /// Causal parent within the same trace; `None` for the root.
+    pub parent: Option<SpanId>,
+    /// Virtual-clock start, seconds.
+    pub at_secs: u64,
+    /// Virtual-clock end, seconds; equals `at_secs` for point events.
+    pub end_secs: u64,
+    /// What kind of step this is.
+    pub step: StepKind,
+    /// Ordered key/value payload (urls, vantages, outcomes, …).
+    pub fields: Vec<(String, String)>,
+}
+
+fn valid_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes().all(|b| {
+            b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'_' | b'.' | b'-')
+        })
+}
+
+impl TraceEvent {
+    /// Virtual duration in seconds (0 for point events).
+    pub fn duration_secs(&self) -> u64 {
+        self.end_secs.saturating_sub(self.at_secs)
+    }
+
+    /// Value of the first field named `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Encode as one stable line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "-".to_string(),
+        };
+        let mut line = format!(
+            "{}\t{}\t{}\tv{}\tv{}\t{}",
+            self.trace,
+            self.span,
+            parent,
+            self.at_secs,
+            self.end_secs,
+            self.step.to_token()
+        );
+        for (k, v) in &self.fields {
+            line.push('\t');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(&escape(v));
+        }
+        line
+    }
+
+    /// Parse a line produced by [`TraceEvent::to_line`].
+    pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+        let mut parts = line.split('\t');
+        let trace = TraceId::parse(parts.next().ok_or("empty trace line")?)?;
+        let span = SpanId::parse(parts.next().ok_or("missing span id")?)?;
+        let parent = match parts.next().ok_or("missing parent id")? {
+            "-" => None,
+            p => Some(SpanId::parse(p)?),
+        };
+        let mut vtime = |what: &str| -> Result<u64, String> {
+            let t = parts.next().ok_or(format!("missing {what} time"))?;
+            t.strip_prefix('v')
+                .ok_or_else(|| format!("{what} time must start with 'v': {t:?}"))?
+                .parse()
+                .map_err(|e| format!("bad {what} time {t:?}: {e}"))
+        };
+        let at_secs = vtime("start")?;
+        let end_secs = vtime("end")?;
+        if end_secs < at_secs {
+            return Err(format!("span ends before it starts: {line:?}"));
+        }
+        let step = StepKind::parse_token(parts.next().ok_or("missing step token")?)?;
+        let mut fields = Vec::new();
+        for part in parts {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("field without '=': {part:?}"))?;
+            if !valid_key(k) {
+                return Err(format!("invalid field key {k:?}"));
+            }
+            let v = unescape(v).ok_or_else(|| format!("bad escape in value {v:?}"))?;
+            fields.push((k.to_string(), v));
+        }
+        Ok(TraceEvent {
+            trace,
+            span,
+            parent,
+            at_secs,
+            end_secs,
+            step,
+            fields,
+        })
+    }
+}
+
+/// Serialize a trace log, one line per event.
+pub fn to_log(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a log produced by [`to_log`] (blank lines ignored).
+pub fn from_log(log: &str) -> Result<Vec<TraceEvent>, String> {
+    log.lines()
+        .filter(|l| !l.is_empty())
+        .map(TraceEvent::parse_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent {
+            trace: TraceId(0x0123_4567_89ab_cdef),
+            span: SpanId(41),
+            parent: Some(SpanId(7)),
+            at_secs: 86_461,
+            end_secs: 86_465,
+            step: StepKind::Fetch,
+            fields: vec![
+                ("url".to_string(), "http://x.example/a\tb".to_string()),
+                ("vantage".to_string(), "field@etisalat".to_string()),
+                ("note".to_string(), "line1\nline2\\end".to_string()),
+            ],
+        }
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let e = sample();
+        let line = e.to_line();
+        assert!(line.starts_with("t0123456789abcdef\ts41\ts7\tv86461\tv86465\tfetch\turl="));
+        assert_eq!(TraceEvent::parse_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn root_parent_renders_as_dash() {
+        let mut e = sample();
+        e.parent = None;
+        let line = e.to_line();
+        assert!(line.contains("\ts41\t-\tv"));
+        assert_eq!(TraceEvent::parse_line(&line).unwrap().parent, None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(TraceEvent::parse_line("").is_err());
+        assert!(TraceEvent::parse_line("x0\ts1\t-\tv0\tv0\tfetch").is_err());
+        assert!(TraceEvent::parse_line("t0000000000000000\t1\t-\tv0\tv0\tfetch").is_err());
+        assert!(TraceEvent::parse_line("t0000000000000000\ts1\t-\t0\tv0\tfetch").is_err());
+        assert!(TraceEvent::parse_line("t0000000000000000\ts1\t-\tv5\tv4\tfetch").is_err());
+        assert!(TraceEvent::parse_line("t0000000000000000\ts1\t-\tv0\tv0\tnope").is_err());
+        assert!(TraceEvent::parse_line("t0000000000000000\ts1\t-\tv0\tv0\tfetch\tnoeq").is_err());
+        assert!(TraceEvent::parse_line("t0000000000000000\ts1\t-\tv0\tv0\tfetch\tK=v").is_err());
+        assert!(
+            TraceEvent::parse_line("t0000000000000000\ts1\t-\tv0\tv0\tfetch\tk=bad\\").is_err()
+        );
+    }
+
+    #[test]
+    fn log_round_trips() {
+        let mut e2 = sample();
+        e2.span = SpanId(42);
+        e2.parent = Some(SpanId(41));
+        let events = vec![sample(), e2];
+        let log = to_log(&events);
+        assert_eq!(from_log(&log).unwrap(), events);
+    }
+}

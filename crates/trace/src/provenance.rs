@@ -1,0 +1,250 @@
+//! Verdict provenance: query the trace log by URL, vantage or verdict.
+//!
+//! The index keys on the semantic anchors of a campaign trace —
+//! `url-test` spans (by their `url` field), `fetch` spans (by
+//! `vantage`) and `verdict` points (by label) — and can render the
+//! full causal chain behind any URL's verdict: ancestor context
+//! (campaign, case, stage) followed by the complete url-test subtree
+//! with its DNS, middlebox hops, fetch attempts, retries, breaker
+//! skips, fingerprint matches and quorum decision.
+
+use std::collections::BTreeMap;
+
+use crate::event::TraceEvent;
+use crate::ids::{SpanId, TraceId};
+use crate::step::StepKind;
+use crate::tree::{build_forest, render_node_line, Forest};
+
+/// A `(trace, span)` anchor into the reconstructed forest.
+pub type NodeKey = (TraceId, SpanId);
+
+/// Provenance index over one trace log.
+#[derive(Debug, Clone)]
+pub struct ProvenanceIndex {
+    forest: Forest,
+    by_url: BTreeMap<String, Vec<NodeKey>>,
+    by_vantage: BTreeMap<String, Vec<NodeKey>>,
+    by_verdict: BTreeMap<String, Vec<NodeKey>>,
+}
+
+impl ProvenanceIndex {
+    /// Build the index from a flat event log (any line order).
+    pub fn build(events: &[TraceEvent]) -> ProvenanceIndex {
+        let forest = build_forest(events);
+        let mut by_url: BTreeMap<String, Vec<NodeKey>> = BTreeMap::new();
+        let mut by_vantage: BTreeMap<String, Vec<NodeKey>> = BTreeMap::new();
+        let mut by_verdict: BTreeMap<String, Vec<NodeKey>> = BTreeMap::new();
+        for tree in forest.values() {
+            for event in tree.nodes.values() {
+                let key = (event.trace, event.span);
+                match event.step {
+                    StepKind::UrlTest => {
+                        if let Some(url) = event.field("url") {
+                            by_url.entry(url.to_string()).or_default().push(key);
+                        }
+                    }
+                    StepKind::Fetch => {
+                        if let Some(vantage) = event.field("vantage") {
+                            by_vantage.entry(vantage.to_string()).or_default().push(key);
+                        }
+                    }
+                    StepKind::Verdict => {
+                        if let Some(label) = event.field("verdict") {
+                            by_verdict.entry(label.to_string()).or_default().push(key);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        ProvenanceIndex {
+            forest,
+            by_url,
+            by_vantage,
+            by_verdict,
+        }
+    }
+
+    /// Every URL with at least one traced test, in sorted order.
+    pub fn urls(&self) -> Vec<&str> {
+        self.by_url.keys().map(String::as_str).collect()
+    }
+
+    /// Every vantage that performed a traced fetch, in sorted order.
+    pub fn vantages(&self) -> Vec<&str> {
+        self.by_vantage.keys().map(String::as_str).collect()
+    }
+
+    /// Every verdict label seen, with occurrence counts, sorted.
+    pub fn verdict_counts(&self) -> Vec<(&str, usize)> {
+        self.by_verdict
+            .iter()
+            .map(|(label, keys)| (label.as_str(), keys.len()))
+            .collect()
+    }
+
+    /// Number of url-test occurrences for `url`.
+    pub fn occurrences(&self, url: &str) -> usize {
+        self.by_url.get(url).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Render the full causal chain for every test of `url`, or `None`
+    /// if the trace never tested it. Byte-stable for a fixed log.
+    pub fn explain(&self, url: &str) -> Option<String> {
+        let keys = self.by_url.get(url)?;
+        let mut out = format!("== explain {url} ==\n{} occurrence(s)\n", keys.len());
+        for (i, (trace_id, span)) in keys.iter().enumerate() {
+            let Some(tree) = self.forest.get(trace_id) else {
+                continue;
+            };
+            let verdict = self
+                .verdict_under(*trace_id, *span)
+                .unwrap_or("(none recorded)");
+            out.push_str(&format!(
+                "\n-- occurrence {} of {}: trace {} span {} verdict={verdict} --\n",
+                i + 1,
+                keys.len(),
+                trace_id,
+                span
+            ));
+            let ancestry = tree.ancestry(*span);
+            if ancestry.len() > 1 {
+                out.push_str("context:\n");
+                for (depth, ancestor) in ancestry[..ancestry.len() - 1].iter().enumerate() {
+                    if let Some(event) = tree.nodes.get(ancestor) {
+                        out.push_str(&render_node_line(event, depth + 1));
+                        out.push('\n');
+                    }
+                }
+            }
+            out.push_str("chain:\n");
+            out.push_str(&tree.render_subtree(*span, 1));
+        }
+        Some(out)
+    }
+
+    /// Verdict label of the first `verdict` point directly under a
+    /// url-test span (program order = first field wins).
+    fn verdict_under(&self, trace: TraceId, span: SpanId) -> Option<&str> {
+        let tree = self.forest.get(&trace)?;
+        tree.children
+            .get(&span)?
+            .iter()
+            .filter_map(|kid| tree.nodes.get(kid))
+            .find(|e| e.step == StepKind::Verdict)
+            .and_then(|e| e.field("verdict"))
+    }
+
+    /// One-line-per-key summary of what the index covers.
+    pub fn render_summary(&self) -> String {
+        let mut out = format!(
+            "provenance: {} url(s), {} vantage(s), {} verdict label(s)\n",
+            self.by_url.len(),
+            self.by_vantage.len(),
+            self.by_verdict.len()
+        );
+        for (label, count) in self.verdict_counts() {
+            out.push_str(&format!("  verdict {label}: {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        span: u32,
+        parent: Option<u32>,
+        at: u64,
+        end: u64,
+        step: StepKind,
+        fields: &[(&str, &str)],
+    ) -> TraceEvent {
+        TraceEvent {
+            trace: TraceId(9),
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            at_secs: at,
+            end_secs: end,
+            step,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn sample_log() -> Vec<TraceEvent> {
+        vec![
+            ev(1, None, 0, 50, StepKind::Campaign, &[("seed", "5")]),
+            ev(2, Some(1), 0, 30, StepKind::Case, &[("isp", "etisalat")]),
+            ev(
+                3,
+                Some(2),
+                0,
+                20,
+                StepKind::UrlTest,
+                &[("url", "http://x.example/")],
+            ),
+            ev(
+                4,
+                Some(3),
+                0,
+                10,
+                StepKind::Fetch,
+                &[("vantage", "field@etisalat")],
+            ),
+            ev(
+                5,
+                Some(3),
+                20,
+                20,
+                StepKind::Verdict,
+                &[("verdict", "blocked")],
+            ),
+        ]
+    }
+
+    #[test]
+    fn index_keys_on_url_vantage_and_verdict() {
+        let index = ProvenanceIndex::build(&sample_log());
+        assert_eq!(index.urls(), vec!["http://x.example/"]);
+        assert_eq!(index.vantages(), vec!["field@etisalat"]);
+        assert_eq!(index.verdict_counts(), vec![("blocked", 1)]);
+        assert_eq!(index.occurrences("http://x.example/"), 1);
+        assert_eq!(index.occurrences("http://other/"), 0);
+    }
+
+    #[test]
+    fn explain_renders_context_and_chain() {
+        let index = ProvenanceIndex::build(&sample_log());
+        let text = index.explain("http://x.example/").unwrap();
+        assert!(text.starts_with("== explain http://x.example/ ==\n1 occurrence(s)\n"));
+        assert!(text.contains("verdict=blocked --"));
+        assert!(text.contains("context:\n  s1 campaign @day 0 00:00:00 +50s seed=5\n"));
+        assert!(text.contains("    s2 case"));
+        assert!(text.contains("chain:\n  s3 url-test"));
+        assert!(text.contains("    s4 fetch"));
+        assert!(index.explain("http://missing/").is_none());
+    }
+
+    #[test]
+    fn explain_is_line_order_invariant() {
+        let mut log = sample_log();
+        let index = ProvenanceIndex::build(&log);
+        let baseline = index.explain("http://x.example/").unwrap();
+        log.reverse();
+        let reversed = ProvenanceIndex::build(&log);
+        assert_eq!(reversed.explain("http://x.example/").unwrap(), baseline);
+    }
+
+    #[test]
+    fn summary_counts_labels() {
+        let index = ProvenanceIndex::build(&sample_log());
+        let summary = index.render_summary();
+        assert!(summary.contains("1 url(s)"));
+        assert!(summary.contains("verdict blocked: 1"));
+    }
+}

@@ -1,0 +1,310 @@
+//! Span-tree reconstruction and rendering.
+//!
+//! The event log is flat and its line order is incidental (completion
+//! order when it comes from a live collector, arbitrary after any
+//! merge/sort of persisted logs). Reconstruction depends only on event
+//! *content*: trees are rebuilt from parent links, children ordered by
+//! `(start time, span ordinal)` — so any permutation of the same lines
+//! yields an identical forest, byte for byte.
+
+use std::collections::BTreeMap;
+
+use crate::event::TraceEvent;
+use crate::ids::{SpanId, TraceId};
+use filterwatch_telemetry::format_vtime;
+
+/// One reconstructed trace: nodes by span id plus sorted root list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTree {
+    /// Trace these spans belong to.
+    pub trace: TraceId,
+    /// Every event in the trace, keyed by span ordinal.
+    pub nodes: BTreeMap<SpanId, TraceEvent>,
+    /// Children per span, ordered by `(at_secs, span)`.
+    pub children: BTreeMap<SpanId, Vec<SpanId>>,
+    /// Spans with no (present) parent, ordered by `(at_secs, span)`.
+    pub roots: Vec<SpanId>,
+}
+
+/// All traces in a log, keyed (and therefore ordered) by trace id.
+pub type Forest = BTreeMap<TraceId, SpanTree>;
+
+/// Rebuild every trace in `events` from parent links alone.
+pub fn build_forest(events: &[TraceEvent]) -> Forest {
+    let mut forest: Forest = BTreeMap::new();
+    for event in events {
+        let tree = forest.entry(event.trace).or_insert_with(|| SpanTree {
+            trace: event.trace,
+            nodes: BTreeMap::new(),
+            children: BTreeMap::new(),
+            roots: Vec::new(),
+        });
+        tree.nodes.insert(event.span, event.clone());
+    }
+    for tree in forest.values_mut() {
+        let mut ordered: Vec<(u64, SpanId)> =
+            tree.nodes.values().map(|e| (e.at_secs, e.span)).collect();
+        ordered.sort_unstable();
+        for (_, span) in ordered {
+            // A parent missing from the log (e.g. a sampled-out or
+            // truncated ancestor) degrades gracefully to a root.
+            let parent = tree.nodes.get(&span).and_then(|e| e.parent);
+            match parent.filter(|p| tree.nodes.contains_key(p)) {
+                Some(p) => tree.children.entry(p).or_default().push(span),
+                None => tree.roots.push(span),
+            }
+        }
+    }
+    forest
+}
+
+impl SpanTree {
+    /// Path of span ids from a root down to `span` (inclusive). Cycles
+    /// or dangling links terminate the walk instead of looping.
+    pub fn ancestry(&self, span: SpanId) -> Vec<SpanId> {
+        let mut path = vec![span];
+        let mut cursor = span;
+        while let Some(parent) = self
+            .nodes
+            .get(&cursor)
+            .and_then(|e| e.parent)
+            .filter(|p| self.nodes.contains_key(p) && !path.contains(p))
+        {
+            path.push(parent);
+            cursor = parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Render the subtree rooted at `span`, indented two spaces per
+    /// level starting from `depth`.
+    pub fn render_subtree(&self, span: SpanId, depth: usize) -> String {
+        let mut out = String::new();
+        self.render_into(span, depth, &mut out);
+        out
+    }
+
+    fn render_into(&self, span: SpanId, depth: usize, out: &mut String) {
+        let Some(event) = self.nodes.get(&span) else {
+            return;
+        };
+        out.push_str(&render_node_line(event, depth));
+        out.push('\n');
+        if let Some(kids) = self.children.get(&span) {
+            for kid in kids {
+                self.render_into(*kid, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// One node as a stable text line: `s<n> <token> @<vtime> [+<dur>s] k=v…`.
+pub fn render_node_line(event: &TraceEvent, depth: usize) -> String {
+    let mut line = format!(
+        "{}{} {} @{}",
+        "  ".repeat(depth),
+        event.span,
+        event.step.to_token(),
+        format_vtime(event.at_secs)
+    );
+    if event.end_secs > event.at_secs {
+        line.push_str(&format!(" +{}s", event.duration_secs()));
+    }
+    for (k, v) in &event.fields {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&single_line(v));
+    }
+    line
+}
+
+/// Collapse control characters so one event stays one line of text.
+fn single_line(value: &str) -> String {
+    value
+        .chars()
+        .map(|c| match c {
+            '\t' | '\n' | '\r' => ' ',
+            c => c,
+        })
+        .collect()
+}
+
+/// Render the whole forest (every trace, every root) as stable text.
+pub fn render_forest(forest: &Forest) -> String {
+    let mut out = String::new();
+    for tree in forest.values() {
+        out.push_str(&format!("trace {}\n", tree.trace));
+        for root in &tree.roots {
+            out.push_str(&tree.render_subtree(*root, 1));
+        }
+    }
+    out
+}
+
+/// Aggregate rollup of a forest by step-token path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Number of spans at this path.
+    pub count: u64,
+    /// Total virtual seconds across those spans.
+    pub total_secs: u64,
+    /// Virtual seconds not covered by child spans.
+    pub self_secs: u64,
+}
+
+/// Roll the forest up into per-path totals: a path is the `/`-joined
+/// step tokens from the root (`campaign/case/url-test/fetch`). Self
+/// time is the span's duration minus its children's, clamped at zero
+/// (concurrent children may overlap the parent entirely).
+pub fn profile(forest: &Forest) -> BTreeMap<String, ProfileEntry> {
+    let mut out: BTreeMap<String, ProfileEntry> = BTreeMap::new();
+    for tree in forest.values() {
+        for root in &tree.roots {
+            profile_node(tree, *root, "", &mut out);
+        }
+    }
+    out
+}
+
+fn profile_node(
+    tree: &SpanTree,
+    span: SpanId,
+    prefix: &str,
+    out: &mut BTreeMap<String, ProfileEntry>,
+) {
+    let Some(event) = tree.nodes.get(&span) else {
+        return;
+    };
+    let path = if prefix.is_empty() {
+        event.step.to_token().to_string()
+    } else {
+        format!("{prefix}/{}", event.step.to_token())
+    };
+    let kids = tree.children.get(&span).cloned().unwrap_or_default();
+    let child_secs: u64 = kids
+        .iter()
+        .filter_map(|k| tree.nodes.get(k))
+        .map(|e| e.duration_secs())
+        .sum();
+    let total = event.duration_secs();
+    let entry = out.entry(path.clone()).or_default();
+    entry.count += 1;
+    entry.total_secs += total;
+    entry.self_secs += total.saturating_sub(child_secs);
+    for kid in kids {
+        profile_node(tree, kid, &path, out);
+    }
+}
+
+/// Render the [`profile`] rollup as an aligned, byte-stable table.
+pub fn render_profile(events: &[TraceEvent]) -> String {
+    let forest = build_forest(events);
+    let rollup = profile(&forest);
+    let path_width = rollup
+        .keys()
+        .map(|p| p.len())
+        .chain(std::iter::once("path".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = format!(
+        "{:<path_width$}  {:>8}  {:>12}  {:>12}\n",
+        "path", "count", "total-vsecs", "self-vsecs"
+    );
+    for (path, entry) in &rollup {
+        out.push_str(&format!(
+            "{path:<path_width$}  {:>8}  {:>12}  {:>12}\n",
+            entry.count, entry.total_secs, entry.self_secs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::StepKind;
+
+    fn ev(span: u32, parent: Option<u32>, at: u64, end: u64, step: StepKind) -> TraceEvent {
+        TraceEvent {
+            trace: TraceId(1),
+            span: SpanId(span),
+            parent: parent.map(SpanId),
+            at_secs: at,
+            end_secs: end,
+            step,
+            fields: Vec::new(),
+        }
+    }
+
+    fn sample_log() -> Vec<TraceEvent> {
+        vec![
+            ev(1, None, 0, 100, StepKind::Campaign),
+            ev(2, Some(1), 0, 40, StepKind::UrlTest),
+            ev(3, Some(2), 0, 10, StepKind::Fetch),
+            ev(4, Some(2), 10, 40, StepKind::Fetch),
+            ev(5, Some(1), 40, 90, StepKind::UrlTest),
+        ]
+    }
+
+    #[test]
+    fn forest_is_permutation_invariant() {
+        let mut log = sample_log();
+        let baseline = render_forest(&build_forest(&log));
+        log.reverse();
+        assert_eq!(render_forest(&build_forest(&log)), baseline);
+        log.rotate_left(2);
+        assert_eq!(render_forest(&build_forest(&log)), baseline);
+    }
+
+    #[test]
+    fn children_sort_by_time_then_span() {
+        let forest = build_forest(&sample_log());
+        let tree = &forest[&TraceId(1)];
+        assert_eq!(tree.roots, vec![SpanId(1)]);
+        assert_eq!(tree.children[&SpanId(1)], vec![SpanId(2), SpanId(5)]);
+        assert_eq!(tree.children[&SpanId(2)], vec![SpanId(3), SpanId(4)]);
+    }
+
+    #[test]
+    fn missing_parent_degrades_to_root() {
+        let log = vec![ev(7, Some(3), 5, 6, StepKind::Fetch)];
+        let forest = build_forest(&log);
+        assert_eq!(forest[&TraceId(1)].roots, vec![SpanId(7)]);
+    }
+
+    #[test]
+    fn ancestry_walks_to_the_root() {
+        let forest = build_forest(&sample_log());
+        let tree = &forest[&TraceId(1)];
+        assert_eq!(
+            tree.ancestry(SpanId(4)),
+            vec![SpanId(1), SpanId(2), SpanId(4)]
+        );
+        assert_eq!(tree.ancestry(SpanId(1)), vec![SpanId(1)]);
+    }
+
+    #[test]
+    fn profile_rolls_up_self_and_total() {
+        let rollup = profile(&build_forest(&sample_log()));
+        let campaign = &rollup["campaign"];
+        assert_eq!((campaign.count, campaign.total_secs), (1, 100));
+        // 100 total minus url-test children (40 + 50).
+        assert_eq!(campaign.self_secs, 10);
+        let fetches = &rollup["campaign/url-test/fetch"];
+        assert_eq!((fetches.count, fetches.total_secs), (2, 40));
+        let tests = &rollup["campaign/url-test"];
+        assert_eq!(tests.self_secs, 90 - 40);
+    }
+
+    #[test]
+    fn node_line_collapses_control_chars() {
+        let mut e = ev(1, None, 3_661, 3_661, StepKind::Dns);
+        e.fields.push(("host".to_string(), "a\tb\nc".to_string()));
+        assert_eq!(
+            render_node_line(&e, 1),
+            "  s1 dns @day 0 01:01:01 host=a b c"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the trace wire format and reconstruction.
+//!
+//! Two families: (1) `TraceEvent` line/log round-trips under
+//! adversarial field values (tabs, newlines, backslashes, unicode);
+//! (2) permutation invariance — span-tree reconstruction, rendering,
+//! the profile and every `explain` artifact are pure functions of the
+//! event *set*, so shuffling the log must never change them.
+
+use filterwatch_trace::step::ALL_STEPS;
+use filterwatch_trace::{
+    build_forest, from_log, render_forest, render_profile, to_log, ProvenanceIndex, SpanId,
+    StepKind, TraceEvent, TraceId,
+};
+use proptest::prelude::*;
+
+fn any_step() -> impl Strategy<Value = StepKind> {
+    (0..ALL_STEPS.len() as u64).prop_map(|i| ALL_STEPS[i as usize])
+}
+
+/// Keys are constrained by the wire format; values are adversarial.
+fn any_fields() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(
+        (
+            "[a-z0-9_.-]{1,12}".prop_map(|k: String| k),
+            prop_oneof!["\\PC{0,24}".boxed(), "[\t\n\r\\\\=]{0,6}".boxed()],
+        ),
+        0..4,
+    )
+}
+
+fn any_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<u64>(),
+        1u32..500,
+        proptest::option::of(1u32..500),
+        0u64..2_000_000,
+        0u64..100_000,
+        any_step(),
+        any_fields(),
+    )
+        .prop_map(
+            |(trace, span, parent, at, extra, step, fields)| TraceEvent {
+                trace: TraceId(trace),
+                span: SpanId(span),
+                parent: parent.map(SpanId),
+                at_secs: at,
+                end_secs: at + extra,
+                step,
+                fields,
+            },
+        )
+}
+
+/// A structurally plausible event log: one trace, spans 1..=n, each
+/// span's parent drawn from earlier spans (or none, making it a root).
+fn any_span_log() -> impl Strategy<Value = Vec<TraceEvent>> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(
+            (any::<u32>(), 0u64..10_000, any_step(), any_fields()),
+            1..24,
+        ),
+    )
+        .prop_map(|(trace, raws)| {
+            raws.into_iter()
+                .enumerate()
+                .map(|(i, (pick, at, step, fields))| {
+                    let span = i as u32 + 1;
+                    let parent = if i == 0 {
+                        None
+                    } else {
+                        // Bias toward having a parent; pick 0 means root.
+                        match pick % span {
+                            0 => None,
+                            p => Some(SpanId(p)),
+                        }
+                    };
+                    TraceEvent {
+                        trace: TraceId(trace),
+                        span: SpanId(span),
+                        parent,
+                        at_secs: at,
+                        end_secs: at,
+                        step,
+                        fields,
+                    }
+                })
+                .collect()
+        })
+}
+
+/// Deterministically shuffle a log with a Fisher–Yates pass driven by a
+/// seed (proptest supplies the randomness; the shuffle itself is pure).
+fn shuffled(events: &[TraceEvent], seed: u64) -> Vec<TraceEvent> {
+    let mut out: Vec<TraceEvent> = events.to_vec();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    /// Any event survives to_line → parse_line byte-exact, whatever the
+    /// field values contain.
+    #[test]
+    fn wire_line_round_trips(event in any_event()) {
+        let line = event.to_line();
+        prop_assert!(!line.contains('\n'), "line must be single-line: {line:?}");
+        let back = TraceEvent::parse_line(&line)
+            .unwrap_or_else(|e| panic!("parse_line({line:?}): {e}"));
+        prop_assert_eq!(&back, &event);
+        prop_assert_eq!(back.to_line(), line);
+    }
+
+    /// Whole logs survive to_log → from_log.
+    #[test]
+    fn wire_log_round_trips(events in proptest::collection::vec(any_event(), 0..12)) {
+        let log = to_log(&events);
+        let back = from_log(&log).unwrap_or_else(|e| panic!("from_log: {e}"));
+        prop_assert_eq!(back, events);
+    }
+
+    /// Step tokens round-trip and never collide.
+    #[test]
+    fn step_token_round_trips(step in any_step()) {
+        let token = step.to_token();
+        prop_assert_eq!(StepKind::parse_token(token), Ok(step));
+    }
+
+    /// Reconstruction and every rendering built on it are invariant
+    /// under permutation of the event log.
+    #[test]
+    fn reconstruction_is_permutation_invariant(
+        events in any_span_log(),
+        seed in any::<u64>(),
+    ) {
+        let reordered = shuffled(&events, seed);
+        let forest = build_forest(&events);
+        let forest2 = build_forest(&reordered);
+        prop_assert_eq!(render_forest(&forest), render_forest(&forest2));
+        prop_assert_eq!(render_profile(&events), render_profile(&reordered));
+
+        let index = ProvenanceIndex::build(&events);
+        let index2 = ProvenanceIndex::build(&reordered);
+        prop_assert_eq!(index.render_summary(), index2.render_summary());
+        prop_assert_eq!(index.urls(), index2.urls());
+        for url in index.urls() {
+            prop_assert_eq!(index.explain(url), index2.explain(url));
+        }
+    }
+
+    /// Round-tripping a log through the wire format changes nothing the
+    /// reconstruction sees.
+    #[test]
+    fn wire_round_trip_preserves_reconstruction(events in any_span_log()) {
+        let back = from_log(&to_log(&events))
+            .unwrap_or_else(|e| panic!("from_log: {e}"));
+        prop_assert_eq!(render_forest(&build_forest(&events)), render_forest(&build_forest(&back)));
+        prop_assert_eq!(render_profile(&events), render_profile(&back));
+    }
+}

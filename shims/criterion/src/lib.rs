@@ -125,6 +125,7 @@ impl Criterion {
     {
         let (median, n) = self.measure(f);
         println!("bench: {name:<40} {median:>12} ns/iter (n={n})");
+        record_result(name, median);
         self
     }
 
@@ -200,11 +201,35 @@ impl BenchmarkGroup<'_> {
             ),
             None => println!("bench: {full:<40} {median:>12} ns/iter (n={n})"),
         }
+        record_result(&full, median);
         self
     }
 
     /// End the group (parity with the real criterion API).
     pub fn finish(self) {}
+}
+
+/// When `FILTERWATCH_BENCH_OUT` names a file, append one
+/// `name\tmedian_ns` line per finished benchmark. The bench-regression
+/// gate (`bench_gate` in filterwatch-bench) reads these lines back and
+/// compares them against the checked-in BENCH_*.json baselines. Write
+/// failures are reported on stderr but never fail the bench run itself.
+fn record_result(name: &str, median_ns: u64) {
+    use std::io::Write;
+    let Some(path) = std::env::var_os("FILTERWATCH_BENCH_OUT") else {
+        return;
+    };
+    let opened = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    let written = opened.and_then(|mut f| writeln!(f, "{name}\t{median_ns}"));
+    if let Err(e) = written {
+        eprintln!(
+            "criterion shim: cannot record to {}: {e}",
+            path.to_string_lossy()
+        );
+    }
 }
 
 /// Passed to each benchmark closure; runs and times the routine.
