@@ -11,7 +11,12 @@
 //! `telemetry` `report` `all`, plus the provenance queries
 //! `explain [<url>]` (full causal chain behind every verdict of the
 //! demo campaign, or one URL's) and `trace-profile` (span-tree rollup
-//! with self/total virtual time).
+//! with self/total virtual time), plus the orchestration surfaces
+//! `orchestrate` (two demo campaigns run concurrently under the
+//! checkpointing scheduler, with their checkpoint logs and the
+//! scheduler's telemetry spans) and `resume <ckpt>` (restore a
+//! campaign from a checkpoint line or a file of them and rerun it to
+//! completion).
 
 use filterwatch_core::ablate::{
     acceptance_sweep, geo_error_sweep, license_sweep, render_acceptance, render_geo_error,
@@ -54,10 +59,11 @@ fn main() {
         .first()
         .cloned()
         .unwrap_or_else(|| String::from("all"));
-    // `explain <url>` takes the target URL as a second positional arg.
+    // `explain <url>` takes the target URL as a second positional arg;
+    // `resume <ckpt>` takes a checkpoint line or file path.
     let target = positional.get(1).cloned();
-    if positional.len() > 2 || (target.is_some() && artifact != "explain") {
-        usage("only `explain` takes a second positional argument");
+    if positional.len() > 2 || (target.is_some() && artifact != "explain" && artifact != "resume") {
+        usage("only `explain` and `resume` take a second positional argument");
     }
 
     let all = artifact == "all";
@@ -99,6 +105,16 @@ fn main() {
         ran = true;
         trace_profile(seed);
     }
+    if artifact == "orchestrate" {
+        ran = true;
+        orchestrate(seed);
+    }
+    if artifact == "resume" {
+        ran = true;
+        resume(target.as_deref().unwrap_or_else(|| {
+            usage("resume needs a checkpoint line or a file of checkpoint lines")
+        }));
+    }
 
     if !ran {
         usage(&format!("unknown artifact {artifact:?}"));
@@ -108,7 +124,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|explain [<url>]|trace-profile|all] [--seed N] [--wall]"
+        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|explain [<url>]|trace-profile|orchestrate|resume <ckpt>|all] [--seed N] [--wall]"
     );
     std::process::exit(2);
 }
@@ -411,6 +427,114 @@ fn explain(seed: u64, target: Option<&str>) {
             }
         }
     }
+}
+
+/// `orchestrate`: run two demo campaigns (seeds N and N+1) concurrently
+/// under the checkpointing scheduler and print, per campaign, the
+/// identify/confirm tables, the checkpoint log (each line is a valid
+/// `resume` input), and the stable telemetry report — whose `sched` /
+/// `sched.wait` spans show the scheduler parking each campaign on the
+/// timer wheel through the vendor review window.
+fn orchestrate(seed: u64) {
+    use filterwatch_orchestrator::{
+        CampaignDescriptor, CampaignKind, CampaignStatus, Orchestrator, Outcome, PaperDriver,
+    };
+    use filterwatch_telemetry::render;
+
+    let seeds = [seed, seed.wrapping_add(1)];
+    let drivers: Vec<PaperDriver> = seeds
+        .iter()
+        .map(|&s| {
+            PaperDriver::new(CampaignDescriptor::new(CampaignKind::Demo, s)).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    let mut orch = Orchestrator::new(drivers);
+    match orch.run() {
+        Outcome::Complete => {}
+        Outcome::Crashed { at_checkpoint } => {
+            eprintln!("error: unexpected crash at checkpoint {at_checkpoint}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "== orchestrate ({} demo campaigns, seeds {seeds:?}) ==",
+        seeds.len()
+    );
+    let logs: Vec<Vec<String>> = (0..seeds.len())
+        .map(|id| orch.checkpoints(id).to_vec())
+        .collect();
+    for (id, (driver, status)) in orch.into_drivers().into_iter().enumerate() {
+        if status != CampaignStatus::Done {
+            eprintln!("error: campaign {id} finished as {status:?}");
+            std::process::exit(1);
+        }
+        let report = driver.into_report();
+        println!();
+        println!("### campaign {id} (demo, seed {})", seeds[id]);
+        println!();
+        println!("#### identify");
+        print!("{}", report.identify_table());
+        println!("#### confirm");
+        print!("{}", report.confirm_table());
+        println!("#### checkpoint log ({} boundaries)", logs[id].len());
+        for line in &logs[id] {
+            println!("{line}");
+        }
+        println!("#### telemetry");
+        print!("{}", render::stable_text_report(&report.telemetry));
+    }
+}
+
+/// `resume <ckpt>`: restore a paper campaign from a checkpoint — the
+/// argument is either a file of checkpoint lines (the last non-empty
+/// line is used, matching a crashed run's log tail) or one literal
+/// checkpoint line — replay it to the recorded boundary, run the rest,
+/// and print the identify/confirm tables. They are byte-identical to
+/// the uninterrupted run's.
+fn resume(arg: &str) {
+    use filterwatch_orchestrator::{resume_paper_campaign, CampaignCheckpoint, CampaignKind};
+
+    let line = match std::fs::read_to_string(arg) {
+        Ok(contents) => match contents.lines().rev().find(|l| !l.trim().is_empty()) {
+            Some(last) => last.to_string(),
+            None => {
+                eprintln!("error: checkpoint file {arg:?} is empty");
+                std::process::exit(1);
+            }
+        },
+        Err(_) => arg.to_string(),
+    };
+    let ckpt = CampaignCheckpoint::parse_line(&line).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    if ckpt.descriptor.kind == CampaignKind::Generated {
+        eprintln!(
+            "error: generated campaigns resume via filterwatch-testkit's \
+             resume_generated_campaign (the world generator lives there)"
+        );
+        std::process::exit(1);
+    }
+    println!("== resume ==");
+    println!("campaign: {}", ckpt.descriptor.to_line());
+    println!("stage:    {}", ckpt.stage.to_line());
+    println!(
+        "clock:    {}s ({} completed case(s) recorded)",
+        ckpt.clock_secs,
+        ckpt.cases.len()
+    );
+    let report = resume_paper_campaign(&line).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!();
+    println!("## identify");
+    print!("{}", report.identify_table());
+    println!("## confirm");
+    print!("{}", report.confirm_table());
 }
 
 /// `trace-profile`: aggregate span-tree rollup of the traced demo

@@ -24,7 +24,7 @@ use filterwatch_telemetry::{stage, Snapshot, TelemetryHandle};
 use filterwatch_trace::{StepKind, TraceEvent, TraceHandle, TraceMode};
 
 use crate::characterize::{characterize, Characterization, Table4Column};
-use crate::confirm::{render_table3, run_case_study, table3_specs, CaseStudyResult, CaseStudySpec};
+use crate::confirm::{render_table3, table3_specs, CaseInProgress, CaseStudyResult, CaseStudySpec};
 use crate::identify::{IdentificationReport, IdentifyPipeline};
 use crate::world::{World, WorldOptions};
 
@@ -110,15 +110,63 @@ impl Campaign {
         self
     }
 
-    /// Run the whole campaign.
+    /// Run the whole campaign: the thin linear composition of
+    /// [`CampaignRun`]'s stage methods. The orchestrator drives the
+    /// same methods with `Wait` deadlines serviced by a timer wheel and
+    /// a checkpoint written at every stage boundary.
     pub fn run(self) -> CampaignReport {
-        let mut world = World::build(self.options.clone());
-        world.resilience = self.resilience.clone();
-        if let Some(faults) = &self.field_faults {
+        let mut run = CampaignRun::begin(self);
+        run.identify();
+        for i in 0..run.case_count() {
+            run.baseline(i);
+            run.submit();
+            let deadline = run.announce_wait();
+            run.advance_to(deadline);
+            run.retest();
+        }
+        run.characterize_confirmed();
+        run.finish()
+    }
+}
+
+/// A campaign in flight, paused between stage boundaries.
+///
+/// [`CampaignRun::begin`] builds the world and opens the campaign's
+/// telemetry/trace scopes; the stage methods (`identify`, then per case
+/// `baseline` → `submit` → `announce_wait` → `advance_to` → `retest`,
+/// then `characterize_confirmed`) execute one stage each; `finish`
+/// closes the scopes and assembles the [`CampaignReport`]. Because the
+/// world is a pure function of the seed and stages draw all state from
+/// it, replaying the same stage sequence reproduces the same report —
+/// the property the orchestrator's checkpoint/restore path rests on.
+pub struct CampaignRun {
+    campaign: Campaign,
+    world: World,
+    telemetry: TelemetryHandle,
+    tracer: TraceHandle,
+    campaign_span: filterwatch_telemetry::SpanId,
+    campaign_scope: filterwatch_trace::ScopeId,
+    identification: Option<IdentificationReport>,
+    confirmations: Vec<CaseStudyResult>,
+    current_case: Option<CaseInProgress>,
+    characterizations: Vec<(ProductKind, Characterization)>,
+}
+
+impl CampaignRun {
+    /// Build the world, arm resilience/faults, and open the campaign's
+    /// telemetry span and trace scope.
+    pub fn begin(campaign: Campaign) -> CampaignRun {
+        let mut world = World::build(campaign.options.clone());
+        world.resilience = campaign.resilience.clone();
+        if let Some(faults) = &campaign.field_faults {
             // Chaos strikes the censoring access networks the campaign
             // measures through; the lab control path stays clean, as the
             // paper's Toronto vantage effectively was.
-            let mut isps: Vec<&str> = self.confirmations.iter().map(|s| s.isp.as_str()).collect();
+            let mut isps: Vec<&str> = campaign
+                .confirmations
+                .iter()
+                .map(|s| s.isp.as_str())
+                .collect();
             isps.sort_unstable();
             isps.dedup();
             for isp in isps {
@@ -136,7 +184,7 @@ impl Campaign {
         // world's Internet carries (disabled by default).
         let telemetry = TelemetryHandle::enabled();
         world.net.set_telemetry(telemetry.clone());
-        let tracer = TraceHandle::for_mode(self.trace, self.options.seed);
+        let tracer = TraceHandle::for_mode(campaign.trace, campaign.options.seed);
         world.net.set_tracer(tracer.clone());
         let campaign_span =
             telemetry.span_start(stage::CAMPAIGN, "standard campaign", world.net.now().secs());
@@ -144,52 +192,149 @@ impl Campaign {
             tracer.open(
                 StepKind::Campaign,
                 world.net.now().secs(),
-                &[("seed", &self.options.seed.to_string())],
+                &[("seed", &campaign.options.seed.to_string())],
             )
         } else {
             filterwatch_trace::ScopeId::NONE
         };
 
-        // Stage 1: identify.
-        let identification = IdentifyPipeline::new().run(&world.net);
+        CampaignRun {
+            campaign,
+            world,
+            telemetry,
+            tracer,
+            campaign_span,
+            campaign_scope,
+            identification: None,
+            confirmations: Vec::new(),
+            current_case: None,
+            characterizations: Vec::new(),
+        }
+    }
 
-        // Stage 2: confirm.
-        let confirmations: Vec<CaseStudyResult> = self
-            .confirmations
-            .iter()
-            .map(|spec| run_case_study(&mut world, spec))
-            .collect();
+    /// Stage 1: identify installations across the simulated Internet.
+    pub fn identify(&mut self) {
+        self.identification = Some(IdentifyPipeline::new().run(&self.world.net));
+    }
 
-        // Stage 3: characterize every ISP where some product confirmed.
+    /// Number of confirmation case studies this campaign will run.
+    pub fn case_count(&self) -> usize {
+        self.campaign.confirmations.len()
+    }
+
+    /// Completed case-study results so far, in spec order.
+    pub fn confirmations(&self) -> &[CaseStudyResult] {
+        &self.confirmations
+    }
+
+    /// The current virtual-clock time in seconds.
+    pub fn now_secs(&self) -> u64 {
+        self.world.net.now().secs()
+    }
+
+    /// The campaign's trace handle — orchestration observers attach
+    /// checkpoint/resume/timer steps through it.
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
+    }
+
+    /// The campaign's telemetry handle.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// The ISP vantage the given case measures through.
+    pub fn case_isp(&self, case: usize) -> &str {
+        &self.campaign.confirmations[case].isp
+    }
+
+    /// Stage 2a (per case): open the case scopes, create controlled
+    /// sites, pre-verify where the ordering allows. Cases must be
+    /// driven in spec order.
+    pub fn baseline(&mut self, case: usize) {
+        assert_eq!(
+            case,
+            self.confirmations.len(),
+            "cases must be driven in order"
+        );
+        assert!(self.current_case.is_none(), "case already in progress");
+        let spec = self.campaign.confirmations[case].clone();
+        self.current_case = Some(crate::confirm::begin_case(&mut self.world, &spec));
+    }
+
+    /// Stage 2b: submit the chosen subset to the vendor channel.
+    pub fn submit(&mut self) {
+        let mut case = self.current_case.take().expect("baseline first");
+        crate::confirm::submit_case(&mut self.world, &mut case);
+        self.current_case = Some(case);
+    }
+
+    /// Stage 2c: record the wait and return the absolute virtual-clock
+    /// deadline (seconds) at which the retest may run.
+    pub fn announce_wait(&mut self) -> u64 {
+        let case = self.current_case.as_ref().expect("submit first");
+        crate::confirm::announce_wait(&self.world, case)
+    }
+
+    /// Advance the world's virtual clock to an absolute deadline
+    /// (no-op if already past).
+    pub fn advance_to(&mut self, deadline_secs: u64) {
+        let now = self.world.net.now().secs();
+        if deadline_secs > now {
+            self.world.net.advance_secs(deadline_secs - now);
+        }
+    }
+
+    /// Stage 2d: retest every site and render the case verdict.
+    pub fn retest(&mut self) {
+        let case = self.current_case.take().expect("announce_wait first");
+        let result = crate::confirm::retest_case(&mut self.world, case);
+        self.confirmations.push(result);
+    }
+
+    /// Stage 3: characterize every ISP where some product confirmed.
+    pub fn characterize_confirmed(&mut self) {
         let mut confirmed_isps: Vec<(String, ProductKind)> = Vec::new();
-        for r in &confirmations {
+        for r in &self.confirmations {
             if r.confirmed && !confirmed_isps.iter().any(|(isp, _)| *isp == r.spec.isp) {
                 confirmed_isps.push((r.spec.isp.clone(), r.spec.product));
             }
         }
-        let characterizations: Vec<(ProductKind, Characterization)> = confirmed_isps
-            .iter()
-            .map(|(isp, product)| {
-                let scope = if tracer.is_enabled() {
-                    tracer.open(
-                        StepKind::Stage,
-                        world.net.now().secs(),
-                        &[("name", "characterize"), ("isp", isp)],
-                    )
-                } else {
-                    filterwatch_trace::ScopeId::NONE
-                };
-                let ch = characterize(
-                    &world,
-                    isp,
-                    self.list_urls_per_category,
-                    self.characterize_runs,
-                );
-                tracer.close(scope, world.net.now().secs(), &[]);
-                (*product, ch)
-            })
-            .collect();
+        for (isp, product) in &confirmed_isps {
+            let scope = if self.tracer.is_enabled() {
+                self.tracer.open(
+                    StepKind::Stage,
+                    self.world.net.now().secs(),
+                    &[("name", "characterize"), ("isp", isp)],
+                )
+            } else {
+                filterwatch_trace::ScopeId::NONE
+            };
+            let ch = characterize(
+                &self.world,
+                isp,
+                self.campaign.list_urls_per_category,
+                self.campaign.characterize_runs,
+            );
+            self.tracer.close(scope, self.world.net.now().secs(), &[]);
+            self.characterizations.push((*product, ch));
+        }
+    }
 
+    /// Close the campaign scopes and assemble the report.
+    pub fn finish(self) -> CampaignReport {
+        let CampaignRun {
+            campaign,
+            world,
+            telemetry,
+            tracer,
+            campaign_span,
+            campaign_scope,
+            identification,
+            confirmations,
+            current_case: _,
+            characterizations,
+        } = self;
         tracer.close(campaign_scope, world.net.now().secs(), &[]);
         telemetry.span_end(campaign_span, world.net.now().secs());
 
@@ -204,9 +349,9 @@ impl Campaign {
         }
 
         CampaignReport {
-            seed: self.options.seed,
+            seed: campaign.options.seed,
             finished_at_day: world.net.now().days(),
-            identification,
+            identification: identification.expect("identify stage must run before finish"),
             confirmations,
             characterizations,
             quality,

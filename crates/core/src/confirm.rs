@@ -6,11 +6,11 @@
 //! the appropriate URL filter vendor. After 3-5 days, we retest the
 //! sites and observe whether or not the submitted sites are blocked."
 
-use filterwatch_measure::MeasurementQuality;
+use filterwatch_measure::{MeasurementClient, MeasurementQuality};
 use filterwatch_products::{ProductKind, SubmitterProfile};
 
 use crate::report::TextTable;
-use crate::world::{SiteKind, World};
+use crate::world::{ControlledSite, SiteKind, World};
 
 /// Parameters of one case study (one Table 3 row).
 #[derive(Debug, Clone)]
@@ -85,8 +85,30 @@ impl CaseStudyResult {
     }
 }
 
-/// Run one case study against the world, advancing its virtual clock.
-pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResult {
+/// A case study paused between stage boundaries.
+///
+/// [`begin_case`] produces one; [`submit_case`], [`announce_wait`] and
+/// [`retest_case`] carry it through the submit → wait → retest
+/// protocol. [`run_case_study`] is the thin linear composition; the
+/// orchestrator drives the same functions with the wait serviced by a
+/// timer wheel instead of an inline clock advance, and a checkpoint
+/// written at every boundary.
+pub struct CaseInProgress {
+    /// The spec being executed.
+    pub spec: CaseStudySpec,
+    sites: Vec<ControlledSite>,
+    client: MeasurementClient,
+    accessible_before: Option<usize>,
+    submissions_accepted: usize,
+    case_scope: filterwatch_trace::ScopeId,
+    submit_span: filterwatch_telemetry::SpanId,
+    submit_scope: filterwatch_trace::ScopeId,
+}
+
+/// Baseline stage: open the case's telemetry/trace scopes, create the
+/// controlled sites, and (unless the vendor ordering forbids it)
+/// pre-verify their accessibility from the in-country vantage.
+pub fn begin_case(world: &mut World, spec: &CaseStudySpec) -> CaseInProgress {
     assert!(
         spec.n_submit <= spec.n_sites,
         "cannot submit more than created"
@@ -139,11 +161,31 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         None
     };
 
+    CaseInProgress {
+        spec: spec.clone(),
+        sites,
+        client,
+        accessible_before,
+        submissions_accepted: 0,
+        case_scope,
+        submit_span,
+        submit_scope,
+    }
+}
+
+/// Submit stage: hand the first `n_submit` sites to the vendor channel,
+/// perform the in-country accesses the submit-first ordering requires,
+/// and close the submit span.
+pub fn submit_case(world: &mut World, case: &mut CaseInProgress) {
+    let spec = &case.spec;
+    let telemetry = world.net.telemetry().clone();
+    let tracer = world.net.tracer().clone();
+
     // Submit the first n_submit sites to the vendor.
     let cloud = world.cloud(spec.product).clone();
     let now = world.net.now();
     let mut submissions_accepted = 0;
-    for site in &sites[..spec.n_submit] {
+    for site in &case.sites[..spec.n_submit] {
         let receipt = cloud.submit(&site.submit_url(), spec.submitter, now);
         if tracer.recording() {
             tracer.point(
@@ -163,8 +205,8 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
     // For the submit-first ordering, the paper still *accesses* all the
     // domains in-country (which is what queues them at Netsweeper).
     if !spec.pre_verify {
-        for site in &sites {
-            let _ = client.test_url(&world.net, &site.test_url());
+        for site in &case.sites {
+            let _ = case.client.test_url(&world.net, &site.test_url());
         }
     }
 
@@ -180,19 +222,43 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         spec.product.slug(),
         submissions_accepted as i64,
     );
-    tracer.close(submit_scope, world.net.now().secs(), &[]);
-    telemetry.span_end(submit_span, world.net.now().secs());
+    tracer.close(case.submit_scope, world.net.now().secs(), &[]);
+    telemetry.span_end(case.submit_span, world.net.now().secs());
+    case.submissions_accepted = submissions_accepted;
+}
 
-    // Wait out the review period.
+/// Wait stage, announce half: record the wait in the trace and return
+/// the absolute virtual-clock deadline (in seconds) at which the retest
+/// may begin. The caller owns the clock advance — inline for the linear
+/// driver, a timer-wheel wakeup for the orchestrator — so both reach
+/// the deadline by the same arithmetic.
+pub fn announce_wait(world: &World, case: &CaseInProgress) -> u64 {
+    let tracer = world.net.tracer().clone();
     if tracer.recording() {
         tracer.point(
             filterwatch_trace::StepKind::Wait,
             world.net.now().secs(),
-            &[("days", &spec.wait_days.to_string())],
+            &[("days", &case.spec.wait_days.to_string())],
         );
     }
-    world.net.advance_days(spec.wait_days);
+    world.net.now().plus_days(case.spec.wait_days).secs()
+}
 
+/// Retest stage: re-fetch every site from the in-country vantage,
+/// render the §4.2 verdict, and close the case's scopes.
+pub fn retest_case(world: &mut World, case: CaseInProgress) -> CaseStudyResult {
+    let CaseInProgress {
+        spec,
+        sites,
+        client,
+        accessible_before,
+        submissions_accepted,
+        case_scope,
+        submit_span: _,
+        submit_scope: _,
+    } = case;
+    let telemetry = world.net.telemetry().clone();
+    let tracer = world.net.tracer().clone();
     let retest_span = telemetry.span_start(
         filterwatch_telemetry::stage::CONFIRM_RETEST,
         &spec.label,
@@ -275,7 +341,7 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
     telemetry.span_end(retest_span, world.net.now().secs());
 
     CaseStudyResult {
-        spec: spec.clone(),
+        spec,
         accessible_before,
         submissions_accepted,
         submitted_blocked,
@@ -285,6 +351,16 @@ pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResul
         quality: client.quality(),
         confirmed,
     }
+}
+
+/// Run one case study against the world, advancing its virtual clock:
+/// the thin linear composition of the stage functions.
+pub fn run_case_study(world: &mut World, spec: &CaseStudySpec) -> CaseStudyResult {
+    let mut case = begin_case(world, spec);
+    submit_case(world, &mut case);
+    let _deadline = announce_wait(world, &case);
+    world.net.advance_days(spec.wait_days);
+    retest_case(world, case)
 }
 
 /// The ten case studies of Table 3, in row order.

@@ -1,0 +1,27 @@
+//! Fixture: `w1-wire-pair` over the orchestrator checkpoint stages — a
+//! `StageState` variant added to `to_line` (`quarantined`) with no
+//! `parse_line` arm. Expected: one `emit-without-parse:quarantined`
+//! finding, proving the checkpoint stage pair registered in
+//! `Config::workspace_default` keeps campaigns resumable: a checkpoint
+//! written at the new boundary could never be parsed back.
+
+pub enum StageState {
+    Identify,
+    Quarantined { case: usize },
+}
+
+impl StageState {
+    pub fn to_line(&self) -> String {
+        match self {
+            StageState::Identify => "identify".to_string(),
+            StageState::Quarantined { case } => format!("quarantined:{case}"),
+        }
+    }
+
+    pub fn parse_line(line: &str) -> Result<StageState, String> {
+        match line.split(':').next().unwrap_or_default() {
+            "identify" => Ok(StageState::Identify),
+            other => Err(format!("unknown stage token {other:?}")),
+        }
+    }
+}

@@ -94,6 +94,36 @@ impl Config {
                 pair("Event", "to_line", "Event", "parse_line", false),
                 pair("StepKind", "to_token", "StepKind", "parse_token", true),
                 pair("TraceEvent", "to_line", "TraceEvent", "parse_line", false),
+                pair("StageState", "to_line", "StageState", "parse_line", true),
+                pair(
+                    "CampaignKind",
+                    "to_token",
+                    "CampaignKind",
+                    "parse_token",
+                    true,
+                ),
+                pair(
+                    "CampaignDescriptor",
+                    "to_line",
+                    "CampaignDescriptor",
+                    "parse_line",
+                    false,
+                ),
+                pair(
+                    "CampaignCheckpoint",
+                    "to_line",
+                    "CampaignCheckpoint",
+                    "parse_line",
+                    false,
+                ),
+                pair("CaseCkpt", "to_field", "CaseCkpt", "parse_field", false),
+                pair(
+                    "MeasurementQuality",
+                    "to_line",
+                    "MeasurementQuality",
+                    "parse_line",
+                    false,
+                ),
             ],
         }
     }

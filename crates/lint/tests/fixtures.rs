@@ -43,6 +43,10 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
         "w1_trace_missing_arm",
         &[("w1-wire-pair", "emit-without-parse:quarantine")],
     ),
+    (
+        "w1_ckpt_missing_arm",
+        &[("w1-wire-pair", "emit-without-parse:quarantined")],
+    ),
 ];
 
 fn fixtures_dir() -> PathBuf {

@@ -368,6 +368,49 @@ impl MeasurementQuality {
             self.inconclusive_rate() * 100.0,
         )
     }
+
+    /// Invert [`MeasurementQuality::to_line`]. The trailing percentage
+    /// is derived from the counters, so it is validated for shape but
+    /// recomputed rather than trusted — campaign checkpoints embed
+    /// these lines and must parse back to the exact counters.
+    pub fn parse_line(line: &str) -> Result<MeasurementQuality, String> {
+        let mut q = MeasurementQuality::default();
+        let mut seen = 0u32;
+        for field in line.split_ascii_whitespace() {
+            if field.starts_with('(') {
+                if !field.ends_with("%)") {
+                    return Err(format!("bad rate field {field:?} in {line:?}"));
+                }
+                continue;
+            }
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("bad field {field:?} in {line:?}"))?;
+            let parse = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|e| format!("bad {key} in {line:?}: {e}"))
+            };
+            match key {
+                "attempts" => q.fetch_attempts = parse(value)?,
+                "retries" => q.retries = parse(value)?,
+                "breaker_trips" => q.breaker_trips = parse(value)?,
+                "breaker_skips" => q.breaker_skips = parse(value)?,
+                "quorum_trials" => q.quorum_trials = parse(value)?,
+                "inconclusive" => {
+                    let (inc, total) = value
+                        .split_once('/')
+                        .ok_or_else(|| format!("bad inconclusive field in {line:?}"))?;
+                    q.inconclusive = parse(inc)?;
+                    q.verdicts = parse(total)?;
+                }
+                other => return Err(format!("unknown quality field {other:?} in {line:?}")),
+            }
+            seen += 1;
+        }
+        if seen != 6 {
+            return Err(format!("expected 6 quality fields, got {seen} in {line:?}"));
+        }
+        Ok(q)
+    }
 }
 
 /// Interior-mutable quality counters (the client updates them through
@@ -527,5 +570,36 @@ mod tests {
         assert!((a.inconclusive_rate() - 0.125).abs() < 1e-9);
         assert!(a.to_line().contains("retries=2"));
         assert_eq!(MeasurementQuality::default().inconclusive_rate(), 0.0);
+    }
+
+    #[test]
+    fn quality_line_round_trips() {
+        let q = MeasurementQuality {
+            fetch_attempts: 15,
+            retries: 2,
+            breaker_trips: 1,
+            breaker_skips: 3,
+            quorum_trials: 9,
+            inconclusive: 1,
+            verdicts: 8,
+        };
+        assert_eq!(MeasurementQuality::parse_line(&q.to_line()), Ok(q));
+        let zero = MeasurementQuality::default();
+        assert_eq!(MeasurementQuality::parse_line(&zero.to_line()), Ok(zero));
+
+        assert!(MeasurementQuality::parse_line("").is_err());
+        assert!(MeasurementQuality::parse_line("attempts=1").is_err());
+        assert!(MeasurementQuality::parse_line(
+            "attempts=x retries=0 breaker_trips=0 breaker_skips=0 quorum_trials=0 inconclusive=0/0 (0.0%)"
+        )
+        .is_err());
+        assert!(MeasurementQuality::parse_line(
+            "attempts=1 retries=0 breaker_trips=0 breaker_skips=0 quorum_trials=0 inconclusive=00 (0.0%)"
+        )
+        .is_err());
+        assert!(MeasurementQuality::parse_line(
+            "attempts=1 retries=0 breaker_trips=0 breaker_skips=0 quorum_trials=0 inconclusive=0/0 (0.0"
+        )
+        .is_err());
     }
 }

@@ -65,6 +65,7 @@ pub mod registry;
 pub mod rng;
 pub mod service;
 pub mod time;
+pub mod timer;
 pub mod vantage;
 
 pub use dns::Dns;
@@ -77,4 +78,5 @@ pub use outcome::FetchOutcome;
 pub use registry::{Asn, CountryCode, Registry};
 pub use service::{Service, ServiceCtx};
 pub use time::SimTime;
+pub use timer::TimerWheel;
 pub use vantage::{Vantage, VantageId};

@@ -1,0 +1,244 @@
+//! A deterministic timer wheel on the virtual clock.
+//!
+//! The confirm stage's submit→retest waits are days of virtual time; an
+//! orchestrator running many campaigns concurrently needs to park each
+//! one until its deadline and wake the earliest next. [`TimerWheel`]
+//! is that structure: a slotted near wheel (one slot per coarse tick
+//! over a bounded horizon) backed by a sorted overflow map for far
+//! deadlines, with strictly deterministic firing order — by deadline,
+//! then by insertion sequence. Nothing here reads wall-clock time; the
+//! wheel only moves when a caller hands it a new `now`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::time::SimTime;
+
+/// Number of near-wheel slots. With the default hour granularity the
+/// near wheel covers ~2.6 virtual days; longer waits sit in overflow
+/// until the wheel turns close enough to cascade them in.
+const SLOTS: usize = 64;
+
+/// One scheduled entry.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    item: T,
+}
+
+/// A two-level timer wheel over virtual time.
+///
+/// Deadlines within the near horizon (`SLOTS * granularity`) hash into
+/// slots; everything farther waits in a `BTreeMap` keyed by
+/// `(deadline, seq)` and cascades into the near wheel as time advances.
+/// [`TimerWheel::pop_due`] returns every item whose deadline has
+/// passed, ordered by `(deadline, insertion seq)` — the tie-break that
+/// keeps concurrent campaigns deterministic.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    granularity_secs: u64,
+    /// Near slots, indexed by `(deadline / granularity) % SLOTS`.
+    slots: Vec<VecDeque<Entry<T>>>,
+    /// Far deadlines, cascaded in lazily.
+    overflow: BTreeMap<(SimTime, u64), T>,
+    /// The time up to which the wheel has already fired.
+    horizon: SimTime,
+    /// Monotone insertion sequence (the deterministic tie-break).
+    seq: u64,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel with one-hour slot granularity — the natural
+    /// tick for a methodology clocked in days.
+    pub fn new() -> Self {
+        TimerWheel::with_granularity(3_600)
+    }
+
+    /// An empty wheel with an explicit slot granularity in virtual
+    /// seconds (minimum 1).
+    pub fn with_granularity(granularity_secs: u64) -> Self {
+        let granularity_secs = granularity_secs.max(1);
+        TimerWheel {
+            granularity_secs,
+            slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+            overflow: BTreeMap::new(),
+            horizon: SimTime::ZERO,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of timers currently scheduled.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no timers are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `item` to fire once `now` reaches `at`. Deadlines
+    /// already in the past fire on the next [`TimerWheel::pop_due`].
+    pub fn schedule(&mut self, at: SimTime, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        if self.in_near_horizon(at) {
+            let slot = self.slot_of(at);
+            self.slots[slot].push_back(Entry { at, seq, item });
+        } else {
+            self.overflow.insert((at, seq), item);
+        }
+    }
+
+    /// The earliest scheduled deadline, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let near = self
+            .slots
+            .iter()
+            .flat_map(|slot| slot.iter().map(|e| e.at))
+            .min();
+        let far = self.overflow.keys().next().map(|(at, _)| *at);
+        match (near, far) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Remove and return every item whose deadline is `<= now`, ordered
+    /// by `(deadline, insertion seq)`. Advances the wheel's horizon to
+    /// `now`, cascading overflow entries that came into range.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<T> {
+        // Cascade overflow entries that are now due or near.
+        let mut cascade: Vec<(SimTime, u64, T)> = Vec::new();
+        let keys: Vec<(SimTime, u64)> = self
+            .overflow
+            .range(..=(now, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in keys {
+            if let Some(item) = self.overflow.remove(&key) {
+                cascade.push((key.0, key.1, item));
+            }
+        }
+
+        let mut due: Vec<Entry<T>> = cascade
+            .into_iter()
+            .map(|(at, seq, item)| Entry { at, seq, item })
+            .collect();
+        for slot in &mut self.slots {
+            let mut keep = VecDeque::new();
+            while let Some(e) = slot.pop_front() {
+                if e.at <= now {
+                    due.push(e);
+                } else {
+                    keep.push_back(e);
+                }
+            }
+            *slot = keep;
+        }
+        due.sort_by_key(|e| (e.at, e.seq));
+        self.len -= due.len();
+        if now > self.horizon {
+            self.horizon = now;
+        }
+        due.into_iter().map(|e| e.item).collect()
+    }
+
+    fn in_near_horizon(&self, at: SimTime) -> bool {
+        at.secs() < self.horizon.secs() + self.granularity_secs * SLOTS as u64
+    }
+
+    fn slot_of(&self, at: SimTime) -> usize {
+        ((at.secs() / self.granularity_secs) % SLOTS as u64) as usize
+    }
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(SimTime::from_days(5), "c");
+        w.schedule(SimTime::from_days(1), "a");
+        w.schedule(SimTime::from_days(3), "b");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.next_deadline(), Some(SimTime::from_days(1)));
+        assert_eq!(w.pop_due(SimTime::from_days(3)), vec!["a", "b"]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop_due(SimTime::from_days(3)), Vec::<&str>::new());
+        assert_eq!(w.pop_due(SimTime::from_days(5)), vec!["c"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_deadline_fires_in_insertion_order() {
+        let mut w = TimerWheel::new();
+        for i in 0..10 {
+            w.schedule(SimTime::from_days(4), i);
+        }
+        assert_eq!(
+            w.pop_due(SimTime::from_days(4)),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn far_deadlines_cascade_from_overflow() {
+        let mut w = TimerWheel::with_granularity(60);
+        // Far beyond the near horizon (64 slots x 60 s).
+        w.schedule(SimTime::from_days(30), "far");
+        w.schedule(SimTime::from_secs(30), "near");
+        assert_eq!(w.next_deadline(), Some(SimTime::from_secs(30)));
+        assert_eq!(w.pop_due(SimTime::from_secs(60)), vec!["near"]);
+        assert_eq!(w.pop_due(SimTime::from_days(29)), Vec::<&str>::new());
+        assert_eq!(w.pop_due(SimTime::from_days(30)), vec!["far"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately() {
+        let mut w = TimerWheel::new();
+        w.pop_due(SimTime::from_days(10));
+        w.schedule(SimTime::from_days(2), "late");
+        assert_eq!(w.pop_due(SimTime::from_days(10)), vec!["late"]);
+    }
+
+    #[test]
+    fn matches_sorted_reference_model() {
+        // Deterministic pseudo-random schedule vs a BTreeMap reference.
+        let mut w = TimerWheel::with_granularity(7);
+        let mut model: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in 0..500u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = (state >> 33) % 1_000_000;
+            w.schedule(SimTime::from_secs(at), i);
+            model.insert((at, i), i);
+        }
+        for step in [1_000u64, 50_000, 50_000, 400_000, 2_000_000] {
+            let now = w.horizon.secs() + step;
+            let fired = w.pop_due(SimTime::from_secs(now));
+            let keys: Vec<(u64, u64)> = model.range(..=(now, u64::MAX)).map(|(k, _)| *k).collect();
+            let expect: Vec<u64> = keys
+                .iter()
+                .map(|k| model.remove(k).expect("present"))
+                .collect();
+            assert_eq!(fired, expect, "now={now}");
+        }
+        assert!(w.is_empty());
+        assert!(model.is_empty());
+    }
+}

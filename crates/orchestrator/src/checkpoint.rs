@@ -1,0 +1,349 @@
+//! Checkpoint wire format.
+//!
+//! Every stage transition writes one tab-separated line: a version
+//! token, the campaign descriptor, the stage cursor to resume at, the
+//! virtual clock, one field per completed case study, and a trailing
+//! FNV-1a digest so a truncated or hand-edited line is rejected at
+//! parse time. Restores are replay-based — the world is a pure
+//! function of the descriptor, so re-executing the stages before the
+//! cursor reproduces the exact world state — which makes the completed
+//! case fields *cross-checks*: if a replayed case disagrees with what
+//! the checkpoint recorded, the code (or the checkpoint) drifted, and
+//! resume fails loudly instead of silently producing different tables.
+
+use filterwatch_core::confirm::CaseStudyResult;
+use filterwatch_measure::MeasurementQuality;
+
+use crate::stage::{CampaignDescriptor, StageState};
+
+/// Version token leading every checkpoint line.
+const VERSION: &str = "ckpt:v1";
+
+/// FNV-1a 64-bit, the workspace's standard small digest.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The durable summary of one completed case study: every counter the
+/// confirm table renders from, plus the measurement-quality line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseCkpt {
+    /// Case-study index (spec order).
+    pub index: usize,
+    /// Sites accessible before submission (`None` when pre-verification
+    /// was skipped).
+    pub accessible_before: Option<usize>,
+    /// Submissions the vendor channel accepted.
+    pub submissions_accepted: usize,
+    /// Submitted sites found blocked at retest.
+    pub submitted_blocked: usize,
+    /// Held-out sites found blocked at retest.
+    pub holdout_blocked: usize,
+    /// Retest verdicts the machinery declined to render.
+    pub retest_inconclusive: usize,
+    /// The §4.2 confirmation verdict.
+    pub confirmed: bool,
+    /// Block-page product attributions (deduplicated, in first-seen
+    /// order).
+    pub attributed: Vec<String>,
+    /// The case client's measurement-quality counters.
+    pub quality: MeasurementQuality,
+}
+
+impl CaseCkpt {
+    /// Capture a completed [`CaseStudyResult`].
+    pub fn from_result(index: usize, result: &CaseStudyResult) -> CaseCkpt {
+        CaseCkpt {
+            index,
+            accessible_before: result.accessible_before,
+            submissions_accepted: result.submissions_accepted,
+            submitted_blocked: result.submitted_blocked,
+            holdout_blocked: result.holdout_blocked,
+            retest_inconclusive: result.retest_inconclusive,
+            confirmed: result.confirmed,
+            attributed: result.attributed_products.clone(),
+            quality: result.quality,
+        }
+    }
+
+    /// Render as one checkpoint field (no tabs; sub-fields are
+    /// space-separated, with the quality line trailing after `q:`).
+    pub fn to_field(&self) -> String {
+        format!(
+            "case:{} acc:{} ok:{} blk:{} hold:{} inc:{} conf:{} attr:{} q:{}",
+            self.index,
+            self.accessible_before
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            self.submissions_accepted,
+            self.submitted_blocked,
+            self.holdout_blocked,
+            self.retest_inconclusive,
+            if self.confirmed { "yes" } else { "no" },
+            if self.attributed.is_empty() {
+                "-".to_string()
+            } else {
+                self.attributed.join(",")
+            },
+            self.quality.to_line(),
+        )
+    }
+
+    /// Invert [`CaseCkpt::to_field`].
+    pub fn parse_field(field: &str) -> Result<CaseCkpt, String> {
+        let (head, quality_line) = field
+            .split_once(" q:")
+            .ok_or_else(|| format!("missing quality in case field {field:?}"))?;
+        let quality = MeasurementQuality::parse_line(quality_line)?;
+        let mut index = None;
+        let mut accessible_before = None;
+        let mut submissions_accepted = None;
+        let mut submitted_blocked = None;
+        let mut holdout_blocked = None;
+        let mut retest_inconclusive = None;
+        let mut confirmed = None;
+        let mut attributed = None;
+        for part in head.split_ascii_whitespace() {
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad sub-field {part:?} in case field"))?;
+            let parse_n = |v: &str| -> Result<usize, String> {
+                v.parse()
+                    .map_err(|e| format!("bad {key} in {field:?}: {e}"))
+            };
+            match key {
+                "case" => index = Some(parse_n(value)?),
+                "acc" => {
+                    accessible_before = Some(if value == "-" {
+                        None
+                    } else {
+                        Some(parse_n(value)?)
+                    })
+                }
+                "ok" => submissions_accepted = Some(parse_n(value)?),
+                "blk" => submitted_blocked = Some(parse_n(value)?),
+                "hold" => holdout_blocked = Some(parse_n(value)?),
+                "inc" => retest_inconclusive = Some(parse_n(value)?),
+                "conf" => {
+                    confirmed = Some(match value {
+                        "yes" => true,
+                        "no" => false,
+                        other => return Err(format!("bad conf value {other:?}")),
+                    })
+                }
+                "attr" => {
+                    attributed = Some(if value == "-" {
+                        Vec::new()
+                    } else {
+                        value.split(',').map(str::to_string).collect()
+                    })
+                }
+                other => return Err(format!("unknown case sub-field {other:?}")),
+            }
+        }
+        let missing = |what: &str| format!("missing {what} in case field {field:?}");
+        Ok(CaseCkpt {
+            index: index.ok_or_else(|| missing("case"))?,
+            accessible_before: accessible_before.ok_or_else(|| missing("acc"))?,
+            submissions_accepted: submissions_accepted.ok_or_else(|| missing("ok"))?,
+            submitted_blocked: submitted_blocked.ok_or_else(|| missing("blk"))?,
+            holdout_blocked: holdout_blocked.ok_or_else(|| missing("hold"))?,
+            retest_inconclusive: retest_inconclusive.ok_or_else(|| missing("inc"))?,
+            confirmed: confirmed.ok_or_else(|| missing("conf"))?,
+            attributed: attributed.ok_or_else(|| missing("attr"))?,
+            quality,
+        })
+    }
+}
+
+/// One campaign checkpoint: everything needed to resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignCheckpoint {
+    /// Which campaign to rebuild (the world is a pure function of it).
+    pub descriptor: CampaignDescriptor,
+    /// The stage to resume at (everything before it is replayed).
+    pub stage: StageState,
+    /// The campaign's virtual clock at this boundary, in seconds —
+    /// cross-checked against the replayed clock on resume.
+    pub clock_secs: u64,
+    /// Completed case studies, in spec order — cross-checked against
+    /// the replayed results on resume.
+    pub cases: Vec<CaseCkpt>,
+}
+
+impl CampaignCheckpoint {
+    /// Render as one tab-separated line ending in a self-integrity
+    /// digest.
+    pub fn to_line(&self) -> String {
+        let mut line = String::from(VERSION);
+        line.push('\t');
+        line.push_str(&format!("campaign:{}", self.descriptor.to_line()));
+        line.push('\t');
+        line.push_str(&format!("stage:{}", self.stage.to_line()));
+        line.push('\t');
+        line.push_str(&format!("clock:{}", self.clock_secs));
+        for case in &self.cases {
+            line.push('\t');
+            line.push_str(&case.to_field());
+        }
+        let digest = fnv1a64(line.as_bytes());
+        line.push('\t');
+        line.push_str(&format!("digest:{digest:016x}"));
+        line
+    }
+
+    /// Invert [`CampaignCheckpoint::to_line`], validating the digest.
+    pub fn parse_line(line: &str) -> Result<CampaignCheckpoint, String> {
+        let (body, digest_field) = line
+            .rsplit_once('\t')
+            .ok_or_else(|| format!("checkpoint line has no fields: {line:?}"))?;
+        let hex = digest_field
+            .strip_prefix("digest:")
+            .ok_or_else(|| format!("checkpoint line missing digest: {line:?}"))?;
+        let want = u64::from_str_radix(hex, 16).map_err(|e| format!("bad digest: {e}"))?;
+        let got = fnv1a64(body.as_bytes());
+        if got != want {
+            return Err(format!(
+                "checkpoint digest mismatch: line says {want:016x}, content hashes to {got:016x}"
+            ));
+        }
+        let mut fields = body.split('\t');
+        match fields.next() {
+            Some(v) if v == VERSION => {}
+            other => return Err(format!("unsupported checkpoint version {other:?}")),
+        }
+        let descriptor = fields
+            .next()
+            .and_then(|f| f.strip_prefix("campaign:"))
+            .ok_or_else(|| "missing campaign field".to_string())
+            .and_then(CampaignDescriptor::parse_line)?;
+        let stage = fields
+            .next()
+            .and_then(|f| f.strip_prefix("stage:"))
+            .ok_or_else(|| "missing stage field".to_string())
+            .and_then(StageState::parse_line)?;
+        let clock_secs = fields
+            .next()
+            .and_then(|f| f.strip_prefix("clock:"))
+            .ok_or_else(|| "missing clock field".to_string())?
+            .parse()
+            .map_err(|e| format!("bad clock: {e}"))?;
+        let mut cases = Vec::new();
+        for field in fields {
+            cases.push(CaseCkpt::parse_field(field)?);
+        }
+        for (i, case) in cases.iter().enumerate() {
+            if case.index != i {
+                return Err(format!(
+                    "case fields out of order: position {i} holds case {}",
+                    case.index
+                ));
+            }
+        }
+        Ok(CampaignCheckpoint {
+            descriptor,
+            stage,
+            clock_secs,
+            cases,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::CampaignKind;
+
+    fn sample_case(index: usize) -> CaseCkpt {
+        CaseCkpt {
+            index,
+            accessible_before: if index % 2 == 0 { Some(10) } else { None },
+            submissions_accepted: 5,
+            submitted_blocked: 5,
+            holdout_blocked: 0,
+            retest_inconclusive: 1,
+            confirmed: true,
+            attributed: vec!["smartfilter".to_string(), "netsweeper".to_string()],
+            quality: MeasurementQuality {
+                fetch_attempts: 40,
+                retries: 3,
+                breaker_trips: 1,
+                breaker_skips: 2,
+                quorum_trials: 30,
+                inconclusive: 1,
+                verdicts: 20,
+            },
+        }
+    }
+
+    #[test]
+    fn case_fields_round_trip() {
+        for index in 0..4 {
+            let case = sample_case(index);
+            assert_eq!(CaseCkpt::parse_field(&case.to_field()), Ok(case));
+        }
+        let empty_attr = CaseCkpt {
+            attributed: Vec::new(),
+            ..sample_case(0)
+        };
+        assert_eq!(
+            CaseCkpt::parse_field(&empty_attr.to_field()),
+            Ok(empty_attr)
+        );
+        assert!(CaseCkpt::parse_field("").is_err());
+        assert!(CaseCkpt::parse_field("case:0 acc:-").is_err());
+    }
+
+    #[test]
+    fn checkpoint_lines_round_trip() {
+        let ckpt = CampaignCheckpoint {
+            descriptor: CampaignDescriptor::new(CampaignKind::Demo, 5).with_trace(),
+            stage: StageState::Wait {
+                case: 2,
+                deadline_secs: 4_060_800,
+            },
+            clock_secs: 3_715_200,
+            cases: vec![sample_case(0), sample_case(1)],
+        };
+        let line = ckpt.to_line();
+        assert_eq!(CampaignCheckpoint::parse_line(&line), Ok(ckpt));
+    }
+
+    #[test]
+    fn tampered_lines_are_rejected() {
+        let ckpt = CampaignCheckpoint {
+            descriptor: CampaignDescriptor::new(CampaignKind::Standard, 5),
+            stage: StageState::Identify,
+            clock_secs: 0,
+            cases: Vec::new(),
+        };
+        let line = ckpt.to_line();
+        let tampered = line.replace("clock:0", "clock:1");
+        assert!(CampaignCheckpoint::parse_line(&tampered)
+            .unwrap_err()
+            .contains("digest mismatch"));
+        assert!(CampaignCheckpoint::parse_line("").is_err());
+        assert!(CampaignCheckpoint::parse_line("ckpt:v1").is_err());
+        // Truncation drops the digest field.
+        let (body, _) = line.rsplit_once('\t').expect("has digest");
+        assert!(CampaignCheckpoint::parse_line(body).is_err());
+    }
+
+    #[test]
+    fn out_of_order_cases_are_rejected() {
+        let good = CampaignCheckpoint {
+            descriptor: CampaignDescriptor::new(CampaignKind::Demo, 1),
+            stage: StageState::Characterize,
+            clock_secs: 100,
+            cases: vec![sample_case(1)],
+        };
+        assert!(CampaignCheckpoint::parse_line(&good.to_line())
+            .unwrap_err()
+            .contains("out of order"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests for the orchestrator wire formats.
+//!
+//! Adversarial round-trips for every wire pair the crate registers:
+//! `StageState`, `CampaignDescriptor`, `CaseCkpt` fields and full
+//! `CampaignCheckpoint` lines — plus digest tamper-detection: any
+//! single-byte substitution anywhere in a checkpoint line must be
+//! rejected at parse time, never silently accepted as a different
+//! checkpoint.
+
+use filterwatch_measure::MeasurementQuality;
+use filterwatch_orchestrator::{
+    CampaignCheckpoint, CampaignDescriptor, CampaignKind, CaseCkpt, StageState,
+};
+use proptest::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = CampaignKind> {
+    prop_oneof![
+        Just(CampaignKind::Standard),
+        Just(CampaignKind::Demo),
+        Just(CampaignKind::Generated),
+    ]
+}
+
+fn any_descriptor() -> impl Strategy<Value = CampaignDescriptor> {
+    (any_kind(), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+        |(kind, seed, chaos, trace)| {
+            let mut d = CampaignDescriptor::new(kind, seed);
+            d.chaos = chaos;
+            d.trace = trace;
+            d
+        },
+    )
+}
+
+fn any_stage() -> impl Strategy<Value = StageState> {
+    prop_oneof![
+        Just(StageState::Identify),
+        (0usize..32).prop_map(|case| StageState::Baseline { case }),
+        (0usize..32).prop_map(|case| StageState::Submit { case }),
+        (0usize..32, any::<u64>()).prop_map(|(case, deadline_secs)| StageState::Wait {
+            case,
+            deadline_secs
+        }),
+        (0usize..32).prop_map(|case| StageState::Retest { case }),
+        Just(StageState::Characterize),
+        Just(StageState::Done),
+    ]
+}
+
+fn any_quality() -> impl Strategy<Value = MeasurementQuality> {
+    (
+        any::<u64>(),
+        0u64..10_000,
+        0u64..1_000,
+        0u64..1_000,
+        0u64..100_000,
+        0u64..1_000,
+        0u64..100_000,
+    )
+        .prop_map(
+            |(
+                fetch_attempts,
+                retries,
+                breaker_trips,
+                breaker_skips,
+                quorum_trials,
+                inconclusive,
+                verdicts,
+            )| {
+                MeasurementQuality {
+                    fetch_attempts,
+                    retries,
+                    breaker_trips,
+                    breaker_skips,
+                    quorum_trials,
+                    inconclusive,
+                    verdicts,
+                }
+            },
+        )
+}
+
+/// Attributed product slugs are wire tokens: lowercase, no commas or
+/// whitespace (the field joins them with `,`).
+fn any_attributed() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z][a-z0-9-]{0,10}".prop_map(|s: String| s), 0..4)
+}
+
+/// A case summary for a given index; the index itself is assigned by
+/// the checkpoint strategy so case fields stay in spec order.
+fn any_case_at(index: usize) -> impl Strategy<Value = CaseCkpt> {
+    (
+        proptest::option::of(0usize..1_000),
+        0usize..1_000,
+        0usize..1_000,
+        0usize..1_000,
+        0usize..1_000,
+        any::<bool>(),
+        any_attributed(),
+        any_quality(),
+    )
+        .prop_map(
+            move |(acc, ok, blk, hold, inc, confirmed, attributed, quality)| CaseCkpt {
+                index,
+                accessible_before: acc,
+                submissions_accepted: ok,
+                submitted_blocked: blk,
+                holdout_blocked: hold,
+                retest_inconclusive: inc,
+                confirmed,
+                attributed,
+                quality,
+            },
+        )
+}
+
+fn any_checkpoint() -> impl Strategy<Value = CampaignCheckpoint> {
+    (
+        any_descriptor(),
+        any_stage(),
+        any::<u64>(),
+        proptest::collection::vec(any_case_at(0), 0..4),
+    )
+        .prop_map(|(descriptor, stage, clock_secs, mut cases)| {
+            for (i, case) in cases.iter_mut().enumerate() {
+                case.index = i;
+            }
+            CampaignCheckpoint {
+                descriptor,
+                stage,
+                clock_secs,
+                cases,
+            }
+        })
+}
+
+proptest! {
+    /// Stage lines round-trip byte-exact.
+    #[test]
+    fn stage_lines_round_trip(stage in any_stage()) {
+        let line = stage.to_line();
+        prop_assert_eq!(StageState::parse_line(&line), Ok(stage.clone()));
+        prop_assert_eq!(
+            StageState::parse_line(&line).expect("round trip").to_line(),
+            line
+        );
+    }
+
+    /// Descriptor lines round-trip byte-exact.
+    #[test]
+    fn descriptor_lines_round_trip(descriptor in any_descriptor()) {
+        let line = descriptor.to_line();
+        prop_assert_eq!(CampaignDescriptor::parse_line(&line), Ok(descriptor));
+    }
+
+    /// Case fields round-trip, whatever the counters and attributions.
+    #[test]
+    fn case_fields_round_trip(case in any_case_at(0), index in 0usize..64) {
+        let case = CaseCkpt { index, ..case };
+        let field = case.to_field();
+        prop_assert!(!field.contains('\t'), "case field must be tab-free: {field:?}");
+        prop_assert_eq!(CaseCkpt::parse_field(&field), Ok(case));
+    }
+
+    /// Full checkpoint lines round-trip byte-exact.
+    #[test]
+    fn checkpoint_lines_round_trip(ckpt in any_checkpoint()) {
+        let line = ckpt.to_line();
+        prop_assert!(!line.contains('\n'), "checkpoint must be one line: {line:?}");
+        let back = CampaignCheckpoint::parse_line(&line)
+            .unwrap_or_else(|e| panic!("parse_line({line:?}): {e}"));
+        prop_assert_eq!(&back, &ckpt);
+        prop_assert_eq!(back.to_line(), line);
+    }
+
+    /// Any single-byte substitution anywhere in the line — body, tabs,
+    /// digest — is rejected. FNV-1a's per-byte step is a bijection, so
+    /// an equal-length substitution can never collide.
+    #[test]
+    fn corrupted_checkpoint_lines_are_rejected(
+        ckpt in any_checkpoint(),
+        pos_pick in any::<u64>(),
+        byte_pick in 0u8..95,
+    ) {
+        let line = ckpt.to_line();
+        let mut bytes = line.clone().into_bytes();
+        let pos = (pos_pick % bytes.len() as u64) as usize;
+        // Substitute a printable ASCII byte (or a tab, to attack the
+        // field structure) that differs from the original.
+        let replacement = if byte_pick == 0 { b'\t' } else { byte_pick + 32 };
+        if replacement != bytes[pos] {
+            bytes[pos] = replacement;
+            let corrupted = String::from_utf8(bytes).expect("ascii stays utf8");
+            prop_assert!(
+                CampaignCheckpoint::parse_line(&corrupted).is_err(),
+                "corrupting byte {pos} of {line:?} into {corrupted:?} was accepted"
+            );
+        }
+    }
+}

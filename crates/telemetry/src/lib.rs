@@ -66,6 +66,12 @@ pub mod stage {
     pub const CHARACTERIZE: &str = "characterize";
     /// An end-to-end campaign run.
     pub const CAMPAIGN: &str = "campaign";
+    /// A campaign parked on the orchestrator's timer wheel between
+    /// submit and retest (spans the virtual wait).
+    pub const SCHED_WAIT: &str = "sched.wait";
+    /// Orchestrator supervision: checkpoint writes, restores, timer
+    /// fires and quarantine decisions surface as events in this stage.
+    pub const SCHED: &str = "sched";
 }
 
 /// Render `secs` of virtual time like the simulator's clock does

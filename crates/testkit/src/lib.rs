@@ -15,6 +15,9 @@
 //!   middleboxes, pre-categorized URL lists, fault profiles;
 //! - [`runner`] — the paper's identify → submit-and-retest loop on a
 //!   generated world, rendered as stable, byte-comparable text;
+//! - [`orchestrate`] — the same loop as a crash-safe resumable state
+//!   machine under the `filterwatch-orchestrator` scheduler, with the
+//!   crash-recovery battery's driver and resume entry points;
 //! - [`invariants`] — the metamorphic suite (permutation invariance,
 //!   bystander indifference, fault degradation, holdout integrity);
 //! - [`golden`] — checked-in snapshots with
@@ -28,6 +31,7 @@
 pub mod differential;
 pub mod golden;
 pub mod invariants;
+pub mod orchestrate;
 pub mod plan;
 pub mod runner;
 pub mod strategies;
@@ -36,6 +40,7 @@ pub mod worldgen;
 pub use differential::{minimize, run_seed, seeds_from_env, Divergence};
 pub use golden::{check_golden, golden_path, update_mode, UPDATE_ENV};
 pub use invariants::{check_plan, check_seed, Violation};
+pub use orchestrate::{resume_generated_campaign, run_generated_campaign, GeneratedDriver};
 pub use plan::{ContentKind, DeploymentPlan, FaultPlan, ScenarioPlan};
 pub use runner::{run_campaign, run_campaign_with, CaseOutcome, GeneratedReport, RunConfig};
 pub use strategies::{plan_for_seed, plan_strategy};

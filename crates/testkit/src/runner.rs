@@ -15,7 +15,7 @@ use filterwatch_telemetry::TelemetryHandle;
 use filterwatch_urllists::TestList;
 
 use crate::plan::ScenarioPlan;
-use crate::worldgen::{build_world, GeneratedSite};
+use crate::worldgen::{build_world, GeneratedSite, GeneratedWorld};
 
 /// Days waited between submission and retest — past every vendor's
 /// maximum review delay, so accepted submissions are always in effect
@@ -139,30 +139,33 @@ impl GeneratedReport {
     }
 }
 
-/// Run the full loop — identify, sweep the test list, then one
-/// submit-and-retest case study per deployment — with the plan's
-/// canonical [`RunConfig`].
-pub fn run_campaign(plan: &ScenarioPlan) -> GeneratedReport {
-    run_campaign_with(plan, &RunConfig::for_plan(plan))
+/// One deployment's case study between baseline and retest: the minted
+/// sites and the vendor's acceptance count, riding out the review
+/// window. This is exactly the state a checkpoint boundary can fall
+/// inside of, so the orchestrator's generated-campaign driver holds one
+/// of these between stages.
+#[derive(Debug, Clone)]
+pub struct CaseInFlight {
+    /// Deployment index in the plan.
+    pub deployment: usize,
+    spec: crate::plan::DeploymentPlan,
+    sites: Vec<GeneratedSite>,
+    submissions_accepted: usize,
 }
 
-/// Run the full loop with an explicit configuration.
-pub fn run_campaign_with(plan: &ScenarioPlan, config: &RunConfig) -> GeneratedReport {
-    let mut gw = build_world(plan);
-    if config.telemetry {
-        gw.net.set_telemetry(TelemetryHandle::enabled());
-    }
-    let topology_digest = gw.net.topology_digest();
-
-    // Stage 1: identify.
+/// Stage 1 on a generated world: scan, identify, render installations.
+pub fn identify_stage(gw: &GeneratedWorld) -> String {
     let index = ScanEngine::new().scan(&gw.net);
     let identify = IdentifyPipeline::new().run_on_index(&gw.net, &index);
-    let identify_table = identify.render_installations();
+    identify.render_installations()
+}
 
-    // Pre-submission sweep of the (pre-categorized) global list.
-    let list = TestList::global(plan.urls_per_category);
+/// Pre-submission sweep of the (pre-categorized) global list from
+/// every deployment vantage.
+pub fn sweep_stage(gw: &GeneratedWorld, config: &RunConfig) -> Vec<String> {
+    let list = TestList::global(gw.plan.urls_per_category);
     let mut list_lines = Vec::new();
-    for dep in 0..plan.deployments.len() {
+    for dep in 0..gw.plan.deployments.len() {
         let client = gw.client(dep, &config.resilience);
         for test_url in &list.urls {
             let url = filterwatch_http::Url::parse(&test_url.url).expect("list URL");
@@ -170,65 +173,114 @@ pub fn run_campaign_with(plan: &ScenarioPlan, config: &RunConfig) -> GeneratedRe
             list_lines.push(format!("dep{dep} {}", v.to_line()));
         }
     }
+    list_lines
+}
+
+/// Stage 2a for deployment `i`: mint the case's controlled sites.
+pub fn baseline_stage(gw: &mut GeneratedWorld, i: usize) -> CaseInFlight {
+    let spec = gw.plan.deployments[i].clone();
+    let sites: Vec<GeneratedSite> = (0..spec.n_sites)
+        .map(|_| gw.mint_site(spec.content))
+        .collect();
+    CaseInFlight {
+        deployment: i,
+        spec,
+        sites,
+        submissions_accepted: 0,
+    }
+}
+
+/// Stage 2b: submit the chosen subset to the vendor channel.
+pub fn submit_stage(gw: &mut GeneratedWorld, case: &mut CaseInFlight) {
+    let cloud = gw.cloud(case.spec.product).clone();
+    let now = gw.net.now();
+    for site in &case.sites[..case.spec.n_submit] {
+        if cloud
+            .submit(&site.submit_url(), SubmitterProfile::COVERT, now)
+            .accepted
+        {
+            case.submissions_accepted += 1;
+        }
+    }
+}
+
+/// Stage 2d, after the review window: retest every site and fold the
+/// case study into its outcome.
+pub fn retest_stage(gw: &GeneratedWorld, config: &RunConfig, case: CaseInFlight) -> CaseOutcome {
+    let CaseInFlight {
+        deployment,
+        spec,
+        sites,
+        submissions_accepted,
+    } = case;
+    let client = gw.client(deployment, &config.resilience);
+    let mut blocked = vec![false; sites.len()];
+    let mut retest_inconclusive = 0;
+    let mut retest_lines = Vec::new();
+    for (s, site) in sites.iter().enumerate() {
+        let v = client.test_url(&gw.net, &site.test_url());
+        if v.verdict.is_blocked() {
+            blocked[s] = true;
+        } else if v.verdict.is_inconclusive() {
+            retest_inconclusive += 1;
+        }
+        retest_lines.push(format!(
+            "{} {}",
+            if s < spec.n_submit {
+                "submitted"
+            } else {
+                "heldout"
+            },
+            v.to_line()
+        ));
+    }
+    let submitted_blocked = blocked[..spec.n_submit].iter().filter(|&&b| b).count();
+    let holdout_blocked = blocked[spec.n_submit..].iter().filter(|&&b| b).count();
+    CaseOutcome {
+        deployment,
+        product: spec.product,
+        n_sites: spec.n_sites,
+        n_submit: spec.n_submit,
+        submissions_accepted,
+        submitted_blocked,
+        holdout_blocked,
+        retest_inconclusive,
+        confirmed: submitted_blocked * 2 > spec.n_submit,
+        retest_lines,
+    }
+}
+
+/// Run the full loop — identify, sweep the test list, then one
+/// submit-and-retest case study per deployment — with the plan's
+/// canonical [`RunConfig`].
+pub fn run_campaign(plan: &ScenarioPlan) -> GeneratedReport {
+    run_campaign_with(plan, &RunConfig::for_plan(plan))
+}
+
+/// Run the full loop with an explicit configuration. This is the
+/// linear driver over the stage functions above; the orchestrator's
+/// `GeneratedDriver` runs the same stages under checkpointed
+/// scheduling, and the crash-recovery battery holds the two
+/// byte-identical.
+pub fn run_campaign_with(plan: &ScenarioPlan, config: &RunConfig) -> GeneratedReport {
+    let mut gw = build_world(plan);
+    if config.telemetry {
+        gw.net.set_telemetry(TelemetryHandle::enabled());
+    }
+    let topology_digest = gw.net.topology_digest();
+
+    // Stage 1: identify, then the pre-submission list sweep.
+    let identify_table = identify_stage(&gw);
+    let list_lines = sweep_stage(&gw, config);
 
     // Stage 2: one case study per deployment, sequentially (the virtual
     // clock advances past the vendor review window between each).
     let mut cases = Vec::new();
-    for (i, d) in plan
-        .deployments
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (i, d.clone()))
-    {
-        let sites: Vec<GeneratedSite> = (0..d.n_sites).map(|_| gw.mint_site(d.content)).collect();
-        let cloud = gw.cloud(d.product).clone();
-        let now = gw.net.now();
-        let mut submissions_accepted = 0;
-        for site in &sites[..d.n_submit] {
-            if cloud
-                .submit(&site.submit_url(), SubmitterProfile::COVERT, now)
-                .accepted
-            {
-                submissions_accepted += 1;
-            }
-        }
+    for i in 0..plan.deployments.len() {
+        let mut case = baseline_stage(&mut gw, i);
+        submit_stage(&mut gw, &mut case);
         gw.net.advance_days(WAIT_DAYS);
-
-        let client = gw.client(i, &config.resilience);
-        let mut blocked = vec![false; sites.len()];
-        let mut retest_inconclusive = 0;
-        let mut retest_lines = Vec::new();
-        for (s, site) in sites.iter().enumerate() {
-            let v = client.test_url(&gw.net, &site.test_url());
-            if v.verdict.is_blocked() {
-                blocked[s] = true;
-            } else if v.verdict.is_inconclusive() {
-                retest_inconclusive += 1;
-            }
-            retest_lines.push(format!(
-                "{} {}",
-                if s < d.n_submit {
-                    "submitted"
-                } else {
-                    "heldout"
-                },
-                v.to_line()
-            ));
-        }
-        let submitted_blocked = blocked[..d.n_submit].iter().filter(|&&b| b).count();
-        let holdout_blocked = blocked[d.n_submit..].iter().filter(|&&b| b).count();
-        cases.push(CaseOutcome {
-            deployment: i,
-            product: d.product,
-            n_sites: d.n_sites,
-            n_submit: d.n_submit,
-            submissions_accepted,
-            submitted_blocked,
-            holdout_blocked,
-            retest_inconclusive,
-            confirmed: submitted_blocked * 2 > d.n_submit,
-            retest_lines,
-        });
+        cases.push(retest_stage(&gw, config, case));
     }
 
     GeneratedReport {

@@ -63,3 +63,52 @@ fn demo_campaign_explain_golden() {
     }
     check_golden("campaign-demo-explain", &rendering).unwrap_or_else(|e| panic!("{e}"));
 }
+
+/// Pin the resumed demo campaign: crash the orchestrated run right
+/// after a mid-campaign Wait checkpoint, resume from the checkpoint
+/// line, and snapshot the tables plus the boundary resumed from. The
+/// tables must also match the uninterrupted `campaign-demo-tables`
+/// golden — resuming is invisible in every rendered artifact.
+#[test]
+fn resumed_demo_campaign_golden() {
+    use filterwatch_orchestrator::{
+        resume_paper_campaign, CampaignCheckpoint, CampaignDescriptor, CampaignKind, CrashPlan,
+        Orchestrator, Outcome, PaperDriver,
+    };
+
+    let descriptor = CampaignDescriptor::new(CampaignKind::Demo, DEFAULT_SEED);
+    // Boundary index 7: identify, then case 0's four checkpoints, then
+    // baseline:1, submit:1 — i.e. the second case's Wait boundary.
+    let step = 7;
+    let driver = PaperDriver::new(descriptor).expect("demo driver");
+    let mut orch = Orchestrator::new(vec![driver]).with_crash_plan(CrashPlan::at_step(step));
+    assert_eq!(
+        orch.run(),
+        Outcome::Crashed {
+            at_checkpoint: step
+        }
+    );
+    let line = orch
+        .checkpoints(0)
+        .last()
+        .expect("crashed campaign wrote checkpoints")
+        .clone();
+    let stage = CampaignCheckpoint::parse_line(&line)
+        .expect("own checkpoint parses")
+        .stage;
+    let report = resume_paper_campaign(&line).expect("resume demo campaign");
+
+    let rendering = format!(
+        "# demo campaign resumed (seed {DEFAULT_SEED})\nresumed from: {} \
+         (checkpoint {step})\n\n## identify\n{}\n## confirm\n{}",
+        stage.to_line(),
+        report.identify_table(),
+        report.confirm_table()
+    );
+    check_golden("campaign-demo-resumed", &rendering).unwrap_or_else(|e| panic!("{e}"));
+
+    // Cross-check against the uninterrupted run's tables.
+    let uninterrupted = Campaign::demo(DEFAULT_SEED).run();
+    assert_eq!(report.identify_table(), uninterrupted.identify_table());
+    assert_eq!(report.confirm_table(), uninterrupted.confirm_table());
+}

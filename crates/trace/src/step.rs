@@ -49,6 +49,15 @@ pub enum StepKind {
     Quorum,
     /// A verdict: per URL test, or per confirmation case.
     Verdict,
+    /// A campaign checkpoint written at a stage boundary by the
+    /// orchestrator (fields carry the stage cursor).
+    Checkpoint,
+    /// A campaign restored from a checkpoint; opened as a span so
+    /// verdicts produced after the restore carry it in their ancestry.
+    Resume,
+    /// A timer-wheel deadline firing (the scheduler waking a campaign
+    /// parked in its `Wait` stage).
+    SchedTimer,
 }
 
 /// All step kinds, in wire-token order (handy for tests and strategies).
@@ -72,6 +81,9 @@ pub const ALL_STEPS: &[StepKind] = &[
     StepKind::Candidate,
     StepKind::Quorum,
     StepKind::Verdict,
+    StepKind::Checkpoint,
+    StepKind::Resume,
+    StepKind::SchedTimer,
 ];
 
 impl StepKind {
@@ -99,6 +111,9 @@ impl StepKind {
             StepKind::Candidate => "candidate",
             StepKind::Quorum => "quorum",
             StepKind::Verdict => "verdict",
+            StepKind::Checkpoint => "checkpoint",
+            StepKind::Resume => "resume",
+            StepKind::SchedTimer => "sched-timer",
         }
     }
 
@@ -124,6 +139,9 @@ impl StepKind {
             "candidate" => Ok(StepKind::Candidate),
             "quorum" => Ok(StepKind::Quorum),
             "verdict" => Ok(StepKind::Verdict),
+            "checkpoint" => Ok(StepKind::Checkpoint),
+            "resume" => Ok(StepKind::Resume),
+            "sched-timer" => Ok(StepKind::SchedTimer),
             other => Err(format!("unknown step token {other:?}")),
         }
     }
