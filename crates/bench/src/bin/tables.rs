@@ -8,7 +8,7 @@
 //!
 //! Artifacts: `table1` `table2` `figure1` `table3` `table4` `table5`
 //! `denypagetests` `challenge1` `challenge2` `ablation` `websense2009`
-//! `telemetry` `report` `all`, plus the provenance queries
+//! `telemetry` `index` `report` `all`, plus the provenance queries
 //! `explain [<url>]` (full causal chain behind every verdict of the
 //! demo campaign, or one URL's) and `trace-profile` (span-tree rollup
 //! with self/total virtual time), plus the orchestration surfaces
@@ -93,6 +93,7 @@ fn main() {
     artifact!("ablation", ablation(seed));
     artifact!("websense2009", websense2009(seed));
     artifact!("telemetry", telemetry(seed, wall));
+    artifact!("index", index_artifact(seed));
     if artifact == "report" {
         ran = true;
         report(seed);
@@ -124,7 +125,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|report|explain [<url>]|trace-profile|orchestrate|resume <ckpt>|all] [--seed N] [--wall]"
+        "usage: tables [table1|table2|figure1|table3|table4|table5|denypagetests|challenge1|challenge2|ablation|websense2009|telemetry|index|report|explain [<url>]|trace-profile|orchestrate|resume <ckpt>|all] [--seed N] [--wall]"
     );
     std::process::exit(2);
 }
@@ -387,6 +388,55 @@ fn telemetry(seed: u64, wall: bool) {
     }
     println!("--- metrics.csv ---");
     print!("{}", render::metrics_csv(snap));
+}
+
+/// `index`: internals of the sharded scan index built from the paper
+/// world — live/arena record counts, per-shard epoch lines (the
+/// `shard-epoch:` wire form), interner and posting-list footprint, and
+/// the same readout again after a synthetic 1% churn delta, showing
+/// epoch bumps, tombstones, and what compaction reclaims. Byte-stable
+/// for a fixed seed.
+fn index_artifact(seed: u64) {
+    use filterwatch_scanner::{synth_churn, ScanEngine};
+
+    let world = World::paper(seed);
+    let mut index = ScanEngine::new().scan(&world.net);
+    let readout = |index: &filterwatch_scanner::ScanIndex| {
+        println!(
+            "records: {} live / {} arena; shards: {}; epoch: {}; tombstones: {}",
+            index.len(),
+            index.records().len(),
+            index.shard_count(),
+            index.epoch(),
+            index.tombstones(),
+        );
+        println!(
+            "interner: {} label(s); posting lists: {} byte(s)",
+            index.interner().len(),
+            index.posting_bytes(),
+        );
+        for se in index.shard_epochs() {
+            println!("{}", se.to_line());
+        }
+    };
+    println!("paper-world scan index:");
+    readout(&index);
+
+    let base = index.records().to_vec();
+    let churn = base.len().div_ceil(100);
+    let (adds, retirements) = synth_churn(&base, churn, churn, seed);
+    let stats = index.apply_delta(adds, &retirements);
+    println!();
+    println!(
+        "after a {churn}+{churn} churn delta (epoch {}, {} added, {} retired, {} shard(s) touched):",
+        stats.epoch, stats.added, stats.retired, stats.shards_touched
+    );
+    readout(&index);
+
+    let freed = index.compact();
+    println!();
+    println!("after compaction ({freed} slot(s) reclaimed):");
+    readout(&index);
 }
 
 /// The full campaign as one markdown report (`report` artifact).

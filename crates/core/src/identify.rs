@@ -238,6 +238,11 @@ impl IdentifyPipeline {
             for inst in &installations {
                 telemetry.counter_add("identify.installations", inst.product.slug(), 1);
             }
+            // Sweep-plan cache effectiveness: repeat sweeps against an
+            // unchanged index epoch should be all hits.
+            let (cache_hits, cache_misses) = index.sweep_cache_stats();
+            telemetry.counter_add("identify.sweep_cache", "hit", cache_hits);
+            telemetry.counter_add("identify.sweep_cache", "miss", cache_misses);
             telemetry.event(
                 net.now().secs(),
                 "identify.done",

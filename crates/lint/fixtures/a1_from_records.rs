@@ -1,0 +1,20 @@
+//! Fixture: `a1-deprecated` — a caller still on the retired one-shot
+//! `ScanIndex::from_records` constructor instead of the sharded
+//! `ScanIndex::build`. Expected: one
+//! `deprecated:ScanIndex::from_records` finding.
+
+pub struct ScanIndex;
+
+impl ScanIndex {
+    pub fn from_records(_records: Vec<u8>) -> ScanIndex {
+        ScanIndex
+    }
+
+    pub fn build(_records: Vec<u8>) -> ScanIndex {
+        ScanIndex
+    }
+}
+
+pub fn rebuild_snapshot(records: Vec<u8>) -> ScanIndex {
+    ScanIndex::from_records(records)
+}

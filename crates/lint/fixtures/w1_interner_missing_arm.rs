@@ -1,0 +1,26 @@
+//! Fixture: `w1-wire-pair` — the interner wire line grows a v2 head in
+//! `to_line` with no `parse_line` arm. Expected: one
+//! `emit-without-parse:interner-v2` finding — a round-trip the sharded
+//! index's snapshot surface would silently fail to restore.
+
+pub struct Interner {
+    labels: Vec<String>,
+}
+
+impl Interner {
+    pub fn to_line(&self) -> String {
+        if self.labels.len() > 60_000 {
+            format!("interner-v2: {} <elided>", self.labels.len())
+        } else {
+            format!("interner: {} {}", self.labels.len(), self.labels.join(","))
+        }
+    }
+
+    pub fn parse_line(line: &str) -> Option<Interner> {
+        let rest = line.strip_prefix("interner: ")?;
+        let (count, labels) = rest.split_once(' ')?;
+        let count: usize = count.parse().ok()?;
+        let labels: Vec<String> = labels.split(',').map(String::from).collect();
+        (labels.len() == count).then_some(Interner { labels })
+    }
+}

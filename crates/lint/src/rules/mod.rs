@@ -75,11 +75,18 @@ impl Config {
             .into_iter()
             .map(String::from)
             .collect(),
-            deprecated: vec![DeprecatedApi {
-                type_name: "ScanRecord".into(),
-                method: "text".into(),
-                replacement: "ScanIndex::corpus_of / ScanIndex::corpus".into(),
-            }],
+            deprecated: vec![
+                DeprecatedApi {
+                    type_name: "ScanRecord".into(),
+                    method: "text".into(),
+                    replacement: "ScanIndex::corpus_of / ScanIndex::corpus".into(),
+                },
+                DeprecatedApi {
+                    type_name: "ScanIndex".into(),
+                    method: "from_records".into(),
+                    replacement: "ScanIndex::build / ScanIndex::build_with".into(),
+                },
+            ],
             wire_pairs: vec![
                 pair(
                     "FlowDisposition",
@@ -117,6 +124,8 @@ impl Config {
                     false,
                 ),
                 pair("CaseCkpt", "to_field", "CaseCkpt", "parse_field", false),
+                pair("Interner", "to_line", "Interner", "parse_line", true),
+                pair("ShardEpoch", "to_line", "ShardEpoch", "parse_line", true),
                 pair(
                     "MeasurementQuality",
                     "to_line",

@@ -16,6 +16,10 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
         "a1_deprecated",
         &[("a1-deprecated", "deprecated:ScanRecord::text")],
     ),
+    (
+        "a1_from_records",
+        &[("a1-deprecated", "deprecated:ScanIndex::from_records")],
+    ),
     ("d1_env_read", &[("d1-env-read", "env:FILTERWATCH_VERBOSE")]),
     ("d1_thread_spawn", &[("d1-thread-spawn", "spawn")]),
     ("d1_unseeded_rng", &[("d1-unseeded-rng", "rng:thread_rng")]),
@@ -46,6 +50,10 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
     (
         "w1_ckpt_missing_arm",
         &[("w1-wire-pair", "emit-without-parse:quarantined")],
+    ),
+    (
+        "w1_interner_missing_arm",
+        &[("w1-wire-pair", "emit-without-parse:interner-v2")],
     ),
 ];
 

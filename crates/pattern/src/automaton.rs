@@ -33,6 +33,9 @@ use crate::Pattern;
 #[derive(Debug, Clone, Default)]
 pub struct Automaton {
     /// Flattened dense transition table: `next[state * 256 + byte]`.
+    /// Entries whose target state completes at least one needle carry
+    /// [`Automaton::OUT_FLAG`] in the high bit, so the scan loop pays
+    /// exactly one load per byte and only touches `out` on a hit.
     next: Vec<u32>,
     /// Ids completed at each state (fail-closure already merged in).
     out: Vec<Vec<u32>>,
@@ -42,9 +45,18 @@ pub struct Automaton {
     id_space: usize,
     /// Number of distinct ids inserted (enables early exit).
     distinct_ids: usize,
+    /// Bitmask of bytes with a root transition: while the machine sits
+    /// in the root state, bytes outside this set advance the cursor
+    /// without a transition-table load.
+    root_mask: [u64; 4],
 }
 
 impl Automaton {
+    /// High bit of a transition entry: the target state has outputs.
+    const OUT_FLAG: u32 = 1 << 31;
+    /// Mask clearing [`Automaton::OUT_FLAG`] to recover the state id.
+    const STATE_MASK: u32 = Self::OUT_FLAG - 1;
+
     /// Compile an automaton from `(id, needle)` pairs.
     pub fn new<I, S>(needles: I, fold: bool) -> Self
     where
@@ -120,13 +132,44 @@ impl Automaton {
             ids.sort_unstable();
         }
 
+        // Flag every transition whose target completes a needle, and
+        // record which bytes leave the root at all — the two facts the
+        // scan loop's fast paths key on.
+        let has_out: Vec<bool> = out.iter().map(|ids| !ids.is_empty()).collect();
+        for slot in &mut next {
+            if has_out[*slot as usize] {
+                *slot |= Self::OUT_FLAG;
+            }
+        }
+        let mut root_mask = [0u64; 4];
+        for &b in goto_[0].keys() {
+            root_mask[(b >> 6) as usize] |= 1u64 << (b & 63);
+        }
+
         Automaton {
             next,
             out,
             fold,
             id_space,
             distinct_ids: seen_ids.len(),
+            root_mask,
         }
+    }
+
+    /// The byte the transition table is keyed on for raw input `raw`.
+    #[inline(always)]
+    fn scan_byte(&self, raw: u8) -> u8 {
+        if self.fold {
+            raw.to_ascii_lowercase()
+        } else {
+            raw
+        }
+    }
+
+    /// Whether `b` (already folded) has a root transition.
+    #[inline(always)]
+    fn leaves_root(&self, b: u8) -> bool {
+        self.root_mask[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
     }
 
     /// Whether the automaton holds no needles.
@@ -147,11 +190,23 @@ impl Automaton {
     /// Ids whose needles occur anywhere in `text`, ascending. One pass
     /// over the text; exits early once every id has matched.
     pub fn matched_ids(&self, text: &str) -> Vec<usize> {
+        let mut hit = Vec::new();
         let mut found = Vec::new();
+        self.matched_ids_into(text, &mut hit, &mut found);
+        found
+    }
+
+    /// As [`matched_ids`](Self::matched_ids), writing into
+    /// caller-provided buffers so a sweep over a large corpus performs
+    /// no per-record allocation. `hit` is scratch (resized/reset here);
+    /// `found` receives the ascending matched ids.
+    pub fn matched_ids_into(&self, text: &str, hit: &mut Vec<bool>, found: &mut Vec<usize>) {
+        found.clear();
         if self.distinct_ids == 0 {
-            return found;
+            return;
         }
-        let mut hit = vec![false; self.id_space];
+        hit.clear();
+        hit.resize(self.id_space, false);
         let mut remaining = self.distinct_ids;
         // Root outputs are empty needles: they match any text.
         for &id in &self.out[0] {
@@ -159,27 +214,32 @@ impl Automaton {
             found.push(id as usize);
             remaining -= 1;
         }
-        let mut state = 0usize;
-        for &raw in text.as_bytes() {
-            if remaining == 0 {
-                break;
-            }
-            let b = if self.fold {
-                raw.to_ascii_lowercase()
-            } else {
-                raw
-            };
-            state = self.next[state * 256 + b as usize] as usize;
-            for &id in &self.out[state] {
-                if !hit[id as usize] {
-                    hit[id as usize] = true;
-                    found.push(id as usize);
-                    remaining -= 1;
+        if remaining > 0 {
+            let mut state = 0u32;
+            for &raw in text.as_bytes() {
+                let b = self.scan_byte(raw);
+                // Root fast path: while at the root, bytes that start
+                // no needle can skip the transition-table load.
+                if state == 0 && !self.leaves_root(b) {
+                    continue;
+                }
+                let entry = self.next[state as usize * 256 + b as usize];
+                state = entry & Self::STATE_MASK;
+                if entry & Self::OUT_FLAG != 0 {
+                    for &id in &self.out[state as usize] {
+                        if !hit[id as usize] {
+                            hit[id as usize] = true;
+                            found.push(id as usize);
+                            remaining -= 1;
+                        }
+                    }
+                    if remaining == 0 {
+                        break;
+                    }
                 }
             }
         }
         found.sort_unstable();
-        found
     }
 
     /// Whether any needle occurs in `text`.
@@ -190,17 +250,17 @@ impl Automaton {
         if !self.out[0].is_empty() {
             return true;
         }
-        let mut state = 0usize;
+        let mut state = 0u32;
         for &raw in text.as_bytes() {
-            let b = if self.fold {
-                raw.to_ascii_lowercase()
-            } else {
-                raw
-            };
-            state = self.next[state * 256 + b as usize] as usize;
-            if !self.out[state].is_empty() {
+            let b = self.scan_byte(raw);
+            if state == 0 && !self.leaves_root(b) {
+                continue;
+            }
+            let entry = self.next[state as usize * 256 + b as usize];
+            if entry & Self::OUT_FLAG != 0 {
                 return true;
             }
+            state = entry;
         }
         false
     }
@@ -475,6 +535,26 @@ mod tests {
         assert_eq!(compiled.fallback_len(), 2);
         assert_eq!(compiled.matching_names("deny"), vec!["a", "b"]);
         assert!(compiled.matching_names("odenyo").is_empty());
+    }
+
+    #[test]
+    fn matched_ids_into_reuses_buffers() {
+        let needles = vec![
+            (0usize, "proxysg".to_string()),
+            (1, "netsweeper".to_string()),
+            (2, "webadmin".to_string()),
+        ];
+        let automaton = Automaton::new(needles, true);
+        let mut hit = Vec::new();
+        let mut found = Vec::new();
+        automaton.matched_ids_into("Server: ProxySG webadmin", &mut hit, &mut found);
+        assert_eq!(found, vec![0, 2]);
+        // Second call on the same buffers starts clean.
+        automaton.matched_ids_into("netsweeper/5.1", &mut hit, &mut found);
+        assert_eq!(found, vec![1]);
+        assert_eq!(found, automaton.matched_ids("netsweeper/5.1"));
+        automaton.matched_ids_into("nothing here", &mut hit, &mut found);
+        assert!(found.is_empty());
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Compact posting lists: a dense bitset over record indexes.
+//!
+//! The index's posting lists used to be `Vec<u32>` of record indexes —
+//! fine at paper scale, wasteful at Shodan scale where a country's
+//! posting holds a large fraction of the corpus. [`DenseBitSet`] stores
+//! one bit per record index (64 per word), supports the sorted-merge
+//! iteration the scoped queries rely on ([`DenseBitSet::iter`] yields
+//! ascending indexes), and makes scope unions word-wise OR instead of
+//! list merges.
+
+/// A growable bitset over `usize` indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    /// Number of set bits (maintained by `insert`/`remove`/`clear`).
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        DenseBitSet::default()
+    }
+
+    /// An empty set with room for indexes `0..bits` pre-allocated.
+    pub fn with_bits(bits: usize) -> Self {
+        DenseBitSet {
+            words: vec![0; bits.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set `bit`; returns whether it was newly set.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let word = bit / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (bit % 64);
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.len += usize::from(newly);
+        newly
+    }
+
+    /// Clear `bit`; returns whether it was set.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let word = bit / 64;
+        let Some(w) = self.words.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << (bit % 64);
+        let was = *w & mask != 0;
+        *w &= !mask;
+        self.len -= usize::from(was);
+        was
+    }
+
+    /// Whether `bit` is set.
+    pub fn contains(&self, bit: usize) -> bool {
+        self.words
+            .get(bit / 64)
+            .is_some_and(|w| w & (1u64 << (bit % 64)) != 0)
+    }
+
+    /// Clear every bit, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Word-wise OR of `other` into `self`.
+    pub fn union_with(&mut self, other: &DenseBitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut len = 0usize;
+        for (w, o) in self
+            .words
+            .iter_mut()
+            .zip(other.words.iter().copied().chain(std::iter::repeat(0)))
+        {
+            *w |= o;
+            len += w.count_ones() as usize;
+        }
+        // Words beyond other's length were untouched but still counted
+        // above only up to zip's end (self's length), which covers all.
+        self.len = len;
+    }
+
+    /// Set bits in ascending order — the sorted-merge iteration scoped
+    /// queries build on (bit order is record-index order).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi * 64;
+            std::iter::successors((w != 0).then_some(w), |&rest| {
+                let next = rest & (rest - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |rest| base + rest.trailing_zeros() as usize)
+        })
+    }
+
+    /// The set as an ascending `Vec<u32>` (posting-list export form).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().map(|b| b as u32).collect()
+    }
+
+    /// Build from any iterator of indexes.
+    pub fn from_indexes<I: IntoIterator<Item = usize>>(indexes: I) -> Self {
+        let mut set = DenseBitSet::new();
+        for bit in indexes {
+            set.insert(bit);
+        }
+        set
+    }
+
+    /// Heap bytes used by the word store.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DenseBitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(200));
+        assert!(s.contains(3));
+        assert!(s.contains(200));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.remove(100_000));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let s = DenseBitSet::from_indexes([300usize, 0, 64, 63, 65, 1]);
+        assert_eq!(s.to_vec(), vec![0, 1, 63, 64, 65, 300]);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn union_counts_correctly() {
+        let mut a = DenseBitSet::from_indexes([1usize, 70]);
+        let b = DenseBitSet::from_indexes([1usize, 2, 300]);
+        a.union_with(&b);
+        assert_eq!(a.to_vec(), vec![1, 2, 70, 300]);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn union_with_shorter_set_preserves_tail() {
+        let mut a = DenseBitSet::from_indexes([500usize]);
+        let b = DenseBitSet::from_indexes([1usize]);
+        a.union_with(&b);
+        assert_eq!(a.to_vec(), vec![1, 500]);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = DenseBitSet::from_indexes([1000usize]);
+        let bytes = s.heap_bytes();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.heap_bytes(), bytes);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn with_bits_preallocates() {
+        let s = DenseBitSet::with_bits(129);
+        assert_eq!(s.heap_bytes(), 3 * 8);
+        assert!(s.is_empty());
+    }
+}

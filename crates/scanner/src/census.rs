@@ -108,7 +108,7 @@ pub fn enrich(
             captured_at,
         })
         .collect();
-    ScanIndex::from_records(enriched)
+    ScanIndex::build(enriched)
 }
 
 #[cfg(test)]

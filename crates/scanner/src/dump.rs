@@ -56,12 +56,14 @@ fn unescape(text: &str) -> String {
 }
 
 impl ScanIndex {
-    /// Serialize the index to the dump format.
+    /// Serialize the index to the dump format. Only live records are
+    /// dumped, in arena order — tombstoned slots awaiting compaction
+    /// never reach a snapshot.
     pub fn to_dump(&self) -> String {
         let mut out = String::new();
         out.push_str(MAGIC);
         out.push('\n');
-        for r in self.records() {
+        for r in self.live_records() {
             out.push_str(&format!(
                 "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 r.ip,
@@ -128,7 +130,7 @@ impl ScanIndex {
                 body_snippet: unescape(fields[8]),
             });
         }
-        Ok(ScanIndex::from_records(records))
+        Ok(ScanIndex::build(records))
     }
 }
 
@@ -153,8 +155,8 @@ impl IndexDiff {
 /// Compare two snapshots by `(ip, port, path)` endpoint key.
 pub fn diff(older: &ScanIndex, newer: &ScanIndex) -> IndexDiff {
     let key = |r: &ScanRecord| format!("{}:{}{}", r.ip, r.port, r.path);
-    let old: BTreeMap<String, &ScanRecord> = older.records().iter().map(|r| (key(r), r)).collect();
-    let new: BTreeMap<String, &ScanRecord> = newer.records().iter().map(|r| (key(r), r)).collect();
+    let old: BTreeMap<String, &ScanRecord> = older.live_records().map(|r| (key(r), r)).collect();
+    let new: BTreeMap<String, &ScanRecord> = newer.live_records().map(|r| (key(r), r)).collect();
 
     let mut out = IndexDiff::default();
     for (k, rec) in &new {
@@ -192,7 +194,7 @@ mod tests {
 
     #[test]
     fn dump_round_trip() {
-        let index = ScanIndex::from_records(vec![
+        let index = ScanIndex::build(vec![
             rec("5.0.0.1", 80, "HTTP/1.1 200 OK\r\nServer: x\r\n"),
             rec(
                 "5.0.0.2",
@@ -215,11 +217,11 @@ mod tests {
 
     #[test]
     fn diff_classifies_changes() {
-        let old = ScanIndex::from_records(vec![
+        let old = ScanIndex::build(vec![
             rec("5.0.0.1", 80, "banner-a"),
             rec("5.0.0.2", 80, "banner-b"),
         ]);
-        let new = ScanIndex::from_records(vec![
+        let new = ScanIndex::build(vec![
             rec("5.0.0.2", 80, "banner-b2"),
             rec("5.0.0.3", 80, "banner-c"),
         ]);

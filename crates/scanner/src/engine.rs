@@ -116,7 +116,7 @@ impl ScanEngine {
             &[("records", &records.len().to_string())],
         );
         telemetry.span_end(span, net.now().secs());
-        ScanIndex::from_records(records)
+        ScanIndex::build(records)
     }
 
     fn probe_ip(&self, net: &Internet, ip: IpAddr, out: &mut Vec<ScanRecord>) {

@@ -13,9 +13,13 @@
 //!   allocated prefix, probing the HTTP ports (and the `/webadmin/` path
 //!   on 8080, as crawlers that follow links would record) and capturing
 //!   status line + headers + a body snippet per responsive endpoint;
-//! * [`ScanIndex`] — the resulting keyword-searchable index, with
-//!   country/ccTLD-scoped queries;
-//! * [`keywords`] — the Table 2 keyword table per product.
+//! * [`ScanIndex`] — the resulting keyword-searchable index: sharded
+//!   ([`shard`]), interned ([`intern`]), bitset-posted ([`bitset`]),
+//!   incrementally ingestable via [`ScanIndex::apply_delta`], with
+//!   country/ccTLD-scoped queries and a cached per-epoch sweep plan;
+//! * [`keywords`] — the Table 2 keyword table per product;
+//! * [`synth`] — a deterministic synthetic banner generator for
+//!   exercising shard boundaries at 10⁴–10⁶ records.
 //!
 //! Snapshots serialize via [`dump`] for longitudinal comparison (what
 //! appeared/disappeared between campaigns — the §2.2 vendor-withdrawal
@@ -25,15 +29,23 @@
 //! services — a filter whose console binds to internal address space
 //! never appears, which is exactly the §6.1 limitation.
 
+pub mod bitset;
 pub mod census;
 pub mod dump;
 pub mod engine;
 pub mod index;
+pub mod intern;
 pub mod keywords;
 mod record;
+pub mod shard;
+pub mod synth;
 
+pub use bitset::DenseBitSet;
 pub use census::{enrich, CensusRecord, CensusSweep};
 pub use dump::{diff, IndexDiff};
 pub use engine::ScanEngine;
-pub use index::{IndexStats, ProductHits, ScanIndex};
+pub use index::{DeltaStats, IndexStats, ProductHits, ScanIndex};
+pub use intern::{Interner, Sym};
 pub use record::ScanRecord;
+pub use shard::{IndexShard, ShardConfig, ShardEpoch};
+pub use synth::{synth_churn, synth_records, synth_records_with, SYNTH_COUNTRIES};

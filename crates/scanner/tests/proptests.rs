@@ -1,8 +1,32 @@
 //! Property-based tests for the scan index, its dump format and diffs.
 
-use filterwatch_netsim::SimTime;
-use filterwatch_scanner::{diff, keywords, ScanIndex, ScanRecord};
+use filterwatch_netsim::{IpAddr, SimTime};
+use filterwatch_scanner::{diff, keywords, ScanIndex, ScanRecord, ShardConfig};
 use proptest::prelude::*;
+
+/// The `(ip, port, path)` key a re-crawl delta retires by.
+fn endpoint_key(r: &ScanRecord) -> (IpAddr, u16, String) {
+    (r.ip, r.port, r.path.clone())
+}
+
+/// Reference semantics of `apply_delta` on a plain record list:
+/// retirements drop every record at the key; each add supersedes any
+/// record at its own key and appends.
+fn model_apply(
+    mut records: Vec<ScanRecord>,
+    adds: &[ScanRecord],
+    retires: &[(IpAddr, u16, String)],
+) -> Vec<ScanRecord> {
+    for key in retires {
+        records.retain(|r| endpoint_key(r) != *key);
+    }
+    for add in adds {
+        let key = endpoint_key(add);
+        records.retain(|r| endpoint_key(r) != key);
+        records.push(add.clone());
+    }
+    records
+}
 
 fn any_record() -> impl Strategy<Value = ScanRecord> {
     (
@@ -35,7 +59,7 @@ proptest! {
     /// Dump → restore is the identity for any record set.
     #[test]
     fn dump_round_trip(records in proptest::collection::vec(any_record(), 0..20)) {
-        let index = ScanIndex::from_records(records);
+        let index = ScanIndex::build(records);
         let restored = ScanIndex::from_dump(&index.to_dump()).unwrap();
         prop_assert_eq!(index.records(), restored.records());
     }
@@ -43,9 +67,9 @@ proptest! {
     /// Self-diff is always empty; diff against empty lists everything.
     #[test]
     fn diff_identities(records in proptest::collection::vec(any_record(), 0..15)) {
-        let index = ScanIndex::from_records(records.clone());
+        let index = ScanIndex::build(records.clone());
         prop_assert!(diff(&index, &index).is_empty());
-        let empty = ScanIndex::from_records(Vec::new());
+        let empty = ScanIndex::build(Vec::new());
         let d = diff(&empty, &index);
         let distinct: std::collections::BTreeSet<(u32, u16, String)> = records
             .iter()
@@ -61,7 +85,7 @@ proptest! {
     /// every hit's cached corpus text really contains the keyword.
     #[test]
     fn search_soundness(records in proptest::collection::vec(any_record(), 0..15), kw in "[a-z]{2,6}") {
-        let index = ScanIndex::from_records(records);
+        let index = ScanIndex::build(records);
         prop_assert_eq!(index.search(&kw).len(), index.search_ids(&kw).len());
         for id in index.search_ids(&kw) {
             prop_assert!(index.corpus_of(id).contains(&kw));
@@ -71,7 +95,7 @@ proptest! {
     /// Stats totals agree with the record list.
     #[test]
     fn stats_consistency(records in proptest::collection::vec(any_record(), 0..15)) {
-        let index = ScanIndex::from_records(records.clone());
+        let index = ScanIndex::build(records.clone());
         let stats = index.stats();
         prop_assert_eq!(stats.records, records.len());
         let by_country_total: usize = stats.by_country.values().sum();
@@ -95,7 +119,7 @@ proptest! {
         cc in "[A-Z]{2}",
         tld in "[a-z]{2,3}",
     ) {
-        let index = ScanIndex::from_records(records);
+        let index = ScanIndex::build(records);
         let fast: Vec<&ScanRecord> = index.search_in_country(&kw, &cc, &tld);
         let suffix = format!(".{}", tld);
         let brute: Vec<&ScanRecord> = index
@@ -119,7 +143,7 @@ proptest! {
         records in proptest::collection::vec(any_record(), 0..40),
         threads in 2usize..6,
     ) {
-        let index = ScanIndex::from_records(records);
+        let index = ScanIndex::build(records);
         let pairs: Vec<(&str, &str)> = vec![("QA", "qa"), ("SY", "sy"), ("US", "us"), ("AA", "aa")];
         let serial =
             index.search_products_with_threads(keywords::KEYWORD_TABLE, pairs.iter().copied(), 1);
@@ -129,5 +153,70 @@ proptest! {
             threads,
         );
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// Incremental ingest is equivalent to rebuilding from scratch:
+    /// the same live snapshot, statistics, and batched query results —
+    /// before *and* after compaction.
+    #[test]
+    fn delta_equals_scratch(
+        base in proptest::collection::vec(any_record(), 0..25),
+        adds in proptest::collection::vec(any_record(), 0..10),
+        retire_sel in proptest::collection::vec(any::<usize>(), 0..6),
+    ) {
+        let retires: Vec<(IpAddr, u16, String)> = if base.is_empty() {
+            Vec::new()
+        } else {
+            retire_sel
+                .iter()
+                .map(|ix| endpoint_key(&base[ix % base.len()]))
+                .collect()
+        };
+        let mut delta = ScanIndex::build(base.clone());
+        let stats = delta.apply_delta(adds.clone(), &retires);
+        prop_assert_eq!(stats.epoch, 1);
+        prop_assert_eq!(stats.added, adds.len());
+
+        let scratch = ScanIndex::build(model_apply(base, &adds, &retires));
+        prop_assert_eq!(delta.to_dump(), scratch.to_dump());
+        prop_assert_eq!(delta.stats(), scratch.stats());
+        prop_assert_eq!(delta.len(), scratch.len());
+        let pairs: Vec<(&str, &str)> = vec![("QA", "qa"), ("SY", "sy"), ("US", "us"), ("AA", "aa")];
+        prop_assert_eq!(
+            delta.search_products(keywords::KEYWORD_TABLE, pairs.iter().copied()),
+            scratch.search_products(keywords::KEYWORD_TABLE, pairs.iter().copied())
+        );
+
+        delta.compact();
+        prop_assert_eq!(delta.records(), scratch.records());
+        prop_assert_eq!(delta.tombstones(), 0);
+        prop_assert_eq!(
+            delta.search_products(keywords::KEYWORD_TABLE, pairs.iter().copied()),
+            scratch.search_products(keywords::KEYWORD_TABLE, pairs.iter().copied())
+        );
+    }
+
+    /// Shard count never changes what queries return — only where the
+    /// postings live.
+    #[test]
+    fn shard_count_invariance(
+        records in proptest::collection::vec(any_record(), 0..30),
+        shards in 1usize..12,
+        kw in "[a-z]{1,4}",
+    ) {
+        let sharded = ScanIndex::build_with(records.clone(), ShardConfig { shards });
+        let flat = ScanIndex::build_with(records, ShardConfig { shards: 1 });
+        prop_assert_eq!(sharded.to_dump(), flat.to_dump());
+        prop_assert_eq!(sharded.stats(), flat.stats());
+        prop_assert_eq!(sharded.search_ids(&kw), flat.search_ids(&kw));
+        prop_assert_eq!(
+            sharded.search_in_country(&kw, "QA", "qa"),
+            flat.search_in_country(&kw, "QA", "qa")
+        );
+        let pairs: Vec<(&str, &str)> = vec![("QA", "qa"), ("SY", "sy"), ("US", "us")];
+        prop_assert_eq!(
+            sharded.search_products(keywords::KEYWORD_TABLE, pairs.iter().copied()),
+            flat.search_products(keywords::KEYWORD_TABLE, pairs.iter().copied())
+        );
     }
 }

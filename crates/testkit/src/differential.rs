@@ -2,13 +2,15 @@
 //!
 //! For every seed the runner generates a scenario and re-runs it under
 //! configurations that must not change any verdict — serial vs parallel
-//! keyword search, telemetry attached vs detached, a zero-rate fault
-//! profile vs none at all — and byte-compares the stable renderings.
+//! keyword search, incremental delta ingest vs a from-scratch index
+//! build, telemetry attached vs detached, a zero-rate fault profile vs
+//! none at all — and byte-compares the stable renderings.
 //! When a check fails, [`minimize`] greedily walks the plan's shrink
 //! candidates to the smallest scenario still reproducing the
 //! divergence, which is what gets reported.
 
-use filterwatch_scanner::{keywords, ScanEngine};
+use filterwatch_core::identify::IdentifyPipeline;
+use filterwatch_scanner::{keywords, ScanEngine, ScanIndex};
 
 use crate::plan::{FaultPlan, ScenarioPlan};
 use crate::runner::{run_campaign_with, RunConfig};
@@ -83,6 +85,43 @@ pub fn check_telemetry_transparency(plan: &ScenarioPlan) -> Result<(), String> {
     diff_or_ok("telemetry off vs on", &silent, &observed)
 }
 
+/// An incrementally built index — a head build plus one delta carrying
+/// the tail — must be indistinguishable from a from-scratch build over
+/// every record: same identify installations table, same batched
+/// product hits.
+pub fn check_delta_vs_rebuild(plan: &ScenarioPlan) -> Result<(), String> {
+    let gw = build_world(plan);
+    let scratch = ScanEngine::new().scan(&gw.net);
+    let records = scratch.records().to_vec();
+    let split = records.len() / 2;
+    let mut delta = ScanIndex::build(records[..split].to_vec());
+    delta.apply_delta(records[split..].to_vec(), &[]);
+
+    let pipeline = IdentifyPipeline::new();
+    let a = pipeline
+        .run_on_index(&gw.net, &scratch)
+        .render_installations();
+    let b = pipeline
+        .run_on_index(&gw.net, &delta)
+        .render_installations();
+    diff_or_ok("scratch vs delta-built installations", &a, &b)?;
+
+    let pairs: Vec<(String, String)> = gw
+        .net
+        .registry()
+        .countries()
+        .map(|c| (c.code.as_str().to_string(), c.cctld.clone()))
+        .collect();
+    let scope = || pairs.iter().map(|(cc, tld)| (cc.as_str(), tld.as_str()));
+    let sa = scratch.search_products(keywords::KEYWORD_TABLE, scope());
+    let sb = delta.search_products(keywords::KEYWORD_TABLE, scope());
+    diff_or_ok(
+        "scratch vs delta-built product hits",
+        &format!("{sa:?}"),
+        &format!("{sb:?}"),
+    )
+}
+
 /// A zero-rate fault profile must behave exactly like no profile.
 pub fn check_zero_rate_faults(plan: &ScenarioPlan) -> Result<(), String> {
     let mut clean = plan.clone();
@@ -101,6 +140,7 @@ pub fn check_zero_rate_faults(plan: &ScenarioPlan) -> Result<(), String> {
 pub fn checks() -> Vec<Check> {
     vec![
         ("serial-vs-parallel", check_serial_vs_parallel),
+        ("delta-vs-rebuild", check_delta_vs_rebuild),
         ("telemetry-transparency", check_telemetry_transparency),
         ("zero-rate-faults", check_zero_rate_faults),
     ]

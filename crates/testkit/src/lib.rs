@@ -9,6 +9,8 @@
 //! - [`plan`] / [`strategies`] — declarative, shrinkable scenario plans
 //!   and the proptest strategies that generate them (`plan_for_seed` is
 //!   the deterministic seed → plan map everything shares);
+//! - [`corpus`] — Shodan-scale synthetic banner corpora minted from a
+//!   plan's `corpus_scale` knob over the shared country pool;
 //! - [`worldgen`] — turning a plan into a live simulated Internet:
 //!   random AS topologies across a fixed country pool, per-vendor
 //!   product deployments with visible or hidden consoles, flapping
@@ -28,6 +30,7 @@
 //! Everything is a pure function of the seed: two runs of any testkit
 //! entry point at the same seed produce byte-identical output.
 
+pub mod corpus;
 pub mod differential;
 pub mod golden;
 pub mod invariants;
@@ -37,6 +40,7 @@ pub mod runner;
 pub mod strategies;
 pub mod worldgen;
 
+pub use corpus::{synth_corpus, synth_corpus_index};
 pub use differential::{minimize, run_seed, seeds_from_env, Divergence};
 pub use golden::{check_golden, golden_path, update_mode, UPDATE_ENV};
 pub use invariants::{check_plan, check_seed, Violation};

@@ -148,6 +148,12 @@ pub struct ScenarioPlan {
     pub bystanders: usize,
     /// Fault injection on deployment networks.
     pub fault: FaultPlan,
+    /// Synthetic scan-corpus size riding along with the world: the
+    /// number of Shodan-scale banner records
+    /// [`crate::corpus::synth_corpus`] mints for this plan (0 = none —
+    /// the default for every generated world, so the worldgen RNG
+    /// stream is untouched). Capped at 10⁶.
+    pub corpus_scale: usize,
 }
 
 impl ScenarioPlan {
@@ -155,6 +161,12 @@ impl ScenarioPlan {
     pub fn validate(&self) -> Result<(), String> {
         if self.urls_per_category == 0 {
             return Err("urls_per_category must be >= 1".into());
+        }
+        if self.corpus_scale > 1_000_000 {
+            return Err(format!(
+                "corpus_scale {} exceeds the 10^6 cap",
+                self.corpus_scale
+            ));
         }
         for (i, d) in self.deployments.iter().enumerate() {
             if d.country >= deployable_count() {
@@ -211,6 +223,7 @@ impl ScenarioPlan {
             c += 20;
         }
         c += (self.urls_per_category as u64 - 1) * 3;
+        c += (self.corpus_scale as u64).div_ceil(1024);
         c
     }
 
@@ -240,6 +253,12 @@ impl ScenarioPlan {
         if self.urls_per_category > 1 {
             let mut p = self.clone();
             p.urls_per_category = 1;
+            out.push(p);
+        }
+        // Drop the synthetic scan corpus entirely.
+        if self.corpus_scale > 0 {
+            let mut p = self.clone();
+            p.corpus_scale = 0;
             out.push(p);
         }
         // Per-deployment simplifications.
@@ -285,8 +304,15 @@ impl ScenarioPlan {
                 )
             })
             .collect();
+        // The corpus knob only prints when set, so reports for the
+        // (default) corpus-free plans keep their historical shape.
+        let corpus = if self.corpus_scale > 0 {
+            format!(" corpus={}", self.corpus_scale)
+        } else {
+            String::new()
+        };
         format!(
-            "seed={} urls/cat={} fault={:?} bystanders={} deployments=[{}]",
+            "seed={} urls/cat={} fault={:?} bystanders={}{corpus} deployments=[{}]",
             self.seed,
             self.urls_per_category,
             self.fault,
@@ -315,6 +341,7 @@ mod tests {
             }],
             bystanders: 1,
             fault: FaultPlan::Lossy { drop_prob: 0.05 },
+            corpus_scale: 2048,
         }
     }
 
@@ -336,6 +363,23 @@ mod tests {
         p.deployments[0].product = ProductKind::Websense;
         p.deployments[0].console_visible = false;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_oversized_corpus() {
+        let mut p = sample();
+        p.corpus_scale = 1_000_000;
+        p.validate().unwrap();
+        p.corpus_scale = 1_000_001;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn summary_mentions_corpus_only_when_set() {
+        let mut p = sample();
+        assert!(p.summary().contains("corpus=2048"), "{}", p.summary());
+        p.corpus_scale = 0;
+        assert!(!p.summary().contains("corpus="), "{}", p.summary());
     }
 
     #[test]

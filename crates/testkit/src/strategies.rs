@@ -107,6 +107,11 @@ pub fn plan_strategy() -> BoxedStrategy<ScenarioPlan> {
                 deployments,
                 bystanders,
                 fault,
+                // Assigned, never drawn: generated worlds carry no
+                // synthetic corpus by default, and keeping this out of
+                // the strategy tuple leaves the RNG stream — and so
+                // every pinned-seed plan — exactly as it was.
+                corpus_scale: 0,
             },
         )
         .boxed()
