@@ -1,0 +1,28 @@
+//! Fixture: `w1-wire-pair` over the netsim event kernel — an
+//! `EventKind` token added to `to_token` (`suspend`) with no
+//! `parse_token` arm. Expected: one `emit-without-parse:suspend`
+//! finding, proving the kernel event pair registered in
+//! `Config::workspace_default` keeps event-log replay honest: a
+//! kernel event record written with the new kind could never be
+//! parsed back from a flow-event log.
+
+pub enum EventKind {
+    Dns,
+    Suspend,
+}
+
+impl EventKind {
+    pub fn to_token(&self) -> &'static str {
+        match self {
+            EventKind::Dns => "dns",
+            EventKind::Suspend => "suspend",
+        }
+    }
+
+    pub fn parse_token(token: &str) -> Result<EventKind, String> {
+        match token {
+            "dns" => Ok(EventKind::Dns),
+            other => Err(format!("unknown event kind token {other:?}")),
+        }
+    }
+}

@@ -124,6 +124,8 @@ impl Config {
                     false,
                 ),
                 pair("CaseCkpt", "to_field", "CaseCkpt", "parse_field", false),
+                pair("EventKind", "to_token", "EventKind", "parse_token", true),
+                pair("EventRecord", "to_line", "EventRecord", "parse_line", false),
                 pair("Interner", "to_line", "Interner", "parse_line", true),
                 pair("ShardEpoch", "to_line", "ShardEpoch", "parse_line", true),
                 pair(

@@ -55,6 +55,10 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
         "w1_interner_missing_arm",
         &[("w1-wire-pair", "emit-without-parse:interner-v2")],
     ),
+    (
+        "w1_event_missing_arm",
+        &[("w1-wire-pair", "emit-without-parse:suspend")],
+    ),
 ];
 
 fn fixtures_dir() -> PathBuf {

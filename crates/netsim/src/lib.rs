@@ -55,10 +55,12 @@
 //! ```
 
 pub mod dns;
+pub mod event;
 pub mod fault;
 pub mod flowlog;
 pub mod internet;
 pub mod ip;
+pub mod kernel;
 pub mod middlebox;
 pub mod outcome;
 pub mod registry;
@@ -69,10 +71,12 @@ pub mod timer;
 pub mod vantage;
 
 pub use dns::Dns;
+pub use event::{EventId, EventQueue};
 pub use fault::{Fault, FaultProfile, FaultProfileError, OutageWindow};
 pub use flowlog::{FlowDisposition, FlowRecord};
-pub use internet::{Internet, Network, NetworkId, NetworkSpec};
+pub use internet::{FetchPath, Internet, Network, NetworkId, NetworkSpec};
 pub use ip::{Cidr, IpAddr};
+pub use kernel::{EventKind, EventRecord, FlowId};
 pub use middlebox::{Flapping, FlowCtx, Middlebox, Verdict};
 pub use outcome::FetchOutcome;
 pub use registry::{Asn, CountryCode, Registry};

@@ -1,158 +1,82 @@
-//! A deterministic timer wheel on the virtual clock.
+//! Deterministic timers on the virtual clock, backed by the event core.
 //!
 //! The confirm stage's submit→retest waits are days of virtual time; an
 //! orchestrator running many campaigns concurrently needs to park each
-//! one until its deadline and wake the earliest next. [`TimerWheel`]
-//! is that structure: a slotted near wheel (one slot per coarse tick
-//! over a bounded horizon) backed by a sorted overflow map for far
-//! deadlines, with strictly deterministic firing order — by deadline,
-//! then by insertion sequence. Nothing here reads wall-clock time; the
+//! one until its deadline and wake the earliest next. [`TimerWheel`] is
+//! that structure: a thin facade over [`EventQueue`](crate::event::EventQueue)
+//! that fires strictly by `(deadline, insertion seq)` — so orchestrator
+//! `Wait` deadlines sit on the same deterministic queue discipline as
+//! every other simulated event. Nothing here reads wall-clock time; the
 //! wheel only moves when a caller hands it a new `now`.
+//!
+//! Historically this was a two-level slotted wheel with its own overflow
+//! map; the slotting (and its granularity knob) was an implementation
+//! detail that the event core made redundant. The constructor signature
+//! is kept so existing callers compile unchanged — granularity no longer
+//! affects behaviour, which was already true observationally: firing
+//! order never depended on it.
 
-use std::collections::{BTreeMap, VecDeque};
-
+use crate::event::EventQueue;
 use crate::time::SimTime;
 
-/// Number of near-wheel slots. With the default hour granularity the
-/// near wheel covers ~2.6 virtual days; longer waits sit in overflow
-/// until the wheel turns close enough to cascade them in.
-const SLOTS: usize = 64;
-
-/// One scheduled entry.
-#[derive(Debug, Clone)]
-struct Entry<T> {
-    at: SimTime,
-    seq: u64,
-    item: T,
-}
-
-/// A two-level timer wheel over virtual time.
+/// A deterministic timer queue over virtual time.
 ///
-/// Deadlines within the near horizon (`SLOTS * granularity`) hash into
-/// slots; everything farther waits in a `BTreeMap` keyed by
-/// `(deadline, seq)` and cascades into the near wheel as time advances.
 /// [`TimerWheel::pop_due`] returns every item whose deadline has
 /// passed, ordered by `(deadline, insertion seq)` — the tie-break that
 /// keeps concurrent campaigns deterministic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimerWheel<T> {
-    granularity_secs: u64,
-    /// Near slots, indexed by `(deadline / granularity) % SLOTS`.
-    slots: Vec<VecDeque<Entry<T>>>,
-    /// Far deadlines, cascaded in lazily.
-    overflow: BTreeMap<(SimTime, u64), T>,
+    queue: EventQueue<T>,
     /// The time up to which the wheel has already fired.
     horizon: SimTime,
-    /// Monotone insertion sequence (the deterministic tie-break).
-    seq: u64,
-    len: usize,
 }
 
 impl<T> TimerWheel<T> {
-    /// An empty wheel with one-hour slot granularity — the natural
-    /// tick for a methodology clocked in days.
+    /// An empty wheel.
     pub fn new() -> Self {
-        TimerWheel::with_granularity(3_600)
+        TimerWheel {
+            queue: EventQueue::new(),
+            horizon: SimTime::ZERO,
+        }
     }
 
-    /// An empty wheel with an explicit slot granularity in virtual
-    /// seconds (minimum 1).
-    pub fn with_granularity(granularity_secs: u64) -> Self {
-        let granularity_secs = granularity_secs.max(1);
-        TimerWheel {
-            granularity_secs,
-            slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
-            overflow: BTreeMap::new(),
-            horizon: SimTime::ZERO,
-            seq: 0,
-            len: 0,
-        }
+    /// An empty wheel. The granularity parameter is accepted for
+    /// compatibility with the old slotted implementation and has no
+    /// observable effect: firing order is always exactly
+    /// `(deadline, insertion seq)`.
+    pub fn with_granularity(_granularity_secs: u64) -> Self {
+        TimerWheel::new()
     }
 
     /// Number of timers currently scheduled.
     pub fn len(&self) -> usize {
-        self.len
+        self.queue.len()
     }
 
     /// Whether no timers are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.queue.is_empty()
     }
 
     /// Schedule `item` to fire once `now` reaches `at`. Deadlines
     /// already in the past fire on the next [`TimerWheel::pop_due`].
     pub fn schedule(&mut self, at: SimTime, item: T) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.len += 1;
-        if self.in_near_horizon(at) {
-            let slot = self.slot_of(at);
-            self.slots[slot].push_back(Entry { at, seq, item });
-        } else {
-            self.overflow.insert((at, seq), item);
-        }
+        self.queue.schedule(at, item);
     }
 
     /// The earliest scheduled deadline, if any.
     pub fn next_deadline(&self) -> Option<SimTime> {
-        let near = self
-            .slots
-            .iter()
-            .flat_map(|slot| slot.iter().map(|e| e.at))
-            .min();
-        let far = self.overflow.keys().next().map(|(at, _)| *at);
-        match (near, far) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        self.queue.next_deadline()
     }
 
     /// Remove and return every item whose deadline is `<= now`, ordered
     /// by `(deadline, insertion seq)`. Advances the wheel's horizon to
-    /// `now`, cascading overflow entries that came into range.
+    /// `now`.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<T> {
-        // Cascade overflow entries that are now due or near.
-        let mut cascade: Vec<(SimTime, u64, T)> = Vec::new();
-        let keys: Vec<(SimTime, u64)> = self
-            .overflow
-            .range(..=(now, u64::MAX))
-            .map(|(k, _)| *k)
-            .collect();
-        for key in keys {
-            if let Some(item) = self.overflow.remove(&key) {
-                cascade.push((key.0, key.1, item));
-            }
-        }
-
-        let mut due: Vec<Entry<T>> = cascade
-            .into_iter()
-            .map(|(at, seq, item)| Entry { at, seq, item })
-            .collect();
-        for slot in &mut self.slots {
-            let mut keep = VecDeque::new();
-            while let Some(e) = slot.pop_front() {
-                if e.at <= now {
-                    due.push(e);
-                } else {
-                    keep.push_back(e);
-                }
-            }
-            *slot = keep;
-        }
-        due.sort_by_key(|e| (e.at, e.seq));
-        self.len -= due.len();
         if now > self.horizon {
             self.horizon = now;
         }
-        due.into_iter().map(|e| e.item).collect()
-    }
-
-    fn in_near_horizon(&self, at: SimTime) -> bool {
-        at.secs() < self.horizon.secs() + self.granularity_secs * SLOTS as u64
-    }
-
-    fn slot_of(&self, at: SimTime) -> usize {
-        ((at.secs() / self.granularity_secs) % SLOTS as u64) as usize
+        self.queue.pop_due(now)
     }
 }
 
@@ -165,6 +89,7 @@ impl<T> Default for TimerWheel<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeMap;
 
     #[test]
     fn fires_in_deadline_order() {
@@ -196,7 +121,7 @@ mod tests {
     #[test]
     fn far_deadlines_cascade_from_overflow() {
         let mut w = TimerWheel::with_granularity(60);
-        // Far beyond the near horizon (64 slots x 60 s).
+        // Far beyond the old near horizon (64 slots x 60 s).
         w.schedule(SimTime::from_days(30), "far");
         w.schedule(SimTime::from_secs(30), "near");
         assert_eq!(w.next_deadline(), Some(SimTime::from_secs(30)));

@@ -251,6 +251,123 @@ proptest! {
 }
 
 proptest! {
+    /// The event queue against a sorted reference model, under
+    /// arbitrary interleavings of schedule / cancel / pop: every pop
+    /// returns the minimum live `(time, seq)` key, cancellation is
+    /// exact (true once, false forever after), and a final drain yields
+    /// the remaining events in nondecreasing `(time, seq)` order.
+    #[test]
+    fn event_queue_matches_reference_under_schedule_cancel(
+        ops in proptest::collection::vec((0u8..10, 0u64..1_000), 1..200)
+    ) {
+        use filterwatch_netsim::{EventId, EventQueue};
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut live: Vec<(EventId, u64)> = Vec::new();
+        for &(choice, t) in &ops {
+            match choice {
+                // Schedule (weighted so queues actually grow).
+                0..=5 => {
+                    let id = q.schedule(SimTime::from_secs(t), t);
+                    live.push((id, t));
+                }
+                // Cancel a pseudo-random live event.
+                6..=7 => {
+                    if !live.is_empty() {
+                        let i = (t as usize) % live.len();
+                        let (id, _) = live.remove(i);
+                        prop_assert!(q.cancel(id), "live event must cancel");
+                        prop_assert!(!q.cancel(id), "second cancel must report dead");
+                    }
+                }
+                // Pop: must be the minimum live (time, seq).
+                _ => {
+                    let expect = live.iter().map(|&(id, tt)| (tt, id.value())).min();
+                    match q.pop() {
+                        Some((at, id, payload)) => {
+                            prop_assert_eq!(Some((at.secs(), id.value())), expect);
+                            prop_assert_eq!(payload, at.secs());
+                            live.retain(|&(lid, _)| lid != id);
+                        }
+                        None => prop_assert!(expect.is_none(), "queue empty but model is not"),
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), live.len());
+            prop_assert_eq!(q.next_deadline().map(|d| d.secs()),
+                            live.iter().map(|&(_, tt)| tt).min());
+        }
+        // Drain: everything left pops in exact (time, seq) order.
+        let mut expect: Vec<(u64, u64)> = live.iter().map(|&(id, tt)| (tt, id.value())).collect();
+        expect.sort();
+        let mut drained = Vec::new();
+        while let Some((at, id, _)) = q.pop() {
+            drained.push((at.secs(), id.value()));
+        }
+        prop_assert_eq!(drained, expect);
+        prop_assert!(q.is_empty());
+    }
+
+    /// The event core and the legacy direct-call path are
+    /// observationally identical: same outcomes and byte-identical flow
+    /// logs over arbitrary worlds — clean or lossy fault profiles,
+    /// with or without a blocking middlebox, resolving and
+    /// non-resolving names.
+    #[test]
+    fn event_and_direct_paths_agree(
+        seed in any::<u64>(),
+        hosts in proptest::collection::btree_set("[a-z]{1,6}", 1..5),
+        drop_prob in 0.0f64..=1.0,
+        block_at in proptest::option::of(0usize..3),
+    ) {
+        use filterwatch_netsim::FetchPath;
+        let hosts: Vec<String> = hosts.into_iter().collect();
+        // Two worlds from the same recipe (so the shared fault RNG
+        // streams start identical), one per path.
+        let run = |path: FetchPath| {
+            let mut net = Internet::new(seed);
+            net.registry_mut().register_country("XX", "Testland", "xx");
+            let asn = net.registry_mut().register_as(64512, "TEST", "XX");
+            let prefix = net.registry_mut().allocate_prefix(asn, 1).unwrap();
+            let netid = net
+                .add_network(NetworkSpec::new("t", asn, "XX")
+                .with_cidr(prefix)
+                .with_faults(FaultProfile::lossy(drop_prob)));
+            for (i, h) in hosts.iter().enumerate() {
+                let ip = net.alloc_ip(netid).unwrap();
+                net.add_host(ip, netid, &[&format!("{h}.xx")]);
+                // Every other host actually serves, so connect failures
+                // are exercised too.
+                if i % 2 == 0 {
+                    net.add_service(ip, 80, Box::new(StaticSite::new(h, "<p>x</p>")));
+                }
+            }
+            for i in 0..3 {
+                net.attach_middlebox(netid, Arc::new(Tagged {
+                    name: format!("box{i}"),
+                    blocks: block_at == Some(i),
+                }));
+            }
+            net.set_flow_log(true);
+            net.set_fetch_path(path);
+            let vp = net.add_vantage("v", netid);
+            let mut outcomes = Vec::new();
+            for h in &hosts {
+                let url = Url::parse(&format!("http://{h}.xx/")).unwrap();
+                outcomes.push(format!("{:?}", net.fetch(vp, &url)));
+            }
+            // A name that never resolves.
+            let url = Url::parse("http://unregistered.example/").unwrap();
+            outcomes.push(format!("{:?}", net.fetch(vp, &url)));
+            let log: Vec<String> = net.flow_log().iter().map(FlowRecord::to_line).collect();
+            (outcomes, log)
+        };
+        let event = run(FetchPath::Event);
+        let direct = run(FetchPath::DirectReference);
+        prop_assert_eq!(event, direct);
+    }
+}
+
+proptest! {
     /// Chain invariant: a response traverses exactly the boxes *before*
     /// the decider, in reverse order — no matter where the decider sits.
     #[test]

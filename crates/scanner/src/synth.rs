@@ -202,7 +202,12 @@ pub fn synth_churn(
     disappear: usize,
     seed: u64,
 ) -> (Vec<ScanRecord>, Vec<(IpAddr, u16, String)>) {
-    let adds = synth_records_with(appear, seed ^ 0x0063_6875_726e, 0x0b00_0000, SYNTH_COUNTRIES);
+    let adds = synth_records_with(
+        appear,
+        seed ^ 0x0063_6875_726e,
+        0x0b00_0000,
+        SYNTH_COUNTRIES,
+    );
     let mut rng = SplitMix64(seed ^ 0x7265_7469_7265);
     let mut retirements = Vec::with_capacity(disappear.min(base.len()));
     let mut taken = crate::bitset::DenseBitSet::with_bits(base.len());

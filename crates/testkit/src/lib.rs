@@ -46,6 +46,9 @@ pub use golden::{check_golden, golden_path, update_mode, UPDATE_ENV};
 pub use invariants::{check_plan, check_seed, Violation};
 pub use orchestrate::{resume_generated_campaign, run_generated_campaign, GeneratedDriver};
 pub use plan::{ContentKind, DeploymentPlan, FaultPlan, ScenarioPlan};
-pub use runner::{run_campaign, run_campaign_with, CaseOutcome, GeneratedReport, RunConfig};
+pub use runner::{
+    run_campaign, run_campaign_forensic, run_campaign_with, CampaignForensics, CaseOutcome,
+    GeneratedReport, RunConfig,
+};
 pub use strategies::{plan_for_seed, plan_strategy};
 pub use worldgen::{build_world, GeneratedSite, GeneratedWorld};

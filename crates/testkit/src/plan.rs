@@ -154,6 +154,14 @@ pub struct ScenarioPlan {
     /// the default for every generated world, so the worldgen RNG
     /// stream is untouched). Capped at 10⁶.
     pub corpus_scale: usize,
+    /// Extra *live* hosts populating the simulated Internet itself:
+    /// [`crate::worldgen`] appends this many bystander hosts, spread
+    /// over fresh ASes (one per 32 hosts), after everything else — so a
+    /// scaled world is a strict superset of the unscaled one. 0 (the
+    /// default) adds nothing and leaves every allocation untouched.
+    /// This is the event-core scale knob: 10⁵ hosts / multi-thousand
+    /// ASes is the intended top rung. Capped at 10⁶.
+    pub host_scale: usize,
 }
 
 impl ScenarioPlan {
@@ -166,6 +174,12 @@ impl ScenarioPlan {
             return Err(format!(
                 "corpus_scale {} exceeds the 10^6 cap",
                 self.corpus_scale
+            ));
+        }
+        if self.host_scale > 1_000_000 {
+            return Err(format!(
+                "host_scale {} exceeds the 10^6 cap",
+                self.host_scale
             ));
         }
         for (i, d) in self.deployments.iter().enumerate() {
@@ -224,6 +238,7 @@ impl ScenarioPlan {
         }
         c += (self.urls_per_category as u64 - 1) * 3;
         c += (self.corpus_scale as u64).div_ceil(1024);
+        c += (self.host_scale as u64).div_ceil(1024);
         c
     }
 
@@ -259,6 +274,12 @@ impl ScenarioPlan {
         if self.corpus_scale > 0 {
             let mut p = self.clone();
             p.corpus_scale = 0;
+            out.push(p);
+        }
+        // Drop the appended scale hosts entirely.
+        if self.host_scale > 0 {
+            let mut p = self.clone();
+            p.host_scale = 0;
             out.push(p);
         }
         // Per-deployment simplifications.
@@ -311,8 +332,13 @@ impl ScenarioPlan {
         } else {
             String::new()
         };
+        let hosts = if self.host_scale > 0 {
+            format!(" hosts={}", self.host_scale)
+        } else {
+            String::new()
+        };
         format!(
-            "seed={} urls/cat={} fault={:?} bystanders={}{corpus} deployments=[{}]",
+            "seed={} urls/cat={} fault={:?} bystanders={}{corpus}{hosts} deployments=[{}]",
             self.seed,
             self.urls_per_category,
             self.fault,
@@ -342,6 +368,7 @@ mod tests {
             bystanders: 1,
             fault: FaultPlan::Lossy { drop_prob: 0.05 },
             corpus_scale: 2048,
+            host_scale: 96,
         }
     }
 
@@ -380,6 +407,23 @@ mod tests {
         assert!(p.summary().contains("corpus=2048"), "{}", p.summary());
         p.corpus_scale = 0;
         assert!(!p.summary().contains("corpus="), "{}", p.summary());
+    }
+
+    #[test]
+    fn validation_rejects_oversized_host_scale() {
+        let mut p = sample();
+        p.host_scale = 1_000_000;
+        p.validate().unwrap();
+        p.host_scale = 1_000_001;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn summary_mentions_hosts_only_when_set() {
+        let mut p = sample();
+        assert!(p.summary().contains("hosts=96"), "{}", p.summary());
+        p.host_scale = 0;
+        assert!(!p.summary().contains("hosts="), "{}", p.summary());
     }
 
     #[test]

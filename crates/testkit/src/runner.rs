@@ -9,9 +9,11 @@
 
 use filterwatch_core::identify::IdentifyPipeline;
 use filterwatch_measure::ResilienceConfig;
+use filterwatch_netsim::FetchPath;
 use filterwatch_products::{ProductKind, SubmitterProfile};
 use filterwatch_scanner::ScanEngine;
 use filterwatch_telemetry::TelemetryHandle;
+use filterwatch_trace::{build_forest, render_forest, TraceHandle};
 use filterwatch_urllists::TestList;
 
 use crate::plan::ScenarioPlan;
@@ -30,6 +32,10 @@ pub struct RunConfig {
     pub resilience: ResilienceConfig,
     /// Attach an enabled telemetry collector to the world.
     pub telemetry: bool,
+    /// Which netsim fetch machinery drives every flow — the event
+    /// kernel (default) or the direct-call differential oracle. Must
+    /// never change a byte of any report.
+    pub fetch_path: FetchPath,
 }
 
 impl RunConfig {
@@ -44,6 +50,7 @@ impl RunConfig {
                 ResilienceConfig::chaos()
             },
             telemetry: false,
+            fetch_path: FetchPath::default(),
         }
     }
 }
@@ -264,31 +271,73 @@ pub fn run_campaign(plan: &ScenarioPlan) -> GeneratedReport {
 /// byte-identical.
 pub fn run_campaign_with(plan: &ScenarioPlan, config: &RunConfig) -> GeneratedReport {
     let mut gw = build_world(plan);
+    gw.net.set_fetch_path(config.fetch_path);
     if config.telemetry {
         gw.net.set_telemetry(TelemetryHandle::enabled());
     }
+    drive_campaign(&mut gw, config)
+}
+
+/// The stage driver over an already-built (and instrumented) world.
+fn drive_campaign(gw: &mut GeneratedWorld, config: &RunConfig) -> GeneratedReport {
     let topology_digest = gw.net.topology_digest();
 
     // Stage 1: identify, then the pre-submission list sweep.
-    let identify_table = identify_stage(&gw);
-    let list_lines = sweep_stage(&gw, config);
+    let identify_table = identify_stage(gw);
+    let list_lines = sweep_stage(gw, config);
 
     // Stage 2: one case study per deployment, sequentially (the virtual
     // clock advances past the vendor review window between each).
     let mut cases = Vec::new();
-    for i in 0..plan.deployments.len() {
-        let mut case = baseline_stage(&mut gw, i);
-        submit_stage(&mut gw, &mut case);
+    for i in 0..gw.plan.deployments.len() {
+        let mut case = baseline_stage(gw, i);
+        submit_stage(gw, &mut case);
         gw.net.advance_days(WAIT_DAYS);
-        cases.push(retest_stage(&gw, config, case));
+        cases.push(retest_stage(gw, config, case));
     }
 
     GeneratedReport {
-        plan: plan.clone(),
+        plan: gw.plan.clone(),
         topology_digest,
         identify_table,
         list_lines,
         cases,
+    }
+}
+
+/// Everything a campaign run leaves behind when every observation
+/// surface is switched on: the report plus the raw per-flow log and the
+/// rendered causal trace forest. The old-vs-new differential battery
+/// byte-compares all three across [`FetchPath`] values — agreement on
+/// the report alone would still let the event kernel reorder or drop
+/// interior observations.
+#[derive(Debug, Clone)]
+pub struct CampaignForensics {
+    /// The campaign report (same surface as [`run_campaign_with`]).
+    pub report: GeneratedReport,
+    /// Every flow the world carried, as stable wire lines.
+    pub flow_lines: Vec<String>,
+    /// The rendered causal trace forest of the whole campaign.
+    pub trace_forest: String,
+}
+
+/// Run the full loop with the flow log and tracer enabled, returning
+/// the report together with both observation surfaces.
+pub fn run_campaign_forensic(plan: &ScenarioPlan, config: &RunConfig) -> CampaignForensics {
+    let mut gw = build_world(plan);
+    gw.net.set_fetch_path(config.fetch_path);
+    if config.telemetry {
+        gw.net.set_telemetry(TelemetryHandle::enabled());
+    }
+    gw.net.set_flow_log(true);
+    gw.net.set_tracer(TraceHandle::enabled(plan.seed));
+    let report = drive_campaign(&mut gw, config);
+    let flow_lines = gw.net.flow_log().iter().map(|r| r.to_line()).collect();
+    let trace_forest = render_forest(&build_forest(&gw.net.tracer().snapshot()));
+    CampaignForensics {
+        report,
+        flow_lines,
+        trace_forest,
     }
 }
 

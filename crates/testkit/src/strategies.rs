@@ -108,10 +108,12 @@ pub fn plan_strategy() -> BoxedStrategy<ScenarioPlan> {
                 bystanders,
                 fault,
                 // Assigned, never drawn: generated worlds carry no
-                // synthetic corpus by default, and keeping this out of
-                // the strategy tuple leaves the RNG stream — and so
-                // every pinned-seed plan — exactly as it was.
+                // synthetic corpus or scale hosts by default, and
+                // keeping these out of the strategy tuple leaves the
+                // RNG stream — and so every pinned-seed plan — exactly
+                // as it was.
                 corpus_scale: 0,
+                host_scale: 0,
             },
         )
         .boxed()

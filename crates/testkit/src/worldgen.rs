@@ -264,6 +264,11 @@ pub fn build_world(plan: &ScenarioPlan) -> GeneratedWorld {
         );
     }
 
+    // Scale hosts after even the bystanders: a scaled world is a strict
+    // superset of the unscaled one, so `host_scale` perturbs no
+    // allocation anything else byte-compares on.
+    add_scale_hosts(&mut net, plan);
+
     GeneratedWorld {
         net,
         plan: plan.clone(),
@@ -272,6 +277,52 @@ pub fn build_world(plan: &ScenarioPlan) -> GeneratedWorld {
         vantages,
         clouds,
         forge: DomainForge::new(filterwatch_netsim::rng::mix(seed, "testkit-forge")),
+    }
+}
+
+/// Hosts per scale AS: 10⁵ hosts spread one /24 at a time yields the
+/// multi-thousand-AS topology the event-core scale rung calls for.
+const SCALE_HOSTS_PER_AS: usize = 32;
+
+/// Every Nth scale host binds a service; the rest are bare DNS + address
+/// entries, matching the real Internet's mostly-silent address space.
+const SCALE_SERVICE_STRIDE: usize = 64;
+
+/// Append [`ScenarioPlan::host_scale`] bystander hosts, one fresh AS per
+/// [`SCALE_HOSTS_PER_AS`] of them, countries cycling through the
+/// deployable pool. Addresses come straight off each AS's prefix —
+/// [`Internet::alloc_ip`] scans the network's allocation table per call,
+/// which is quadratic at 10⁵ hosts. Runs out of address space silently:
+/// the world simply stops growing (plan validation caps the knob long
+/// before that point).
+fn add_scale_hosts(net: &mut Internet, plan: &ScenarioPlan) {
+    let mut added = 0usize;
+    let mut seq = 0u32;
+    while added < plan.host_scale {
+        let slot = DEPLOYABLE.start + (seq as usize % (DEPLOYABLE.end - DEPLOYABLE.start));
+        let (code, _, tld) = COUNTRY_POOL[slot];
+        let asn = net
+            .registry_mut()
+            .register_as(200_000 + seq, &format!("GEN-SCALE{seq}"), code);
+        let Some(p) = net.registry_mut().allocate_prefix(asn, 1) else {
+            return;
+        };
+        let nid = net.add_network(NetworkSpec::new(&format!("scale{seq}"), asn, code).with_cidr(p));
+        let batch = SCALE_HOSTS_PER_AS.min(plan.host_scale - added);
+        for (k, ip) in p.iter().take(batch).enumerate() {
+            let n = added + k;
+            let host = format!("www.scale{n}.{tld}");
+            net.add_host(ip, nid, &[&host]);
+            if n % SCALE_SERVICE_STRIDE == 0 {
+                net.add_service(
+                    ip,
+                    80,
+                    Box::new(StaticSite::new("Scale filler", "<p>nothing to see</p>")),
+                );
+            }
+        }
+        added += batch;
+        seq += 1;
     }
 }
 
@@ -377,6 +428,21 @@ mod tests {
             return;
         }
         panic!("no visible deployment in 32 seeds");
+    }
+
+    #[test]
+    fn host_scale_appends_a_superset_world() {
+        let mut plan = plan_for_seed(2);
+        plan.host_scale = 0;
+        let base = build_world(&plan);
+        plan.host_scale = 100;
+        let scaled = build_world(&plan);
+        assert_eq!(scaled.net.host_count(), base.net.host_count() + 100);
+        // seq 0 lands on the first deployable slot (QA); host 99 sits
+        // in the fourth /24 (slot PK). Nothing past the knob exists.
+        assert!(scaled.net.dns().resolve("www.scale0.qa").is_some());
+        assert!(scaled.net.dns().resolve("www.scale99.pk").is_some());
+        assert!(scaled.net.dns().resolve("www.scale100.pk").is_none());
     }
 
     #[test]
