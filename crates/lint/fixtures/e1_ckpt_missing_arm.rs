@@ -1,0 +1,23 @@
+//! Fixture: `e1-enum-closure` — the registered consumer
+//! `PaperDriver::execute` handles `Identify` and falls through to a
+//! wildcard for everything else, so the `Retest` stage added to
+//! `StageState` is silently skipped by the driver. Expected: one
+//! `missing-variant:StageState::Retest` finding.
+
+pub enum StageState {
+    Identify,
+    Retest { case: usize },
+}
+
+pub struct PaperDriver {
+    stage: StageState,
+}
+
+impl PaperDriver {
+    pub fn execute(&mut self) -> bool {
+        match self.stage {
+            StageState::Identify => true,
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: `e1-enum-closure` — the registered consumer
+//! `SimEvent::kind` never mentions the `Fault` variant of the
+//! registered enum `EventKind`: the wildcard arm silently maps fault
+//! codes onto `Dns`. Expected: one
+//! `missing-variant:EventKind::Fault` finding.
+
+pub enum EventKind {
+    Dns,
+    Fault,
+}
+
+pub struct SimEvent {
+    code: u8,
+}
+
+impl SimEvent {
+    pub fn kind(&self) -> EventKind {
+        match self.code {
+            _ => EventKind::Dns,
+        }
+    }
+}

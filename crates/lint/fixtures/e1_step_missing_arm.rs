@@ -1,0 +1,28 @@
+//! Fixture: `e1-enum-closure` — a copy-paste bug W1 cannot see: the
+//! `retry` token round-trips (so the wire-pair token cross-check
+//! passes) but `parse_token` maps it back onto `Fetch`, and the
+//! `Retry` variant ident never appears in the parse body. Expected:
+//! one `missing-variant:StepKind::Retry` finding and no `w1-wire-pair`
+//! finding from this file.
+
+pub enum StepKind {
+    Fetch,
+    Retry,
+}
+
+impl StepKind {
+    pub fn to_token(&self) -> &'static str {
+        match self {
+            StepKind::Fetch => "fetch",
+            StepKind::Retry => "retry",
+        }
+    }
+
+    pub fn parse_token(token: &str) -> Result<StepKind, String> {
+        match token {
+            "fetch" => Ok(StepKind::Fetch),
+            "retry" => Ok(StepKind::Fetch),
+            other => Err(format!("unknown step token {other:?}")),
+        }
+    }
+}

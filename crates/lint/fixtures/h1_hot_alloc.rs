@@ -1,0 +1,31 @@
+//! Fixture: `h1-hot-alloc` — per-event allocations in a dispatch loop
+//! reachable from the registered hot entry `Internet::run_to_quiescence`.
+//! Expected: one `alloc:format!` and one `alloc:to_string` finding in
+//! `Internet::dispatch_all` — hotness flows through the resolved call
+//! graph, not just the entry function's own body.
+
+pub struct Event {
+    pub host: u32,
+    pub port: u16,
+}
+
+pub struct Internet {
+    queue: Vec<Event>,
+    log: Vec<String>,
+}
+
+impl Internet {
+    pub fn run_to_quiescence(&mut self) -> usize {
+        self.dispatch_all()
+    }
+
+    fn dispatch_all(&mut self) -> usize {
+        let mut n = 0;
+        while let Some(ev) = self.queue.pop() {
+            let host = ev.host.to_string();
+            self.log.push(format!("{host}:{}", ev.port));
+            n += 1;
+        }
+        n
+    }
+}

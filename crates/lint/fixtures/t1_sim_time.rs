@@ -1,0 +1,13 @@
+//! Fixture: `t1-sim-time` — virtual-time hygiene violations outside
+//! the kernel's sanctioned paths. Expected: one `backwards-arith`
+//! finding (`SimTime` built with a `-`, the schedule-into-the-past
+//! workaround) and one `wall-feeds-queue` finding (a wall-clock
+//! reading entering a scheduling call).
+
+pub fn retry_deadline(now: SimTime, slack_secs: u64) -> SimTime {
+    SimTime::from_secs(now.secs() - slack_secs)
+}
+
+pub fn schedule_retry(queue: &mut EventQueue, started: &Stopwatch) {
+    queue.schedule(started.elapsed().as_secs());
+}

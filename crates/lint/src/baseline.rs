@@ -5,8 +5,14 @@
 //! *drift* — findings not in the baseline (regressions) or baseline
 //! entries no longer observed (stale entries that must be pruned so
 //! the baseline stays honest). The baseline keys on
-//! [`Diagnostic::fingerprint`] — rule, file, function, kind — never on
-//! line numbers, so unrelated edits don't churn it.
+//! [`Diagnostic::fingerprint`] — rule, file, qualified function, kind,
+//! plus an FNV-1a self-digest (`@hhhhhhhh`) — never on line numbers,
+//! so unrelated edits don't churn it.
+//!
+//! **Legacy (v1) lines** — five fields, bare function names, no digest
+//! — still parse, but as entries that can never match a current
+//! finding: they surface as *stale* and fail the run, forcing a
+//! `--migrate-baseline` instead of silently accepting old classes.
 
 use crate::diag::Diagnostic;
 use std::collections::BTreeMap;
@@ -15,9 +21,11 @@ use std::collections::BTreeMap;
 pub const DEFAULT_BASELINE_PATH: &str = "crates/lint/baseline.tsv";
 
 const HEADER: &str = "\
-# filterwatch-lint baseline v1
-# One accepted finding class per line: rule<TAB>file<TAB>function<TAB>kind<TAB>xCOUNT
+# filterwatch-lint baseline v2
+# One accepted finding class per line:
+#   rule<TAB>file<TAB>qualified-function<TAB>kind<TAB>@fnv1a32<TAB>xCOUNT
 # Regenerate with: cargo run -p filterwatch-lint -- --write-baseline
+# Migrate a v1 baseline with: cargo run -p filterwatch-lint -- --migrate-baseline
 ";
 
 /// Multiset of accepted finding classes: fingerprint → count.
@@ -69,12 +77,42 @@ impl Baseline {
                 continue;
             }
             let fields: Vec<&str> = line.split('\t').collect();
-            let [rule, file, function, kind, count] = fields.as_slice() else {
-                return Err(format!(
-                    "baseline line {}: expected 5 tab-separated fields, got {}",
-                    lineno + 1,
-                    fields.len()
-                ));
+            // v2: rule, file, function, kind, @digest, xN.
+            // v1 (legacy): rule, file, function, kind, xN — accepted,
+            // but keyed under a `legacy:` prefix no current finding's
+            // fingerprint can equal, so every v1 line is stale.
+            let (fp, count) = match fields.as_slice() {
+                [rule, file, function, kind, digest, count] => {
+                    if !digest.starts_with('@') {
+                        return Err(format!(
+                            "baseline line {}: fifth field must be an @-digest",
+                            lineno + 1
+                        ));
+                    }
+                    let fp = format!("{rule}\t{file}\t{function}\t{kind}\t{digest}");
+                    let expect = format!(
+                        "@{:08x}",
+                        crate::diag::fnv1a32(&format!("{rule}\t{file}\t{function}\t{kind}"))
+                    );
+                    if *digest != expect {
+                        return Err(format!(
+                            "baseline line {}: digest {digest} does not match fields \
+                             (expected {expect}); regenerate with --write-baseline",
+                            lineno + 1
+                        ));
+                    }
+                    (fp, *count)
+                }
+                [rule, file, function, kind, count] => {
+                    (format!("legacy:{rule}\t{file}\t{function}\t{kind}"), *count)
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected 5 (v1) or 6 (v2) tab-separated fields, got {}",
+                        lineno + 1,
+                        fields.len()
+                    ));
+                }
             };
             let count: usize = count
                 .strip_prefix('x')
@@ -84,7 +122,6 @@ impl Baseline {
             if count == 0 {
                 return Err(format!("baseline line {}: zero count", lineno + 1));
             }
-            let fp = format!("{rule}\t{file}\t{function}\t{kind}");
             if entries.insert(fp.clone(), count).is_some() {
                 return Err(format!(
                     "baseline line {}: duplicate entry {fp:?}",
@@ -131,6 +168,65 @@ impl Baseline {
             }
         }
         drift
+    }
+
+    /// One-shot v1 → v2 migration. Every legacy entry is mapped onto
+    /// the current findings whose [`Diagnostic::legacy_fingerprint`]
+    /// matches (capped at the legacy accepted count, consumed in
+    /// canonical order when several v2 classes share one legacy
+    /// fingerprint); v2 entries carry over only while still observed.
+    /// Returns the migrated baseline plus the legacy fingerprints that
+    /// matched nothing (pruned — they were stale anyway).
+    pub fn migrate(&self, diags: &[Diagnostic]) -> (Baseline, Vec<String>) {
+        // Current v2 classes with their legacy identity.
+        let mut current: BTreeMap<String, (String, usize)> = BTreeMap::new();
+        for d in diags {
+            let e = current
+                .entry(d.fingerprint())
+                .or_insert_with(|| (d.legacy_fingerprint(), 0));
+            e.1 += 1;
+        }
+        let mut legacy_budget: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut v2_accepted: BTreeMap<&str, usize> = BTreeMap::new();
+        for (fp, &count) in &self.entries {
+            match fp.strip_prefix("legacy:") {
+                Some(old) => {
+                    legacy_budget.insert(old, count);
+                }
+                None => {
+                    v2_accepted.insert(fp, count);
+                }
+            }
+        }
+        let mut out = BTreeMap::new();
+        let mut consumed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for (fp2, (fp1, observed)) in &current {
+            let keep_v2 = v2_accepted
+                .get(fp2.as_str())
+                .map(|&n| n.min(*observed))
+                .unwrap_or(0);
+            let from_legacy = match legacy_budget.get_mut(fp1.as_str()) {
+                Some(budget) => {
+                    let take = (*budget).min(observed.saturating_sub(keep_v2));
+                    *budget -= take;
+                    take
+                }
+                None => 0,
+            };
+            if from_legacy > 0 {
+                consumed.insert(fp1.as_str());
+            }
+            let accepted = keep_v2 + from_legacy;
+            if accepted > 0 {
+                out.insert(fp2.clone(), accepted);
+            }
+        }
+        let dropped: Vec<String> = legacy_budget
+            .keys()
+            .filter(|fp| !consumed.contains(*fp))
+            .map(|fp| fp.to_string())
+            .collect();
+        (Baseline { entries: out }, dropped)
     }
 }
 
@@ -180,6 +276,44 @@ mod tests {
         ]);
         assert_eq!(drift.new.len(), 1);
         assert!(drift.stale.is_empty());
+    }
+
+    #[test]
+    fn legacy_lines_parse_but_never_match() {
+        // A v1 line (5 fields, bare fn, no digest) for a finding that
+        // very much still exists — it must surface as stale AND the
+        // finding as new, forcing migration.
+        let b = Baseline::parse("p1-panic\ta.rs\tf\tunwrap\tx1\n").unwrap();
+        let drift = b.drift(&[diag("a.rs", "unwrap")]);
+        assert_eq!(drift.new.len(), 1);
+        assert_eq!(drift.stale.len(), 1);
+        assert!(drift.stale[0].0.starts_with("legacy:"));
+    }
+
+    #[test]
+    fn migrate_maps_legacy_onto_qualified_findings() {
+        let mut d = diag("a.rs", "unwrap");
+        d.function = Some("Parser::f".into());
+        // Legacy line recorded the bare name `f` twice; only one is
+        // still observed → migrated count is capped at 1.
+        let b =
+            Baseline::parse("p1-panic\ta.rs\tf\tunwrap\tx2\np1-panic\tgone.rs\tg\tpanic!\tx1\n")
+                .unwrap();
+        let (migrated, dropped) = b.migrate(std::slice::from_ref(&d));
+        assert!(migrated.drift(std::slice::from_ref(&d)).is_empty());
+        assert_eq!(migrated.len(), 1);
+        assert_eq!(dropped.len(), 1);
+        assert!(dropped[0].contains("gone.rs"));
+        // Round-trips through the v2 format.
+        let reparsed = Baseline::parse(&migrated.render()).unwrap();
+        assert!(reparsed.drift(std::slice::from_ref(&d)).is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_digest() {
+        let good = Baseline::from_diagnostics(&[diag("a.rs", "unwrap")]).render();
+        let bad = good.replace('@', "@0");
+        assert!(Baseline::parse(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! Cross-crate call graph over the lexed function models.
+//!
+//! One node per function item; edges come from resolving call sites in
+//! each body. Resolution is deliberately conservative: a method call
+//! whose receiver type is unknown links to *every* function of that
+//! name defined in a matching impl, so reachability facts (hot-path,
+//! render-reaching, merge-funnels) over-approximate rather than miss.
+//! All containers are ordered (`BTreeMap`/`BTreeSet`), so the graph —
+//! and everything computed over it — is independent of file visit
+//! order; `tests/propfix.rs` locks that in.
+
+use crate::lex::{Tok, TokKind};
+use crate::model::FileModel;
+use crate::resolve::{collect_uses, module_path, normalize_crate, UseMap};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a node in [`CallGraph::nodes`].
+pub type NodeId = usize;
+
+/// One function item in the graph.
+#[derive(Debug)]
+pub struct Node {
+    /// Index of the owning [`FileModel`] in the scan set.
+    pub model: usize,
+    /// Index into `models[model].fns`.
+    pub fn_idx: usize,
+    /// Canonical module path of the defining file (short crate form).
+    pub module: String,
+    /// Enclosing impl self-type, if any.
+    pub impl_type: Option<String>,
+    /// Function name.
+    pub name: String,
+}
+
+impl Node {
+    /// `Type::name` when in an impl block, bare `name` otherwise — the
+    /// form diagnostics and fingerprints carry.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{}::{}", ty, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The resolved call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// caller → callees.
+    pub callees: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// callee → callers (transposed edges).
+    pub callers: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// (model index, fn index) → node.
+    by_fn: BTreeMap<(usize, usize), NodeId>,
+    /// (impl type, name) → nodes.
+    by_type_method: BTreeMap<(String, String), BTreeSet<NodeId>>,
+    /// method name → nodes in any impl.
+    methods_by_name: BTreeMap<String, BTreeSet<NodeId>>,
+    /// (module, name) → free-fn nodes.
+    free_by_module: BTreeMap<(String, String), BTreeSet<NodeId>>,
+    /// free-fn name → nodes anywhere.
+    free_by_name: BTreeMap<String, BTreeSet<NodeId>>,
+}
+
+/// Rust keywords and common non-call idents that precede `(`.
+fn is_call_excluded(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "fn"
+            | "let"
+            | "else"
+            | "move"
+            | "in"
+            | "as"
+            | "ref"
+            | "mut"
+            | "pub"
+            | "use"
+            | "impl"
+            | "where"
+            | "dyn"
+            | "box"
+            | "await"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+            | "Box"
+            | "Vec"
+            | "assert"
+            | "debug_assert"
+    )
+}
+
+impl CallGraph {
+    /// Node for `(model index, fn index)`.
+    pub fn node_of(&self, model: usize, fn_idx: usize) -> Option<NodeId> {
+        self.by_fn.get(&(model, fn_idx)).copied()
+    }
+
+    /// All nodes whose `(impl type, name)` matches; used to seed
+    /// reachability from registered entry points.
+    pub fn find(&self, impl_type: &str, name: &str) -> BTreeSet<NodeId> {
+        if impl_type.is_empty() {
+            self.free_by_name.get(name).cloned().unwrap_or_default()
+        } else if impl_type == "*" {
+            self.methods_by_name.get(name).cloned().unwrap_or_default()
+        } else {
+            self.by_type_method
+                .get(&(impl_type.to_string(), name.to_string()))
+                .cloned()
+                .unwrap_or_default()
+        }
+    }
+
+    /// Build the graph over the scan set.
+    pub fn build(models: &[FileModel]) -> CallGraph {
+        let mut g = CallGraph::default();
+        let modules: Vec<String> = models.iter().map(|m| module_path(&m.path)).collect();
+
+        for (mi, m) in models.iter().enumerate() {
+            for (fi, f) in m.fns.iter().enumerate() {
+                let id = g.nodes.len();
+                g.nodes.push(Node {
+                    model: mi,
+                    fn_idx: fi,
+                    module: modules[mi].clone(),
+                    impl_type: f.impl_type.clone(),
+                    name: f.name.clone(),
+                });
+                g.by_fn.insert((mi, fi), id);
+                match &f.impl_type {
+                    Some(ty) => {
+                        g.by_type_method
+                            .entry((ty.clone(), f.name.clone()))
+                            .or_default()
+                            .insert(id);
+                        g.methods_by_name
+                            .entry(f.name.clone())
+                            .or_default()
+                            .insert(id);
+                    }
+                    None => {
+                        g.free_by_module
+                            .entry((modules[mi].clone(), f.name.clone()))
+                            .or_default()
+                            .insert(id);
+                        g.free_by_name.entry(f.name.clone()).or_default().insert(id);
+                    }
+                }
+            }
+        }
+
+        for (mi, m) in models.iter().enumerate() {
+            let uses = collect_uses(&m.toks, &modules[mi]);
+            for (fi, f) in m.fns.iter().enumerate() {
+                let caller = g.by_fn[&(mi, fi)];
+                let body = &m.toks[f.body_start..f.body_end.min(m.toks.len())];
+                let mut targets = BTreeSet::new();
+                for (ti, t) in body.iter().enumerate() {
+                    if t.kind != TokKind::Ident
+                        || !body.get(ti + 1).is_some_and(|n| n.is_punct('('))
+                        || is_call_excluded(&t.text)
+                    {
+                        continue;
+                    }
+                    targets.extend(g.resolve_call(
+                        body,
+                        ti,
+                        &modules[mi],
+                        f.impl_type.as_deref(),
+                        &uses,
+                    ));
+                }
+                targets.remove(&caller);
+                if !targets.is_empty() {
+                    for &callee in &targets {
+                        g.callers.entry(callee).or_default().insert(caller);
+                    }
+                    g.callees.insert(caller, targets);
+                }
+            }
+        }
+        g
+    }
+
+    /// Resolve the call whose name token sits at `ti` in `body`.
+    fn resolve_call(
+        &self,
+        body: &[Tok],
+        ti: usize,
+        module: &str,
+        self_type: Option<&str>,
+        uses: &UseMap,
+    ) -> BTreeSet<NodeId> {
+        let name = body[ti].text.as_str();
+        let prev = ti.checked_sub(1).map(|i| &body[i]);
+
+        // `recv.name(` — method call. If the receiver is `self` and the
+        // enclosing impl type defines `name`, prefer that; otherwise
+        // link every method of that name (conservative).
+        if prev.is_some_and(|p| p.is_punct('.')) {
+            if let Some(ty) = self_type {
+                if ti >= 2 && body[ti - 2].is_ident("self") {
+                    let exact = self.find(ty, name);
+                    if !exact.is_empty() {
+                        return exact;
+                    }
+                }
+            }
+            return self.find("*", name);
+        }
+
+        // `Path::name(` — walk the `::`-separated path backwards.
+        if prev.is_some_and(|p| p.is_punct(':')) {
+            let mut segs: Vec<String> = vec![name.to_string()];
+            let mut i = ti;
+            while i >= 2 && body[i - 1].is_punct(':') && body[i - 2].is_punct(':') {
+                if i >= 3 && body[i - 3].kind == TokKind::Ident {
+                    segs.push(body[i - 3].text.clone());
+                    i -= 3;
+                } else {
+                    break;
+                }
+            }
+            segs.reverse();
+            return self.resolve_path(&segs, module, uses);
+        }
+
+        // Bare `name(` — same module first, then use-imports, then any
+        // free fn of that name.
+        if let Some(set) = self
+            .free_by_module
+            .get(&(module.to_string(), name.to_string()))
+        {
+            return set.clone();
+        }
+        if let Some(path) = uses.lookup(name) {
+            let resolved = self.resolve_path(path, module, uses);
+            if !resolved.is_empty() {
+                return resolved;
+            }
+        }
+        self.find("", name)
+    }
+
+    /// Resolve a qualified path (`a::b::name`) to function nodes.
+    fn resolve_path(&self, segs: &[String], module: &str, uses: &UseMap) -> BTreeSet<NodeId> {
+        let Some(name) = segs.last().map(String::as_str) else {
+            return BTreeSet::new();
+        };
+        // Expand a use-imported head: `merge::ordered_flatten(` where
+        // `use crate::merge;` or `use scanner::merge;` is in scope.
+        let mut full: Vec<String> = Vec::new();
+        let head = segs[0].as_str();
+        match head {
+            "crate" => {
+                if let Some(k) = module.split("::").next() {
+                    full.push(k.to_string());
+                }
+                full.extend(segs[1..].iter().map(|s| normalize_crate(s).to_string()));
+            }
+            "self" => {
+                full.extend(module.split("::").map(String::from));
+                full.extend(segs[1..].iter().map(|s| normalize_crate(s).to_string()));
+            }
+            "super" => {
+                let parent: Vec<&str> = module.split("::").collect();
+                full.extend(
+                    parent[..parent.len().saturating_sub(1)]
+                        .iter()
+                        .map(|s| s.to_string()),
+                );
+                full.extend(segs[1..].iter().map(|s| normalize_crate(s).to_string()));
+            }
+            _ => {
+                if let Some(expansion) = uses.lookup(head) {
+                    full.extend(expansion.iter().cloned());
+                    full.extend(segs[1..].iter().map(|s| normalize_crate(s).to_string()));
+                } else {
+                    full.extend(segs.iter().map(|s| normalize_crate(s).to_string()));
+                }
+            }
+        }
+        if full.len() >= 2 {
+            let qual = &full[full.len() - 2];
+            // `Type::name(` — associated function. Type names are
+            // capitalized by convention; match on type regardless of
+            // module (type names are workspace-unique in practice).
+            if qual.chars().next().is_some_and(|c| c.is_uppercase()) {
+                let hit = self.find(qual, name);
+                if !hit.is_empty() {
+                    return hit;
+                }
+            }
+            // `mod::name(` — free fn in a module; try the full module
+            // path, then the path without the crate head (self-crate
+            // relative), then any free fn of that name.
+            let mod_path = full[..full.len() - 1].join("::");
+            if let Some(set) = self.free_by_module.get(&(mod_path, name.to_string())) {
+                return set.clone();
+            }
+            let rel = {
+                let mut v: Vec<String> = module.split("::").take(1).map(String::from).collect();
+                v.extend(full[..full.len() - 1].iter().cloned());
+                v.join("::")
+            };
+            if let Some(set) = self.free_by_module.get(&(rel, name.to_string())) {
+                return set.clone();
+            }
+        }
+        self.find("", name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(srcs: &[(&str, &str)]) -> Vec<FileModel> {
+        srcs.iter().map(|(p, s)| FileModel::parse(p, s)).collect()
+    }
+
+    fn qualified(g: &CallGraph, id: NodeId) -> String {
+        format!("{}::{}", g.nodes[id].module, g.nodes[id].qualified())
+    }
+
+    #[test]
+    fn resolves_self_method_and_cross_crate_calls() {
+        let ms = models(&[
+            (
+                "crates/netsim/src/internet.rs",
+                "impl Internet {\n\
+                   pub fn run_to_quiescence(&mut self) { self.dispatch(); }\n\
+                   fn dispatch(&mut self) {}\n\
+                 }\n",
+            ),
+            (
+                "crates/scanner/src/index.rs",
+                "use filterwatch_netsim::Internet;\n\
+                 pub fn sweep(net: &mut Internet) { net.run_to_quiescence(); helper(); }\n\
+                 fn helper() {}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ms);
+        let run = *g
+            .find("Internet", "run_to_quiescence")
+            .iter()
+            .next()
+            .unwrap();
+        let dispatch = *g.find("Internet", "dispatch").iter().next().unwrap();
+        assert!(g.callees[&run].contains(&dispatch));
+        let sweep = *g.find("", "sweep").iter().next().unwrap();
+        assert!(g.callees[&sweep].contains(&run), "{:?}", g.callees[&sweep]);
+        let helper = *g.find("", "helper").iter().next().unwrap();
+        assert!(g.callees[&sweep].contains(&helper));
+        assert!(g.callers[&helper].contains(&sweep));
+        assert_eq!(
+            qualified(&g, run),
+            "netsim::internet::Internet::run_to_quiescence"
+        );
+    }
+
+    #[test]
+    fn resolves_qualified_module_paths() {
+        let ms = models(&[
+            (
+                "crates/scanner/src/merge.rs",
+                "pub fn ordered_flatten() {}\n",
+            ),
+            (
+                "crates/scanner/src/index.rs",
+                "use crate::merge;\n\
+                 pub fn sweep() { merge::ordered_flatten(); }\n\
+                 pub fn sweep2() { crate::merge::ordered_flatten(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ms);
+        let of = *g.find("", "ordered_flatten").iter().next().unwrap();
+        for f in ["sweep", "sweep2"] {
+            let s = *g.find("", f).iter().next().unwrap();
+            assert!(
+                g.callees[&s].contains(&of),
+                "{f} must reach ordered_flatten"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_receiver_links_all_methods_of_name() {
+        let ms = models(&[
+            (
+                "crates/a/src/lib.rs",
+                "impl Foo { pub fn render(&self) {} }\nimpl Bar { pub fn render(&self) {} }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn go(x: &dyn Renderable) { x.render(); }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ms);
+        let go = *g.find("", "go").iter().next().unwrap();
+        assert_eq!(g.callees[&go].len(), 2);
+    }
+}

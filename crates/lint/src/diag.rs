@@ -47,17 +47,44 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// FNV-1a over `data`, truncated to 32 bits — the self-check digest
+/// carried by v2 fingerprints. Not cryptographic; it only has to make
+/// hand-edited or stale baseline lines detectably wrong.
+pub fn fnv1a32(data: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in data.as_bytes() {
+        h ^= u32::from(*b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
 impl Diagnostic {
-    /// The stable identity used for baselining: everything except the
-    /// line number (lines churn on unrelated edits) and prose message.
+    /// The stable identity used for baselining (v2): everything except
+    /// the line number (lines churn on unrelated edits) and prose
+    /// message, closed with an FNV-1a self-digest of the other fields.
+    /// The function field is the *qualified* name (`Type::fn`).
     pub fn fingerprint(&self) -> String {
-        format!(
+        let head = format!(
             "{}\t{}\t{}\t{}",
             self.rule,
             self.file,
             self.function.as_deref().unwrap_or("-"),
             self.kind
-        )
+        );
+        format!("{head}\t@{:08x}", fnv1a32(&head))
+    }
+
+    /// The v1 (PR 5) fingerprint this finding would have carried: bare
+    /// function name, no digest. `--migrate-baseline` maps old lines
+    /// onto current findings through this.
+    pub fn legacy_fingerprint(&self) -> String {
+        let bare = self
+            .function
+            .as_deref()
+            .map(|q| q.rsplit("::").next().unwrap_or(q))
+            .unwrap_or("-");
+        format!("{}\t{}\t{}\t{}", self.rule, self.file, bare, self.kind)
     }
 
     /// One-line text rendering.
@@ -154,6 +181,104 @@ pub fn render_json(diags: &[Diagnostic], drift: Option<&crate::baseline::Drift>)
     out
 }
 
+/// Every rule the analyzer can emit, with the short description SARIF
+/// carries in `tool.driver.rules`.
+pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    (
+        "d1-wall-clock",
+        "Wall-clock read outside the telemetry --wall path",
+    ),
+    ("d1-unseeded-rng", "RNG constructed from ambient entropy"),
+    (
+        "d1-env-read",
+        "Environment variable read outside the registered allowlist",
+    ),
+    (
+        "d1-thread-spawn",
+        "Thread spawn without an ordered-merge marker or sort",
+    ),
+    (
+        "d2-map-order",
+        "Hash-container iteration order reaching rendered output",
+    ),
+    ("w1-wire-pair", "Emit/parse wire-format pair mismatch"),
+    (
+        "a1-deprecated",
+        "Call into the registered deprecated-API set",
+    ),
+    ("p1-panic", "Panic-prone call in library code"),
+    ("h1-hot-alloc", "Allocation inside a loop on a hot path"),
+    ("t1-sim-time", "Virtual-time hygiene violation"),
+    (
+        "c1-spawn-merge",
+        "Spawn without a call-graph path to an ordered-merge helper",
+    ),
+    (
+        "e1-enum-closure",
+        "Registered enum not exhaustively handled at a consumer site",
+    ),
+];
+
+/// SARIF severity level for a finding.
+fn sarif_level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Render findings as a SARIF 2.1.0 document (one run, one tool).
+/// Hand-rolled JSON like [`render_json`]; `partialFingerprints`
+/// carries the v2 baseline fingerprint so CI code-scanning dedups
+/// findings across runs the same way the baseline does.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"filterwatch-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/filterwatch\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, desc)) in RULE_DESCRIPTIONS.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            json_escape(id),
+            json_escape(desc),
+            if i + 1 < RULE_DESCRIPTIONS.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": {{\
+             \"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}], \
+             \"partialFingerprints\": {{\"filterwatchFingerprint/v2\": \"{}\"}}}}{}\n",
+            json_escape(d.rule),
+            sarif_level(d.severity),
+            json_escape(&d.message),
+            json_escape(&d.file),
+            d.line.max(1),
+            json_escape(&d.fingerprint()),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,12 +296,32 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_excludes_line() {
+    fn fingerprint_excludes_line_and_carries_digest() {
         let mut d = diag();
         let fp = d.fingerprint();
         d.line = 99;
         assert_eq!(d.fingerprint(), fp);
-        assert_eq!(fp, "p1-panic\tcrates/x/src/lib.rs\tparse\tunwrap");
+        let head = "p1-panic\tcrates/x/src/lib.rs\tparse\tunwrap";
+        assert_eq!(fp, format!("{head}\t@{:08x}", fnv1a32(head)));
+    }
+
+    #[test]
+    fn legacy_fingerprint_uses_bare_function_name() {
+        let mut d = diag();
+        d.function = Some("Parser::parse".into());
+        assert_eq!(
+            d.legacy_fingerprint(),
+            "p1-panic\tcrates/x/src/lib.rs\tparse\tunwrap"
+        );
+    }
+
+    #[test]
+    fn sarif_carries_results_and_rules() {
+        let s = render_sarif(&[diag()]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"p1-panic\""));
+        assert!(s.contains("\"level\": \"warning\""));
+        assert!(s.contains("filterwatchFingerprint/v2"));
     }
 
     #[test]

@@ -7,14 +7,21 @@
 //! this crate catches the *classes* of nondeterminism at build time
 //! that dynamic testing only catches on the seeds it happens to run.
 //!
-//! It is a self-contained token-level scanner (no `syn`, no deps —
-//! consistent with the vendored-shim constraint), exposed as a
-//! library and as the `filterwatch-lint` binary:
+//! It is a self-contained scanner (no `syn`, no deps — consistent
+//! with the vendored-shim constraint): a token-level lexer and file
+//! model ([`lex`], [`model`]) under a *semantic, interprocedural*
+//! layer — a module/use-path resolver ([`resolve`]), a resolved
+//! cross-crate call graph ([`callgraph`]), and per-function effect
+//! summaries propagated to fixpoint ([`summary`]) that the newer rule
+//! families (h1, t1, c1, e1) and the d2 render-reachability check
+//! consume. Exposed as a library and as the `filterwatch-lint` binary:
 //!
 //! ```text
 //! cargo run -p filterwatch-lint                    # text report + baseline check
 //! cargo run -p filterwatch-lint -- --format json   # machine-readable (CI)
+//! cargo run -p filterwatch-lint -- --format sarif  # SARIF 2.1.0 (CI annotations)
 //! cargo run -p filterwatch-lint -- --write-baseline
+//! cargo run -p filterwatch-lint -- --migrate-baseline   # one-shot v1 -> v2
 //! ```
 //!
 //! Rule families: see [`rules`]. Findings are gated by a checked-in
@@ -24,13 +31,16 @@
 //! or the line above, or file-wide with `allow-file(<rule>)`.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod diag;
 pub mod lex;
 pub mod model;
+pub mod resolve;
 pub mod rules;
+pub mod summary;
 
 pub use baseline::{Baseline, Drift, DEFAULT_BASELINE_PATH};
-pub use diag::{render_json, Diagnostic, Severity};
+pub use diag::{render_json, render_sarif, Diagnostic, Severity};
 pub use model::FileModel;
 pub use rules::Config;
 
@@ -266,6 +276,176 @@ impl FlowDisposition {
             .iter()
             .any(|d| d.rule == "w1-wire-pair" && d.kind == "emit-without-parse:quarantined"));
         assert!(!diags.iter().any(|d| d.kind == "emit-without-parse:origin"));
+    }
+
+    #[test]
+    fn hot_alloc_flags_loops_reachable_from_hot_entries() {
+        // `dispatch` is reachable from the registered hot entry
+        // `Internet::run_to_quiescence`; its loop allocates.
+        let bad = "impl Internet {\n\
+                   pub fn run_to_quiescence(&mut self) { self.dispatch(); }\n\
+                   fn dispatch(&mut self) { for h in &self.hops { push(h.name.to_string()); } }\n\
+                   }\n";
+        let diags = lint_src(bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "h1-hot-alloc" && d.kind == "alloc:to_string"));
+        // The same loop in a function nothing hot reaches: clean.
+        let cold = "impl Colder {\n\
+                    fn dispatch(&mut self) { for h in &self.hops { push(h.name.to_string()); } }\n\
+                    }\n";
+        assert!(lint_src(cold).iter().all(|d| d.rule != "h1-hot-alloc"));
+    }
+
+    #[test]
+    fn hot_alloc_discharges_memoization_and_cold_gates() {
+        let memo = "impl Internet {\n\
+                    pub fn run_to_quiescence(&mut self) {\n\
+                    for h in &self.hops { self.label.get_or_insert_with(|| h.name.to_string()); }\n\
+                    }\n}\n";
+        assert!(lint_src(memo).iter().all(|d| d.rule != "h1-hot-alloc"));
+        let gated = "impl Internet {\n\
+                     pub fn run_to_quiescence(&mut self) {\n\
+                     for h in &self.hops {\n\
+                     if self.log.recording() { self.log.push(format!(\"hop {h}\")); }\n\
+                     }\n}\n}\n";
+        assert!(lint_src(gated).iter().all(|d| d.rule != "h1-hot-alloc"));
+        // `or_insert_with` is per-key, NOT memoized-once: still flagged.
+        let per_key = "impl Internet {\n\
+                       pub fn run_to_quiescence(&mut self) {\n\
+                       for h in &self.hops { self.m.entry(h.ip).or_insert_with(|| h.name.to_string()); }\n\
+                       }\n}\n";
+        assert!(lint_src(per_key).iter().any(|d| d.rule == "h1-hot-alloc"));
+    }
+
+    #[test]
+    fn hot_alloc_suppression() {
+        let sup = "impl Internet {\n\
+                   pub fn run_to_quiescence(&mut self) {\n\
+                   for h in &self.hops {\n\
+                   // filterwatch-lint: allow(h1-hot-alloc): result set construction\n\
+                   out.push(h.name.to_string());\n\
+                   }\n}\n}\n";
+        assert!(lint_src(sup).iter().all(|d| d.rule != "h1-hot-alloc"));
+    }
+
+    #[test]
+    fn sim_time_backwards_arith_outside_kernel() {
+        let bad = "fn rewind(now: SimTime, slack: u64) -> SimTime {\n\
+                   SimTime::from_secs(now.secs() - slack)\n}\n";
+        let diags = lint_src(bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "t1-sim-time" && d.kind == "backwards-arith"));
+        // The same arithmetic inside the kernel's sanctioned path: clean.
+        let diags = lint_files(
+            &[("crates/netsim/src/kernel.rs".to_string(), bad.to_string())],
+            &Config::workspace_default(),
+        );
+        assert!(diags.iter().all(|d| d.rule != "t1-sim-time"));
+        // Forward-only arithmetic: clean.
+        let ok = "fn extend(now: SimTime, secs: u64) -> SimTime { now.plus_secs(secs) }\n";
+        assert!(lint_src(ok).iter().all(|d| d.kind != "backwards-arith"));
+    }
+
+    #[test]
+    fn sim_time_wall_feeds_queue() {
+        let bad = "fn requeue(q: &TimerWheel, started: Instant) {\n\
+                   q.schedule(started.elapsed().as_secs());\n}\n";
+        let diags = lint_src(bad);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "t1-sim-time" && d.kind == "wall-feeds-queue"));
+        // Virtual-clock-derived durations: clean.
+        let ok = "fn requeue(q: &TimerWheel, wait: u64) { q.schedule(wait); }\n";
+        assert!(lint_src(ok).iter().all(|d| d.rule != "t1-sim-time"));
+        // Suppressible like every rule.
+        let sup = "fn requeue(q: &TimerWheel, started: Instant) {\n\
+                   // filterwatch-lint: allow(t1-sim-time): shim-only code path\n\
+                   q.schedule(started.elapsed().as_secs());\n}\n";
+        assert!(lint_src(sup).iter().all(|d| d.rule != "t1-sim-time"));
+    }
+
+    #[test]
+    fn spawn_merge_requires_call_graph_proof() {
+        // A lying ordered-merge comment satisfies d1 but NOT c1: there
+        // is no sort and no path to a sanctioned merge helper.
+        let lying = "fn tally(xs: &[u32]) {\n\
+                     // Ordered merge: results land in completion order (not really).\n\
+                     scope.spawn(|| work(xs));\n}\n";
+        let diags = lint_src(lying);
+        assert!(diags.iter().all(|d| d.rule != "d1-thread-spawn"));
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "c1-spawn-merge" && d.kind == "spawn-no-merge-path"));
+        // A resolved call-graph path to a registered merge helper: clean.
+        let proven = "pub fn ordered_flatten(xs: Vec<Vec<u32>>) -> Vec<u32> { out }\n\
+                      fn tally(xs: &[u32]) {\n\
+                      // Ordered merge: group order is chunk order.\n\
+                      scope.spawn(|| work(xs));\n\
+                      finish(ordered_flatten(groups));\n}\n";
+        assert!(lint_src(proven).iter().all(|d| d.rule != "c1-spawn-merge"));
+        // An in-body sort also proves the merge.
+        let sorted = "fn tally(xs: &mut Vec<u32>) { scope.spawn(|| work()); xs.sort(); }\n";
+        assert!(lint_src(sorted).iter().all(|d| d.rule != "c1-spawn-merge"));
+        // Suppression works.
+        let sup = "fn tally(xs: &[u32]) {\n\
+                   // Ordered merge: single worker, order trivially stable.\n\
+                   // filterwatch-lint: allow(c1-spawn-merge): single worker\n\
+                   scope.spawn(|| work(xs));\n}\n";
+        assert!(lint_src(sup).iter().all(|d| d.rule != "c1-spawn-merge"));
+    }
+
+    #[test]
+    fn enum_closure_catches_missing_variant() {
+        let bad = "pub enum EventKind { Dns, Fault }\n\
+                   impl EventKind {\n\
+                   pub fn to_token(&self) -> &str {\n\
+                   match self { EventKind::Dns => \"dns\", EventKind::Fault => \"fault\" } }\n\
+                   pub fn parse_token(t: &str) -> Option<EventKind> {\n\
+                   match t { \"dns\" => Some(EventKind::Dns), _ => None } }\n\
+                   }\n";
+        let diags = lint_src(bad);
+        assert!(diags.iter().any(|d| d.rule == "e1-enum-closure"
+            && d.kind == "missing-variant:EventKind::Fault"
+            && d.function.as_deref() == Some("EventKind::parse_token")));
+        // All variants mentioned (any handling shape): clean.
+        let ok = "pub enum EventKind { Dns, Fault }\n\
+                  impl EventKind {\n\
+                  pub fn to_token(&self) -> &str {\n\
+                  match self { EventKind::Dns => \"dns\", EventKind::Fault => \"fault\" } }\n\
+                  pub fn parse_token(t: &str) -> Option<EventKind> {\n\
+                  match t { \"dns\" => Some(EventKind::Dns), \"fault\" => Some(EventKind::Fault), _ => None } }\n\
+                  }\n";
+        assert!(lint_src(ok).iter().all(|d| d.rule != "e1-enum-closure"));
+        // No declaration in the scan set: skipped entirely.
+        let no_decl = "impl EventKind {\n\
+                       pub fn parse_token(t: &str) -> Option<EventKind> { None }\n\
+                       }\n";
+        assert!(lint_src(no_decl)
+            .iter()
+            .all(|d| d.rule != "e1-enum-closure"));
+    }
+
+    #[test]
+    fn enum_closure_suppression() {
+        let sup = "pub enum EventKind { Dns, Fault }\n\
+                   impl EventKind {\n\
+                   // filterwatch-lint: allow(e1-enum-closure): variants handled by table lookup\n\
+                   pub fn to_token(&self) -> &str { lookup(self) }\n\
+                   // filterwatch-lint: allow(e1-enum-closure): variants handled by table lookup\n\
+                   pub fn parse_token(t: &str) -> Option<EventKind> { rlookup(t) }\n\
+                   }\n";
+        assert!(lint_src(sup).iter().all(|d| d.rule != "e1-enum-closure"));
+        let file_wide = "// filterwatch-lint: allow-file(e1-enum-closure): demo module\n\
+                         pub enum EventKind { Dns, Fault }\n\
+                         impl EventKind {\n\
+                         pub fn to_token(&self) -> &str { lookup(self) }\n\
+                         pub fn parse_token(t: &str) -> Option<EventKind> { rlookup(t) }\n\
+                         }\n";
+        assert!(lint_src(file_wide)
+            .iter()
+            .all(|d| d.rule != "e1-enum-closure"));
     }
 
     #[test]

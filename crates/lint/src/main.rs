@@ -1,16 +1,19 @@
 //! The `filterwatch-lint` binary.
 //!
 //! ```text
-//! filterwatch-lint [--root PATH] [--format text|json] [--baseline PATH]
-//!                  [--no-baseline] [--write-baseline] [--include-shims] [--all]
+//! filterwatch-lint [--root PATH] [--format text|json|sarif] [--baseline PATH]
+//!                  [--no-baseline] [--write-baseline] [--migrate-baseline]
+//!                  [--include-shims] [--all]
 //! ```
 //!
 //! Exit codes: `0` — no unbaselined findings; `1` — baseline drift
 //! (new findings or stale entries); `2` — usage or I/O error.
 
 use filterwatch_lint::{
-    baseline::Baseline, collect_workspace_files, diag::render_json, find_workspace_root,
-    lint_files, Config, DEFAULT_BASELINE_PATH,
+    baseline::Baseline,
+    collect_workspace_files,
+    diag::{render_json, render_sarif},
+    find_workspace_root, lint_files, Config, DEFAULT_BASELINE_PATH,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,6 +24,7 @@ struct Args {
     baseline: Option<PathBuf>,
     no_baseline: bool,
     write_baseline: bool,
+    migrate_baseline: bool,
     include_shims: bool,
     show_all: bool,
 }
@@ -29,6 +33,7 @@ struct Args {
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 const USAGE: &str = "\
@@ -38,10 +43,11 @@ USAGE: filterwatch-lint [OPTIONS]
 
 OPTIONS:
   --root PATH        workspace root (default: nearest [workspace] Cargo.toml)
-  --format FMT       text (default) or json
+  --format FMT       text (default), json, or sarif (SARIF 2.1.0)
   --baseline PATH    baseline file (default: crates/lint/baseline.tsv)
   --no-baseline      report raw findings; skip baseline gating
   --write-baseline   accept all current findings into the baseline file
+  --migrate-baseline one-shot v1 -> v2 fingerprint migration of the baseline file
   --include-shims    also scan the vendored shims/ crates
   --all              text mode: print baselined findings too
   --help             this text
@@ -54,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         no_baseline: false,
         write_baseline: false,
+        migrate_baseline: false,
         include_shims: false,
         show_all: false,
     };
@@ -65,7 +72,10 @@ fn parse_args() -> Result<Args, String> {
                 args.format = match it.next().as_deref() {
                     Some("text") => Format::Text,
                     Some("json") => Format::Json,
-                    other => return Err(format!("--format must be text|json, got {other:?}")),
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!("--format must be text|json|sarif, got {other:?}"))
+                    }
                 }
             }
             "--baseline" => {
@@ -73,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-baseline" => args.no_baseline = true,
             "--write-baseline" => args.write_baseline = true,
+            "--migrate-baseline" => args.migrate_baseline = true,
             "--include-shims" => args.include_shims = true,
             "--all" => args.show_all = true,
             "--help" | "-h" => {
@@ -98,11 +109,39 @@ fn run() -> Result<ExitCode, String> {
     let cfg = Config::workspace_default();
     let files = collect_workspace_files(&root, args.include_shims)
         .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    // Self-run timing for the CI log: wall time never reaches any
+    // rendered artifact, stderr only.
+    // filterwatch-lint: allow(d1-wall-clock): analyzer self-timing for the CI log
+    let started = std::time::Instant::now();
     let diags = lint_files(&files, &cfg);
+    eprintln!(
+        "filterwatch-lint: analyzed {} files in {} ms",
+        files.len(),
+        started.elapsed().as_millis()
+    );
 
     let baseline_path = args
         .baseline
         .unwrap_or_else(|| root.join(DEFAULT_BASELINE_PATH));
+
+    if args.migrate_baseline {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        let old = Baseline::parse(&text)?;
+        let (migrated, dropped) = old.migrate(&diags);
+        std::fs::write(&baseline_path, migrated.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "migrated {} -> {} accepted finding classes in {}",
+            old.len(),
+            migrated.len(),
+            baseline_path.display()
+        );
+        for fp in &dropped {
+            eprintln!("  pruned stale legacy entry: {}", fp.replace('\t', "  "));
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
 
     if args.write_baseline {
         let b = Baseline::from_diagnostics(&diags);
@@ -129,6 +168,7 @@ fn run() -> Result<ExitCode, String> {
 
     match args.format {
         Format::Json => print!("{}", render_json(&diags, drift.as_ref())),
+        Format::Sarif => print!("{}", render_sarif(&diags)),
         Format::Text => {
             let drifting: std::collections::BTreeSet<&str> = drift
                 .as_ref()

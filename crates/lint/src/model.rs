@@ -38,6 +38,17 @@ pub struct FnInfo {
     pub end_line: u32,
 }
 
+impl FnInfo {
+    /// `Type::name` for impl methods, bare `name` for free functions —
+    /// the form diagnostics and v2 baseline fingerprints carry.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(ty) => format!("{}::{}", ty, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
 /// A parsed `// filterwatch-lint: allow(rule, …)` directive.
 #[derive(Debug, Clone)]
 pub struct Suppression {

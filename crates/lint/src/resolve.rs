@@ -1,0 +1,254 @@
+//! Module-path and use-declaration resolution.
+//!
+//! The call graph needs to turn a call site like `engine.identify(…)`
+//! or `merge::ordered_flatten(…)` into the function item it names.
+//! Full name resolution needs a type checker; this resolver gets the
+//! workspace's conventions exactly right instead: one crate per
+//! `crates/<dir>` with lib ident `filterwatch_<dir>`, modules mirroring
+//! file paths, and `use` declarations (including nested groups and
+//! `as` renames) mapping local idents to qualified paths.
+
+use crate::lex::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Derive the canonical module path of a file from its repo-relative
+/// path. The canonical form uses the *short* crate name (the directory
+/// under `crates/`), e.g. `crates/netsim/src/kernel.rs` → `netsim::kernel`.
+/// Callers normalize `filterwatch_<name>` to `<name>` before lookup.
+pub fn module_path(path: &str) -> String {
+    let p = path.replace('\\', "/");
+    let parts: Vec<&str> = p.split('/').collect();
+    // crates/<name>/src/<mods…>/<file>.rs
+    if let Some(ci) = parts.iter().position(|&s| s == "crates") {
+        if parts.len() > ci + 2 {
+            let krate = parts[ci + 1].replace('-', "_");
+            let rest = &parts[ci + 2..];
+            let mut mods: Vec<String> = Vec::new();
+            if rest.first() == Some(&"src") {
+                for seg in &rest[1..] {
+                    let seg = seg.strip_suffix(".rs").unwrap_or(seg);
+                    if seg == krate || seg == "lib" || seg == "main" || seg == "mod" {
+                        continue;
+                    }
+                    mods.push(seg.replace('-', "_"));
+                }
+            } else {
+                // crates/<name>/tests/<file>.rs and friends: each file
+                // is its own crate; give it a unique synthetic path so
+                // test helpers never alias library items.
+                for seg in rest {
+                    let seg = seg.strip_suffix(".rs").unwrap_or(seg);
+                    mods.push(seg.replace('-', "_"));
+                }
+            }
+            let mut out = krate;
+            for m in mods {
+                out.push_str("::");
+                out.push_str(&m);
+            }
+            return out;
+        }
+    }
+    // tests/<file>.rs, examples/<file>.rs at the workspace root.
+    let stem = parts
+        .last()
+        .map(|f| f.strip_suffix(".rs").unwrap_or(f))
+        .unwrap_or("file");
+    match parts.first() {
+        Some(&"tests") => format!("ws_tests::{}", stem.replace('-', "_")),
+        Some(&"examples") => format!("ws_examples::{}", stem.replace('-', "_")),
+        _ => stem.replace('-', "_"),
+    }
+}
+
+/// Normalize a source-level crate ident to the canonical short form:
+/// `filterwatch_netsim` → `netsim`, `crate`/`self`/`super` are kept as
+/// written (the caller contextualizes them).
+pub fn normalize_crate(seg: &str) -> &str {
+    seg.strip_prefix("filterwatch_").unwrap_or(seg)
+}
+
+/// Per-file map from locally visible ident → qualified path prefix,
+/// built from `use` declarations.
+#[derive(Debug, Default)]
+pub struct UseMap {
+    /// `Internet` → `netsim::internet::Internet` (canonical short-crate
+    /// segments, `crate` already substituted with the owning crate).
+    map: BTreeMap<String, Vec<String>>,
+}
+
+impl UseMap {
+    /// Resolve a locally visible ident to its qualified path segments,
+    /// if a `use` declaration introduced it.
+    pub fn lookup(&self, ident: &str) -> Option<&[String]> {
+        self.map.get(ident).map(|v| v.as_slice())
+    }
+
+    fn insert(&mut self, local: String, path: Vec<String>) {
+        self.map.insert(local, path);
+    }
+}
+
+/// Parse every top-level-ish `use` declaration in the token stream.
+/// `self_crate` is the canonical short crate name of the file (used to
+/// substitute `crate::`); `self_module` is the file's own module path
+/// (used for `self::` / `super::`).
+pub fn collect_uses(toks: &[Tok], self_module: &str) -> UseMap {
+    let self_segs: Vec<String> = self_module.split("::").map(String::from).collect();
+    let mut um = UseMap::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            parse_use_tree(&toks[i + 1..j], &[], &self_segs, &mut um);
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    um
+}
+
+/// Recursively parse one use-tree (`a::b::{c, d as e, f::*}`), adding
+/// every leaf to the map under its local name.
+fn parse_use_tree(toks: &[Tok], prefix: &[String], self_segs: &[String], um: &mut UseMap) {
+    let mut segs: Vec<String> = prefix.to_vec();
+    let mut rename: Option<String> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("as") {
+            // `… as D` ends the path; D is the local binding only.
+            rename = toks
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone());
+            break;
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "crate" => {
+                    // `crate::…` — root of the owning crate.
+                    if let Some(k) = self_segs.first() {
+                        if segs.is_empty() {
+                            segs.push(k.clone());
+                        }
+                    }
+                }
+                "self" if segs.is_empty() => segs.extend(self_segs.iter().cloned()),
+                "super" if segs.len() <= self_segs.len() => {
+                    // Approximate: parent of the file's module.
+                    if segs.is_empty() {
+                        segs.extend(
+                            self_segs[..self_segs.len().saturating_sub(1)]
+                                .iter()
+                                .cloned(),
+                        );
+                    }
+                }
+                _ => segs.push(normalize_crate(&t.text).to_string()),
+            }
+            i += 1;
+        } else if t.is_punct(':') || t.is_punct('&') || t.is_ident("pub") {
+            i += 1;
+        } else if t.is_punct('{') {
+            // Group: split the body on top-level commas, recurse.
+            let mut depth = 1i64;
+            let start = i + 1;
+            let mut k = start;
+            let mut item_start = start;
+            while k < toks.len() && depth > 0 {
+                if toks[k].is_punct('{') {
+                    depth += 1;
+                } else if toks[k].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        parse_use_tree(&toks[item_start..k], &segs, self_segs, um);
+                    }
+                } else if toks[k].is_punct(',') && depth == 1 {
+                    parse_use_tree(&toks[item_start..k], &segs, self_segs, um);
+                    item_start = k + 1;
+                }
+                k += 1;
+            }
+            return;
+        } else if t.is_punct('*') {
+            // Glob: nothing to bind by name; the call-graph falls back
+            // to workspace-wide name lookup anyway.
+            return;
+        } else {
+            i += 1;
+        }
+    }
+    // Leaf: `a::b::C` binds `C`; `a::b::C as D` binds `D`.
+    if !segs.is_empty() {
+        let local = rename.or_else(|| segs.last().cloned());
+        if let Some(local) = local {
+            um.insert(local, segs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    #[test]
+    fn module_paths_follow_workspace_layout() {
+        assert_eq!(module_path("crates/netsim/src/lib.rs"), "netsim");
+        assert_eq!(module_path("crates/netsim/src/kernel.rs"), "netsim::kernel");
+        assert_eq!(
+            module_path("crates/scanner/src/bin/tool.rs"),
+            "scanner::bin::tool"
+        );
+        assert_eq!(
+            module_path("crates/lint/tests/selfrun.rs"),
+            "lint::tests::selfrun"
+        );
+        assert_eq!(module_path("tests/end_to_end.rs"), "ws_tests::end_to_end");
+        assert_eq!(
+            module_path("examples/quickstart.rs"),
+            "ws_examples::quickstart"
+        );
+    }
+
+    #[test]
+    fn use_groups_and_renames() {
+        let (toks, _) = lex(
+            "use filterwatch_netsim::{Internet, time::SimTime as VTime};\n\
+             use crate::merge::ordered_flatten;\n",
+        );
+        let um = collect_uses(&toks, "scanner::index");
+        assert_eq!(
+            um.lookup("Internet").unwrap(),
+            &["netsim".to_string(), "Internet".to_string()][..]
+        );
+        assert_eq!(
+            um.lookup("VTime").unwrap(),
+            &[
+                "netsim".to_string(),
+                "time".to_string(),
+                "SimTime".to_string()
+            ][..]
+        );
+        assert_eq!(
+            um.lookup("ordered_flatten").unwrap(),
+            &[
+                "scanner".to_string(),
+                "merge".to_string(),
+                "ordered_flatten".to_string()
+            ][..]
+        );
+    }
+
+    #[test]
+    fn glob_imports_bind_nothing() {
+        let (toks, _) = lex("use filterwatch_trace::step::*;\n");
+        let um = collect_uses(&toks, "measure");
+        assert!(um.lookup("StepKind").is_none());
+    }
+}

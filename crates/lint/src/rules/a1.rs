@@ -48,7 +48,7 @@ pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
                 severity: Severity::Warning,
                 file: m.path.clone(),
                 line,
-                function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                function: m.enclosing_fn(i).map(|f| f.qualified()),
                 kind: format!("deprecated:{}::{}", dep.type_name, dep.method),
                 message: format!(
                     "`{}::{}` is deprecated; use {} instead",

@@ -1,0 +1,60 @@
+//! C1 — spawn-merge: spawned work must provably funnel through a
+//! sanctioned deterministic ordered-merge helper.
+//!
+//! The dataflow successor to `d1-thread-spawn`. D1 accepts a comment
+//! marker (`ordered-merge`) on good faith; C1 demands proof: the
+//! function containing the spawn must either sort the merged results
+//! in its own body or have a resolved call-graph path to one of the
+//! registered merge helpers ([`crate::rules::Config::merge_helpers`],
+//! e.g. `scanner::merge::ordered_flatten`). A stale or lying comment
+//! passes D1 and fails C1 — see the `c1_unmerged_spawn.rs` fixture.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::model::FileModel;
+use crate::rules::d1::SORT_IDENTS;
+use crate::rules::Workspace;
+
+pub fn check(models: &[FileModel], ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for (mi, m) in models.iter().enumerate() {
+        let toks = &m.toks;
+        for (fi, f) in m.fns.iter().enumerate() {
+            if m.in_test(f.line) {
+                continue;
+            }
+            let hi = f.body_end.min(toks.len());
+            let spawn_site = (f.body_start..hi).find(|&i| {
+                toks[i].is_ident("spawn")
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && i >= 1
+                    && (toks[i - 1].is_punct('.')
+                        || (toks[i - 1].is_punct(':')
+                            && i >= 3
+                            && toks[i - 2].is_punct(':')
+                            && toks[i - 3].is_ident("thread")))
+            });
+            let Some(site) = spawn_site else {
+                continue;
+            };
+            let sorts = toks[f.body_start..hi]
+                .iter()
+                .any(|t| SORT_IDENTS.contains(&t.text.as_str()));
+            if sorts || ws.reaches_merge(mi, fi) {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "c1-spawn-merge",
+                severity: Severity::Error,
+                file: m.path.clone(),
+                line: toks[site].line,
+                function: Some(f.qualified()),
+                kind: "spawn-no-merge-path".into(),
+                message: format!(
+                    "`{}` spawns workers but neither sorts the merged results nor reaches a \
+                     sanctioned ordered-merge helper through the call graph; route the \
+                     results through `ordered_flatten` (or sort before use)",
+                    f.qualified()
+                ),
+            });
+        }
+    }
+}

@@ -62,7 +62,7 @@ pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
                     severity: Severity::Error,
                     file: m.path.clone(),
                     line: t.line,
-                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    function: m.enclosing_fn(i).map(|f| f.qualified()),
                     kind: "SystemTime".into(),
                     message: "`SystemTime` is wall-clock state; timestamps must come from \
                               the virtual clock (`SimTime`)"
@@ -79,7 +79,7 @@ pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
                     severity: Severity::Error,
                     file: m.path.clone(),
                     line: t.line,
-                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    function: m.enclosing_fn(i).map(|f| f.qualified()),
                     kind: "Instant::now".into(),
                     message: "wall-clock read; route timing through the virtual clock or the \
                               telemetry `--wall` path (`TelemetryHandle::observe_timed`)"
@@ -103,7 +103,7 @@ pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
                 severity: Severity::Error,
                 file: m.path.clone(),
                 line: t.line,
-                function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                function: m.enclosing_fn(i).map(|f| f.qualified()),
                 kind: format!("rng:{}", t.text),
                 message: "entropy-seeded RNG; construct generators with an explicit seed \
                           (`SeedableRng::seed_from_u64`)"
@@ -137,7 +137,7 @@ pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
                     severity: Severity::Error,
                     file: m.path.clone(),
                     line: reader.line,
-                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    function: m.enclosing_fn(i).map(|f| f.qualified()),
                     kind: format!("env:{shown}"),
                     message: format!(
                         "read of environment variable `{shown}` not in the registered \
@@ -178,7 +178,7 @@ pub fn check(m: &FileModel, cfg: &Config, out: &mut Vec<Diagnostic>) {
                     severity: Severity::Error,
                     file: m.path.clone(),
                     line: t.line,
-                    function: m.enclosing_fn(i).map(|f| f.name.clone()),
+                    function: m.enclosing_fn(i).map(|f| f.qualified()),
                     kind: "spawn".into(),
                     message: "thread spawn without an ordered-merge marker; merge worker \
                               results in a deterministic order and say so in a comment \

@@ -16,7 +16,8 @@
 //!    container (`BTreeMap`/`BTreeSet`/`BinaryHeap`), or when the
 //!    enclosing function cannot reach rendered output: it is flagged
 //!    only if it is a render/report sink by name, is transitively
-//!    called from one (name-based call graph), or escapes as an
+//!    called from one along a resolved call-graph path (the
+//!    [`crate::summary`] RENDER_REACHING bit), or escapes as an
 //!    `impl Iterator` return.
 //!
 //! Name-based matching is deliberately conservative: a false positive
@@ -53,8 +54,8 @@ const ORDER_INSENSITIVE: &[&str] = &[
 const ORDERED_SINKS: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
 
 pub fn check(models: &[FileModel], ws: &Workspace, out: &mut Vec<Diagnostic>) {
-    for m in models {
-        for f in &m.fns {
+    for (mi, m) in models.iter().enumerate() {
+        for (fi, f) in m.fns.iter().enumerate() {
             if m.in_test(f.line) {
                 continue;
             }
@@ -65,7 +66,7 @@ pub fn check(models: &[FileModel], ws: &Workspace, out: &mut Vec<Diagnostic>) {
             let locals = hash_locals(body);
             let watched = |name: &str| ws.hash_names.contains(name) || locals.contains(name);
 
-            let fn_escapes = escapes_render(m, f, ws);
+            let fn_escapes = ws.render_reaching(mi, fi) || escapes_render(m, f);
             let fn_discharged = body.iter().any(|t| {
                 SORT_IDENTS.contains(&t.text.as_str()) || ORDERED_SINKS.contains(&t.text.as_str())
             });
@@ -85,7 +86,7 @@ pub fn check(models: &[FileModel], ws: &Workspace, out: &mut Vec<Diagnostic>) {
                     severity: Severity::Warning,
                     file: m.path.clone(),
                     line: body[i].line,
-                    function: Some(f.name.clone()),
+                    function: Some(f.qualified()),
                     kind: format!("iter:{recv}"),
                     message: format!(
                         "iteration over hash container `{recv}` can reach rendered output \
@@ -156,12 +157,10 @@ fn insensitive_terminal(body: &[crate::lex::Tok], i: usize) -> bool {
     false
 }
 
-/// Can `f`'s iteration order escape into rendered output?
-fn escapes_render(m: &FileModel, f: &FnInfo, ws: &Workspace) -> bool {
-    if ws.render_reaching.contains(&f.name) {
-        return true;
-    }
-    // `-> impl Iterator` hands the unspecified order to every caller.
+/// Can `f`'s iteration order escape without going through a resolved
+/// call edge? `-> impl Iterator` hands the unspecified order to every
+/// caller, outside the graph's view.
+fn escapes_render(m: &FileModel, f: &FnInfo) -> bool {
     let sig = &m.toks[f.sig_start..f.body_start.min(m.toks.len())];
     sig.iter()
         .any(|t| t.is_ident("Iterator") || t.is_ident("IntoIterator"))

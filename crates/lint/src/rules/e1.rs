@@ -1,0 +1,156 @@
+//! E1 — enum closure: registered grow-prone enums must be exhaustively
+//! handled at every registered consumer site.
+//!
+//! `match` wildcards and token fallbacks compile fine when a variant
+//! is added — and silently mis-render, mis-parse, or drop the new
+//! kernel event / trace step / campaign stage. For each registered
+//! enum ([`crate::rules::Config::enum_closures`]), every registered
+//! consumer function must *mention* every variant name in its body.
+//! Mention-level checking is deliberate: it accepts any handling shape
+//! (match arm, if-let chain, table entry) and only fires when a
+//! variant is entirely absent — which is exactly the add-a-variant
+//! failure mode.
+//!
+//! Variant lists come from the `enum` declaration in the consumer's
+//! own file when present, else from a unique declaration elsewhere in
+//! the scan set; if the declaration is not in the scan set the check
+//! is skipped (unit-test snippets stay clean).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lex::{Tok, TokKind};
+use crate::model::{match_brace, FileModel};
+use crate::rules::{Config, Workspace};
+use std::collections::BTreeMap;
+
+/// Variant names of every `enum <Name> { … }` declaration in `toks`.
+fn enum_decls(toks: &[Tok]) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("enum")
+            && toks[i + 1].kind == TokKind::Ident
+            && (toks[i + 2].is_punct('{') || toks[i + 2].is_punct('<'))
+        {
+            let name = toks[i + 1].text.clone();
+            // Skip generics to the body brace.
+            let mut b = i + 2;
+            while b < toks.len() && !toks[b].is_punct('{') {
+                b += 1;
+            }
+            if b >= toks.len() {
+                break;
+            }
+            let close = match_brace(toks, b);
+            let mut variants = Vec::new();
+            let mut j = b + 1;
+            let mut expect_variant = true;
+            let mut depth = 0i64;
+            while j < close {
+                let t = &toks[j];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('<') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct('>') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 {
+                    if t.is_punct(',') {
+                        expect_variant = true;
+                    } else if t.is_punct('#') {
+                        // attribute: skip `#[…]`
+                        if toks.get(j + 1).is_some_and(|n| n.is_punct('[')) {
+                            let mut d = 1i64;
+                            j += 2;
+                            while j < close && d > 0 {
+                                if toks[j].is_punct('[') {
+                                    d += 1;
+                                } else if toks[j].is_punct(']') {
+                                    d -= 1;
+                                }
+                                j += 1;
+                            }
+                            continue;
+                        }
+                    } else if expect_variant && t.kind == TokKind::Ident {
+                        variants.push(t.text.clone());
+                        expect_variant = false;
+                    }
+                }
+                j += 1;
+            }
+            out.insert(name, variants);
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+pub fn check(models: &[FileModel], ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    // Per-file and global enum declaration tables.
+    let per_file: Vec<BTreeMap<String, Vec<String>>> =
+        models.iter().map(|m| enum_decls(&m.toks)).collect();
+    let mut global: BTreeMap<&str, Vec<&Vec<String>>> = BTreeMap::new();
+    for decls in &per_file {
+        for (name, variants) in decls {
+            global.entry(name).or_default().push(variants);
+        }
+    }
+
+    for closure in &cfg.enum_closures {
+        for (cons_ty, cons_fn) in &closure.consumers {
+            let sites = match cons_ty.as_str() {
+                "" | "*" => {
+                    // Free functions (or any impl) — resolved via graph.
+                    let mut v = Vec::new();
+                    for id in ws.graph.find(cons_ty, cons_fn) {
+                        let n = &ws.graph.nodes[id];
+                        v.push((n.model, n.fn_idx));
+                    }
+                    v
+                }
+                _ => ws
+                    .impl_fns
+                    .get(&(cons_ty.clone(), cons_fn.clone()))
+                    .cloned()
+                    .unwrap_or_default(),
+            };
+            for (mi, fi) in sites {
+                let m = &models[mi];
+                let f = &m.fns[fi];
+                if m.in_test(f.line) {
+                    continue;
+                }
+                // Same-file declaration wins; else a unique one in the
+                // scan set; else skip (decl not visible to this run).
+                let variants: &Vec<String> = match per_file[mi].get(&closure.enum_name) {
+                    Some(v) => v,
+                    None => match global.get(closure.enum_name.as_str()) {
+                        Some(decls) if decls.len() == 1 => decls[0],
+                        _ => continue,
+                    },
+                };
+                let body = &m.toks[f.body_start..f.body_end.min(m.toks.len())];
+                for variant in variants {
+                    if body.iter().any(|t| t.is_ident(variant)) {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        rule: "e1-enum-closure",
+                        severity: Severity::Error,
+                        file: m.path.clone(),
+                        line: f.line,
+                        function: Some(f.qualified()),
+                        kind: format!("missing-variant:{}::{variant}", closure.enum_name),
+                        message: format!(
+                            "registered consumer `{}` of enum `{}` never mentions variant \
+                             `{variant}`; a wildcard arm or fallback is silently dropping it \
+                             — handle the variant explicitly",
+                            f.qualified(),
+                            closure.enum_name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

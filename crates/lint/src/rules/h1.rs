@@ -1,0 +1,165 @@
+//! H1 — hot-path allocation: allocation inside loops of functions
+//! reachable from registered hot entry points.
+//!
+//! The paper's pipeline touches every simulated address and every
+//! probe result many times per campaign; the seed once spent ~2000×
+//! its useful work rebuilding identical strings per probe (ROADMAP
+//! item 5). H1 mechanizes that discipline: a function carrying the
+//! interprocedural HOT bit (reachable from `Kernel::run_to_quiescence`,
+//! the sweep scan loop, fingerprint matching, URL testing — see
+//! [`crate::rules::Config::hot_entries`]) must not allocate inside a
+//! loop body unless the allocation is provably once-per-key-lifetime
+//! (`get_or_insert_with` memoization) or sits behind a registered cold
+//! gate (`if recording() { … }`).
+//!
+//! Severity is warning: some per-iteration allocations are the point
+//! (building the result set). The baseline holds the accepted ones;
+//! new ones need a hoist, an intern table, or a justified suppression.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lex::{Tok, TokKind};
+use crate::model::{match_brace, FileModel};
+use crate::rules::{Config, Workspace};
+use crate::summary::{ALLOC_MACROS, ALLOC_METHODS};
+
+/// Find the matching `)` for the `(` at `open`; falls back to the last
+/// index when unbalanced.
+fn match_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Token-index ranges (absolute into `m.toks`) discharged for this
+/// function: memoized `get_or_insert_with` closures and cold-gated
+/// blocks.
+fn discharged_ranges(m: &FileModel, lo: usize, hi: usize, cfg: &Config) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &m.toks[i];
+        // Memoized-once: the closure argument of `get_or_insert_with(`
+        // runs at most once per entry lifetime. (`or_insert_with` is
+        // NOT discharged — it runs once per key, which on a per-probe
+        // map is still per-probe.)
+        if t.is_ident("get_or_insert_with") && m.toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            let close = match_paren(&m.toks[..hi], i + 1);
+            out.push((i + 1, close));
+            i = close.max(i + 1);
+            continue;
+        }
+        // Cold gate: `if <gate-ident…> { … }` — the block only runs
+        // when tracing/telemetry is switched on.
+        if t.is_ident("if") {
+            let mut j = i + 1;
+            let mut gated = false;
+            while j < hi && !m.toks[j].is_punct('{') {
+                if m.toks[j].kind == TokKind::Ident
+                    && cfg.cold_gate_idents.iter().any(|g| g == &m.toks[j].text)
+                {
+                    gated = true;
+                }
+                j += 1;
+            }
+            if gated && j < hi {
+                let close = match_brace(&m.toks, j);
+                out.push((j, close.min(hi)));
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Loop-body token ranges (absolute) within `[lo, hi)`: bodies of
+/// `for`, `while` (incl. `while let`) and `loop`.
+fn loop_ranges(m: &FileModel, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in lo..hi {
+        let t = &m.toks[i];
+        if !(t.is_ident("for") || t.is_ident("while") || t.is_ident("loop")) {
+            continue;
+        }
+        // `for` inside a closure param list or `impl … for` never
+        // appears inside fn bodies at token level except `for<'a>`.
+        if t.is_ident("for") && m.toks.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+            continue;
+        }
+        let mut j = i + 1;
+        let mut depth = 0i64;
+        while j < hi {
+            let u = &m.toks[j];
+            if u.is_punct('(') || u.is_punct('[') {
+                depth += 1;
+            } else if u.is_punct(')') || u.is_punct(']') {
+                depth -= 1;
+            } else if (u.is_punct('{') || u.is_punct(';')) && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        if j < hi && m.toks[j].is_punct('{') {
+            out.push((j, match_brace(&m.toks, j).min(hi)));
+        }
+    }
+    out
+}
+
+pub fn check(models: &[FileModel], ws: &Workspace, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    for (mi, m) in models.iter().enumerate() {
+        for (fi, f) in m.fns.iter().enumerate() {
+            if m.in_test(f.line) || !ws.hot(mi, fi) {
+                continue;
+            }
+            let hi = f.body_end.min(m.toks.len());
+            let loops = loop_ranges(m, f.body_start, hi);
+            if loops.is_empty() {
+                continue;
+            }
+            let discharged = discharged_ranges(m, f.body_start, hi, cfg);
+            let in_any =
+                |ranges: &[(usize, usize)], i: usize| ranges.iter().any(|&(a, b)| i > a && i < b);
+            for i in f.body_start..hi {
+                let t = &m.toks[i];
+                if t.kind != TokKind::Ident || !in_any(&loops, i) || in_any(&discharged, i) {
+                    continue;
+                }
+                let name = t.text.as_str();
+                let next_bang = m.toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                let prev_dot = i > 0 && m.toks[i - 1].is_punct('.');
+                let kind = if ALLOC_MACROS.contains(&name) && next_bang {
+                    format!("alloc:{name}!")
+                } else if ALLOC_METHODS.contains(&name) && prev_dot {
+                    format!("alloc:{name}")
+                } else {
+                    continue;
+                };
+                out.push(Diagnostic {
+                    rule: "h1-hot-alloc",
+                    severity: Severity::Warning,
+                    file: m.path.clone(),
+                    line: t.line,
+                    function: Some(f.qualified()),
+                    kind,
+                    message: format!(
+                        "`{name}` allocates inside a loop of `{}`, which is reachable from a \
+                         registered hot entry point; hoist the allocation out of the loop, \
+                         intern it, or memoize via get_or_insert_with (ROADMAP item 5)",
+                        f.qualified()
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -10,17 +10,27 @@
 //! | `w1-wire-pair`    | W1     | error    | `to_line`/`to_token` emitters whose tokens lack a `parse_line`/`parse_token` arm (and vice versa) |
 //! | `a1-deprecated`   | A1     | warning  | calls into the registered deprecated-API set      |
 //! | `p1-panic`        | P1     | warning/info | `unwrap`/`panic!` (warning), `expect` (info) in library code |
+//! | `h1-hot-alloc`    | H1     | warning  | allocation inside loops of functions reachable from registered hot entry points |
+//! | `t1-sim-time`     | T1     | error    | backwards `SimTime` arithmetic outside the kernel; wall-clock durations feeding the virtual queue |
+//! | `c1-spawn-merge`  | C1     | error    | spawn sites with no call-graph path to a sanctioned ordered-merge helper |
+//! | `e1-enum-closure` | E1     | error    | registered enums not exhaustively handled at registered consumer sites |
 
 pub mod a1;
+pub mod c1;
 pub mod d1;
 pub mod d2;
+pub mod e1;
+pub mod h1;
 pub mod p1;
+pub mod t1;
 pub mod w1;
 
+use crate::callgraph::CallGraph;
 use crate::diag::{sort_diagnostics, Diagnostic};
 use crate::lex::TokKind;
 use crate::model::FileModel;
-use std::collections::{BTreeMap, BTreeSet};
+use crate::summary::{bits, Summaries};
+use std::collections::BTreeMap;
 
 /// A deprecated API the A1 rule hunts for.
 #[derive(Debug, Clone)]
@@ -45,9 +55,21 @@ pub struct WirePair {
     pub check_tokens: bool,
 }
 
+/// One registered enum plus the consumer sites that must handle every
+/// variant — the E1 rule's registry.
+#[derive(Debug, Clone)]
+pub struct EnumClosure {
+    /// Enum type name (`EventKind`, `StepKind`, …).
+    pub enum_name: String,
+    /// (impl type or ""/`*`, fn name) sites that must mention every
+    /// variant: renderers, parsers, dispatch handlers.
+    pub consumers: Vec<(String, String)>,
+}
+
 /// Analyzer configuration. [`Config::workspace_default`] carries the
 /// registries for this workspace (allow-listed env vars, the
-/// deprecation set, the wire-format pairs).
+/// deprecation set, the wire-format pairs, hot entry points, sanctioned
+/// merge helpers, sim-time sanctioned paths, and the enum closures).
 #[derive(Debug, Clone, Default)]
 pub struct Config {
     /// Environment variables the workspace may read (all are
@@ -55,6 +77,24 @@ pub struct Config {
     pub env_allowlist: Vec<String>,
     pub deprecated: Vec<DeprecatedApi>,
     pub wire_pairs: Vec<WirePair>,
+    /// (impl type or ""/`*`, fn) hot entry points: everything reachable
+    /// from these is on the per-probe / per-event fast path, and H1
+    /// polices its loops.
+    pub hot_entries: Vec<(String, String)>,
+    /// (impl type or ""/`*`, fn) boundaries hotness does not cross —
+    /// telemetry emission, trace recording, other gated slow paths.
+    pub cold_boundaries: Vec<(String, String)>,
+    /// Identifiers that gate cold blocks (`if recording() { … }`): H1
+    /// skips allocations inside blocks guarded by these.
+    pub cold_gate_idents: Vec<String>,
+    /// (impl type or ""/`*`, fn) sanctioned deterministic ordered-merge
+    /// helpers C1 requires spawn results to funnel through.
+    pub merge_helpers: Vec<(String, String)>,
+    /// Path suffixes where `SimTime` arithmetic may legitimately move
+    /// in both directions (the kernel owns the clock).
+    pub sim_time_sanctioned: Vec<String>,
+    /// Registered enums E1 closes over.
+    pub enum_closures: Vec<EnumClosure>,
 }
 
 impl Config {
@@ -136,24 +176,110 @@ impl Config {
                     false,
                 ),
             ],
+            // The per-event / per-probe fast paths ROADMAP item 5
+            // polices: the event kernel drain loop, batch fetch, the
+            // sweep scan loop, fingerprint matching, and URL testing.
+            hot_entries: [
+                ("Internet", "run_to_quiescence"),
+                ("Internet", "fetch_batch"),
+                ("Kernel", "run_to_quiescence"),
+                ("ScanIndex", "search_products_with_threads"),
+                ("ScanIndex", "sweep"),
+                ("FingerprintEngine", "identify_all"),
+                ("MeasurementClient", "test_list"),
+            ]
+            .into_iter()
+            .map(|(t, f)| (t.to_string(), f.to_string()))
+            .collect(),
+            // Hotness stops at telemetry/trace emission: those paths
+            // are sampled or disabled in production runs.
+            cold_boundaries: [
+                ("TelemetryHub", "*"),
+                ("TelemetryHandle", "*"),
+                ("TraceHandle", "*"),
+                ("Tracer", "*"),
+            ]
+            .into_iter()
+            .map(|(t, f)| (t.to_string(), f.to_string()))
+            .collect(),
+            cold_gate_idents: [
+                "recording",
+                "is_enabled",
+                "enabled",
+                "event_log_enabled",
+                "cfg",
+                "debug_assertions",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+            merge_helpers: [("", "ordered_flatten"), ("", "ordered_merge_by_key")]
+                .into_iter()
+                .map(|(t, f)| (t.to_string(), f.to_string()))
+                .collect(),
+            sim_time_sanctioned: [
+                "crates/netsim/src/time.rs",
+                "crates/netsim/src/kernel.rs",
+                "crates/netsim/src/timer.rs",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+            enum_closures: vec![
+                EnumClosure {
+                    enum_name: "EventKind".into(),
+                    consumers: vec![
+                        ("EventKind".into(), "to_token".into()),
+                        ("EventKind".into(), "parse_token".into()),
+                        ("SimEvent".into(), "kind".into()),
+                    ],
+                },
+                EnumClosure {
+                    enum_name: "StepKind".into(),
+                    consumers: vec![
+                        ("StepKind".into(), "to_token".into()),
+                        ("StepKind".into(), "parse_token".into()),
+                    ],
+                },
+                EnumClosure {
+                    enum_name: "FlowDisposition".into(),
+                    consumers: vec![
+                        ("FlowDisposition".into(), "to_token".into()),
+                        ("FlowDisposition".into(), "parse_token".into()),
+                    ],
+                },
+                EnumClosure {
+                    enum_name: "VerdictLabel".into(),
+                    consumers: vec![
+                        ("VerdictLabel".into(), "as_str".into()),
+                        ("VerdictLabel".into(), "parse_label".into()),
+                    ],
+                },
+                EnumClosure {
+                    enum_name: "StageState".into(),
+                    consumers: vec![
+                        ("StageState".into(), "to_line".into()),
+                        ("StageState".into(), "parse_line".into()),
+                        ("PaperDriver".into(), "execute".into()),
+                    ],
+                },
+            ],
         }
     }
 }
 
-/// Cross-file indexes shared by the dataflow-lite rules.
+/// Cross-file indexes shared by the interprocedural rules: the
+/// resolved call graph, per-function effect summaries at fixpoint, and
+/// the token-level side tables the older rules still use.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    /// Every function name defined anywhere in the scan set.
-    pub fn_names: BTreeSet<String>,
-    /// Name-based call edges: caller name → callee names (only callees
-    /// that are defined fn names; method calls count by name).
-    pub callees: BTreeMap<String, BTreeSet<String>>,
-    /// Function names that render output or are (transitively) called
-    /// by something that does.
-    pub render_reaching: BTreeSet<String>,
+    /// Resolved cross-crate call graph.
+    pub graph: CallGraph,
+    /// Per-function summaries ([`crate::summary::bits`]) at fixpoint.
+    pub summaries: Summaries,
     /// Names bound to `HashMap`/`HashSet` anywhere (struct fields,
     /// params, locals) — the receivers D2 watches.
-    pub hash_names: BTreeSet<String>,
+    pub hash_names: std::collections::BTreeSet<String>,
     /// (impl type, fn name) → (model index, fn index) occurrences.
     pub impl_fns: BTreeMap<(String, String), Vec<(usize, usize)>>,
 }
@@ -174,12 +300,13 @@ pub fn is_sink_name(name: &str) -> bool {
 }
 
 impl Workspace {
-    /// Build the cross-file indexes over the whole scan set.
-    pub fn build(models: &[FileModel]) -> Workspace {
+    /// Build the cross-file indexes over the whole scan set: token
+    /// side-tables, then the resolved call graph, then summaries
+    /// propagated to fixpoint.
+    pub fn build(models: &[FileModel], cfg: &Config) -> Workspace {
         let mut ws = Workspace::default();
         for (mi, m) in models.iter().enumerate() {
             for (fi, f) in m.fns.iter().enumerate() {
-                ws.fn_names.insert(f.name.clone());
                 if let Some(ty) = &f.impl_type {
                     ws.impl_fns
                         .entry((ty.clone(), f.name.clone()))
@@ -199,64 +326,52 @@ impl Workspace {
                 }
             }
         }
-        // Call edges by name: any defined-fn ident followed by `(`.
-        for m in models {
-            for f in &m.fns {
-                let body = &m.toks[f.body_start..f.body_end.min(m.toks.len())];
-                let mut edges = BTreeSet::new();
-                for w in body.windows(2) {
-                    if w[0].kind == TokKind::Ident
-                        && w[1].is_punct('(')
-                        && ws.fn_names.contains(&w[0].text)
-                        && w[0].text != f.name
-                    {
-                        edges.insert(w[0].text.clone());
-                    }
-                }
-                ws.callees.entry(f.name.clone()).or_default().extend(edges);
-            }
-        }
-        // Render-reaching = sinks plus everything a sink transitively
-        // calls (a sink iterating a map *or* formatting data an
-        // unsorted helper handed it both corrupt rendered output).
-        let mut reaching: BTreeSet<String> = ws
-            .fn_names
-            .iter()
-            .filter(|n| is_sink_name(n))
-            .cloned()
-            .collect();
-        loop {
-            let mut grew = false;
-            for (caller, callees) in &ws.callees {
-                if reaching.contains(caller) {
-                    for c in callees {
-                        if reaching.insert(c.clone()) {
-                            grew = true;
-                        }
-                    }
-                }
-            }
-            if !grew {
-                break;
-            }
-        }
-        ws.render_reaching = reaching;
+        ws.graph = CallGraph::build(models);
+        ws.summaries = Summaries::build(models, &ws.graph, cfg);
         ws
+    }
+
+    /// Does the transitive summary of `(model, fn)` carry `bit`?
+    fn summary_has(&self, model: usize, fn_idx: usize, bit: u32) -> bool {
+        self.graph
+            .node_of(model, fn_idx)
+            .is_some_and(|id| self.summaries.has(id, bit))
+    }
+
+    /// Is the function render-reaching — a sink by name, or called
+    /// (transitively) by one through a resolved call-graph path?
+    pub fn render_reaching(&self, model: usize, fn_idx: usize) -> bool {
+        self.summary_has(model, fn_idx, bits::RENDER_REACHING)
+    }
+
+    /// Is the function reachable from a registered hot entry point?
+    pub fn hot(&self, model: usize, fn_idx: usize) -> bool {
+        self.summary_has(model, fn_idx, bits::HOT)
+    }
+
+    /// Does the function's forward call closure hit a sanctioned
+    /// ordered-merge helper?
+    pub fn reaches_merge(&self, model: usize, fn_idx: usize) -> bool {
+        self.summary_has(model, fn_idx, bits::REACHES_MERGE)
     }
 }
 
 /// Run every rule over the scan set, apply suppressions, and return
 /// canonically-ordered diagnostics.
 pub fn run_all(models: &[FileModel], cfg: &Config) -> Vec<Diagnostic> {
-    let ws = Workspace::build(models);
+    let ws = Workspace::build(models, cfg);
     let mut out = Vec::new();
     for m in models {
         d1::check(m, cfg, &mut out);
         a1::check(m, cfg, &mut out);
         p1::check(m, &mut out);
+        t1::check(m, cfg, &mut out);
     }
     d2::check(models, &ws, &mut out);
     w1::check(models, &ws, cfg, &mut out);
+    h1::check(models, &ws, cfg, &mut out);
+    c1::check(models, &ws, &mut out);
+    e1::check(models, &ws, cfg, &mut out);
 
     // Central suppression pass: a `// filterwatch-lint: allow(rule)`
     // on the finding's line (or the line above) or an `allow-file`

@@ -66,7 +66,7 @@ pub fn check(m: &FileModel, out: &mut Vec<Diagnostic>) {
             severity,
             file: m.path.clone(),
             line: t.line,
-            function: m.enclosing_fn(i).map(|f| f.name.clone()),
+            function: m.enclosing_fn(i).map(|f| f.qualified()),
             kind: kind.into(),
             message: format!("`{kind}` in library code; {advice}"),
         });

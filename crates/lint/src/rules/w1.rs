@@ -43,7 +43,7 @@ pub fn check(models: &[FileModel], ws: &Workspace, cfg: &Config, out: &mut Vec<D
                 severity: Severity::Error,
                 file: models[mi].path.clone(),
                 line: f.line,
-                function: Some(f.name.clone()),
+                function: Some(f.qualified()),
                 kind: format!("missing-parse:{}", describe(&pair.parse)),
                 message: format!(
                     "`{}` renders a wire format but `{}` is not defined anywhere in the \
@@ -62,7 +62,7 @@ pub fn check(models: &[FileModel], ws: &Workspace, cfg: &Config, out: &mut Vec<D
                 severity: Severity::Error,
                 file: models[mi].path.clone(),
                 line: f.line,
-                function: Some(f.name.clone()),
+                function: Some(f.qualified()),
                 kind: format!("missing-emit:{}", describe(&pair.emit)),
                 message: format!(
                     "`{}` parses a wire format but `{}` is not defined anywhere in the \
@@ -116,7 +116,7 @@ pub fn check(models: &[FileModel], ws: &Workspace, cfg: &Config, out: &mut Vec<D
                 severity: Severity::Error,
                 file: models[mi].path.clone(),
                 line: f.line,
-                function: Some(f.name.clone()),
+                function: Some(f.qualified()),
                 kind: format!("emit-without-parse:{head}"),
                 message: format!(
                     "token head `{head}` is emitted by `{}` but has no arm in `{}`; \
@@ -134,7 +134,7 @@ pub fn check(models: &[FileModel], ws: &Workspace, cfg: &Config, out: &mut Vec<D
                 severity: Severity::Error,
                 file: models[mi].path.clone(),
                 line: f.line,
-                function: Some(f.name.clone()),
+                function: Some(f.qualified()),
                 kind: format!("parse-without-emit:{head}"),
                 message: format!(
                     "token head `{head}` has a parse arm in `{}` but `{}` never emits it; \

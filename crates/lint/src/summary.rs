@@ -1,0 +1,303 @@
+//! Per-function effect summaries propagated to a fixpoint.
+//!
+//! Each function gets a *local* summary (facts observable in its own
+//! body) and a *transitive* summary (local facts OR'd with everything
+//! its callees do). Two propagation directions run over the call
+//! graph:
+//!
+//! - **up** (callee → caller): effect bits — a function that calls an
+//!   allocator transitively allocates; ditto spawns, clock reads,
+//!   hash-order iteration, SimTime advancement, and reaching a
+//!   sanctioned ordered-merge helper;
+//! - **down** (caller → callee): context bits — everything reachable
+//!   from a registered hot entry point is HOT (stopping at registered
+//!   cold boundaries), and everything a render/report sink calls is
+//!   RENDER_REACHING (replacing the old name-based reverse BFS).
+//!
+//! Both loops visit nodes in index order until nothing changes; the
+//! result is independent of file visit order because the graph's
+//! containers are ordered and OR is commutative.
+
+use crate::callgraph::{CallGraph, NodeId};
+use crate::lex::TokKind;
+use crate::model::FileModel;
+use crate::rules::{is_sink_name, Config};
+use std::collections::BTreeSet;
+
+/// Effect and context bits. `LOCAL_*` are observed; the rest derive.
+pub mod bits {
+    /// Allocates (format!/to_string/clone/collect/vec!/…).
+    pub const ALLOCATES: u32 = 1 << 0;
+    /// Spawns a thread or scoped task.
+    pub const SPAWNS: u32 = 1 << 1;
+    /// Reads the wall clock (Instant/SystemTime/elapsed).
+    pub const READS_CLOCK: u32 = 1 << 2;
+    /// Iterates a `HashMap`/`HashSet` (order-sensitive source).
+    pub const HASH_ITER: u32 = 1 << 3;
+    /// Advances or schedules against virtual [`SimTime`].
+    pub const ADVANCES_SIMTIME: u32 = 1 << 4;
+    /// Is (or calls into) a sanctioned ordered-merge helper.
+    pub const REACHES_MERGE: u32 = 1 << 5;
+    /// Reachable from a registered hot entry point (down).
+    pub const HOT: u32 = 1 << 6;
+    /// Called (transitively) by a render/report sink (down).
+    pub const RENDER_REACHING: u32 = 1 << 7;
+
+    /// Bits that flow up (callee → caller).
+    pub const UP_MASK: u32 =
+        ALLOCATES | SPAWNS | READS_CLOCK | HASH_ITER | ADVANCES_SIMTIME | REACHES_MERGE;
+    /// Bits that flow down (caller → callee).
+    pub const DOWN_MASK: u32 = HOT | RENDER_REACHING;
+}
+
+/// Idents whose call allocates. `format`/`vec` only count with a
+/// following `!`; the rest only as `.method(` receivers.
+pub const ALLOC_MACROS: &[&str] = &["format", "vec"];
+pub const ALLOC_METHODS: &[&str] = &[
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "to_ascii_lowercase",
+    "to_ascii_uppercase",
+    "to_lowercase",
+    "to_uppercase",
+    "clone",
+    "cloned",
+    "collect",
+];
+
+/// Idents that advance or schedule against the virtual clock.
+const SIMTIME_ADVANCERS: &[&str] = &[
+    "advance_secs",
+    "advance_to",
+    "plus_secs",
+    "plus_days",
+    "schedule",
+    "schedule_at",
+    "schedule_in",
+    "park_until",
+];
+
+/// Per-function summaries, indexed by [`NodeId`].
+#[derive(Debug, Default)]
+pub struct Summaries {
+    /// Facts observable in the function's own body.
+    pub local: Vec<u32>,
+    /// Local facts plus everything reachable through calls (UP bits)
+    /// plus inherited context (DOWN bits).
+    pub trans: Vec<u32>,
+}
+
+impl Summaries {
+    /// Does the node's transitive summary carry `bit`?
+    pub fn has(&self, id: NodeId, bit: u32) -> bool {
+        self.trans.get(id).is_some_and(|s| s & bit != 0)
+    }
+
+    /// Compute local summaries and run both fixpoints.
+    pub fn build(models: &[FileModel], graph: &CallGraph, cfg: &Config) -> Summaries {
+        let n = graph.nodes.len();
+        let mut local = vec![0u32; n];
+
+        // Names bound to HashMap/HashSet anywhere in the scan set; the
+        // same conservative global set D2 uses.
+        let mut hash_names: BTreeSet<&str> = BTreeSet::new();
+        for m in models {
+            for w in m.toks.windows(3) {
+                if w[0].kind == TokKind::Ident
+                    && w[1].is_punct(':')
+                    && (w[2].is_ident("HashMap") || w[2].is_ident("HashSet"))
+                {
+                    hash_names.insert(&w[0].text);
+                }
+            }
+        }
+
+        for (id, node) in graph.nodes.iter().enumerate() {
+            let m = &models[node.model];
+            let f = &m.fns[node.fn_idx];
+            let body = &m.toks[f.body_start..f.body_end.min(m.toks.len())];
+            let mut s = 0u32;
+            for (i, t) in body.iter().enumerate() {
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let next_bang = body.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                let prev_dot = i > 0 && body[i - 1].is_punct('.');
+                let name = t.text.as_str();
+                if (ALLOC_MACROS.contains(&name) && next_bang)
+                    || (ALLOC_METHODS.contains(&name) && prev_dot)
+                {
+                    s |= bits::ALLOCATES;
+                }
+                if name == "spawn" && body.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    s |= bits::SPAWNS;
+                }
+                if name == "SystemTime"
+                    || name == "elapsed"
+                    || (name == "Instant" && body.get(i + 2).is_some_and(|n| n.is_ident("now")))
+                {
+                    s |= bits::READS_CLOCK;
+                }
+                if SIMTIME_ADVANCERS.contains(&name) {
+                    s |= bits::ADVANCES_SIMTIME;
+                }
+                // `name.iter()`-style iteration over a watched hash
+                // binding, or a `for … in … name` over one.
+                if hash_names.contains(name) {
+                    let nxt = body.get(i + 1);
+                    if nxt.is_some_and(|n| n.is_punct('.')) || prev_dot || {
+                        i > 0 && (body[i - 1].is_ident("in") || body[i - 1].is_punct('&'))
+                    } {
+                        s |= bits::HASH_ITER;
+                    }
+                }
+            }
+            if is_sink_name(&node.name) {
+                s |= bits::RENDER_REACHING;
+            }
+            if cfg
+                .merge_helpers
+                .iter()
+                .any(|(ty, f)| f == &node.name && matches(ty, node.impl_type.as_deref()))
+            {
+                s |= bits::REACHES_MERGE;
+            }
+            local[id] = s;
+        }
+
+        // Seed HOT at registered entry points.
+        let mut trans = local.clone();
+        for (ty, name) in &cfg.hot_entries {
+            for id in graph.find(ty, name) {
+                trans[id] |= bits::HOT;
+            }
+        }
+        let cold: BTreeSet<NodeId> = cfg
+            .cold_boundaries
+            .iter()
+            .flat_map(|(ty, name)| graph.find(ty, name))
+            .collect();
+
+        // Fixpoint: OR is monotone over a finite lattice, so iterating
+        // to quiescence terminates and is order-independent.
+        loop {
+            let mut grew = false;
+            for (caller, callees) in &graph.callees {
+                for &callee in callees {
+                    let up = trans[callee] & bits::UP_MASK;
+                    if trans[*caller] | up != trans[*caller] {
+                        trans[*caller] |= up;
+                        grew = true;
+                    }
+                    let mut down = trans[*caller] & bits::DOWN_MASK;
+                    if cold.contains(&callee) {
+                        down &= !bits::HOT;
+                    }
+                    if trans[callee] | down != trans[callee] {
+                        trans[callee] |= down;
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        Summaries { local, trans }
+    }
+}
+
+fn matches(pattern: &str, impl_type: Option<&str>) -> bool {
+    match pattern {
+        "" => impl_type.is_none(),
+        "*" => true,
+        ty => impl_type == Some(ty),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(srcs: &[(&str, &str)]) -> (Vec<FileModel>, CallGraph) {
+        let models: Vec<FileModel> = srcs.iter().map(|(p, s)| FileModel::parse(p, s)).collect();
+        let graph = CallGraph::build(&models);
+        (models, graph)
+    }
+
+    #[test]
+    fn effects_propagate_up_and_hot_propagates_down() {
+        let (models, graph) = setup(&[(
+            "crates/a/src/lib.rs",
+            "impl Kernel {\n\
+               pub fn run_to_quiescence(&mut self) { self.step(); }\n\
+               fn step(&mut self) { helper(); }\n\
+             }\n\
+             fn helper() { let s = x.to_string(); }\n\
+             fn unrelated() {}\n",
+        )]);
+        let cfg = Config {
+            hot_entries: vec![("Kernel".into(), "run_to_quiescence".into())],
+            ..Config::default()
+        };
+        let s = Summaries::build(&models, &graph, &cfg);
+        let run = *graph
+            .find("Kernel", "run_to_quiescence")
+            .iter()
+            .next()
+            .unwrap();
+        let helper = *graph.find("", "helper").iter().next().unwrap();
+        let unrelated = *graph.find("", "unrelated").iter().next().unwrap();
+        assert!(s.has(run, bits::ALLOCATES), "alloc flows up to the entry");
+        assert!(s.has(helper, bits::HOT), "hot flows down to helpers");
+        assert!(!s.has(unrelated, bits::HOT));
+        assert!(!s.has(unrelated, bits::ALLOCATES));
+    }
+
+    #[test]
+    fn cold_boundary_stops_hot_propagation() {
+        let (models, graph) = setup(&[(
+            "crates/a/src/lib.rs",
+            "pub fn hot_entry() { emit_trace(); crunch(); }\n\
+             fn emit_trace() { log_detail(); }\n\
+             fn log_detail() {}\n\
+             fn crunch() {}\n",
+        )]);
+        let cfg = Config {
+            hot_entries: vec![(String::new(), "hot_entry".into())],
+            cold_boundaries: vec![(String::new(), "emit_trace".into())],
+            ..Config::default()
+        };
+        let s = Summaries::build(&models, &graph, &cfg);
+        let crunch = *graph.find("", "crunch").iter().next().unwrap();
+        let emit = *graph.find("", "emit_trace").iter().next().unwrap();
+        let detail = *graph.find("", "log_detail").iter().next().unwrap();
+        assert!(s.has(crunch, bits::HOT));
+        assert!(!s.has(emit, bits::HOT), "cold boundary is not hot");
+        assert!(
+            !s.has(detail, bits::HOT),
+            "nothing past the boundary is hot"
+        );
+    }
+
+    #[test]
+    fn merge_reach_flows_up_through_calls() {
+        let (models, graph) = setup(&[(
+            "crates/scanner/src/lib.rs",
+            "pub fn ordered_flatten() {}\n\
+             pub fn sweep() { finish(); }\n\
+             fn finish() { ordered_flatten(); }\n\
+             pub fn stray() {}\n",
+        )]);
+        let cfg = Config {
+            merge_helpers: vec![(String::new(), "ordered_flatten".into())],
+            ..Config::default()
+        };
+        let s = Summaries::build(&models, &graph, &cfg);
+        let sweep = *graph.find("", "sweep").iter().next().unwrap();
+        let stray = *graph.find("", "stray").iter().next().unwrap();
+        assert!(s.has(sweep, bits::REACHES_MERGE));
+        assert!(!s.has(stray, bits::REACHES_MERGE));
+    }
+}

@@ -21,7 +21,13 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
         &[("a1-deprecated", "deprecated:ScanIndex::from_records")],
     ),
     ("d1_env_read", &[("d1-env-read", "env:FILTERWATCH_VERBOSE")]),
-    ("d1_thread_spawn", &[("d1-thread-spawn", "spawn")]),
+    (
+        "d1_thread_spawn",
+        &[
+            ("c1-spawn-merge", "spawn-no-merge-path"),
+            ("d1-thread-spawn", "spawn"),
+        ],
+    ),
     ("d1_unseeded_rng", &[("d1-unseeded-rng", "rng:thread_rng")]),
     (
         "d1_wall_clock",
@@ -41,15 +47,27 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
     ),
     (
         "w1_wire_missing_arm",
-        &[("w1-wire-pair", "emit-without-parse:quarantined")],
+        &[
+            (
+                "e1-enum-closure",
+                "missing-variant:FlowDisposition::Quarantined",
+            ),
+            ("w1-wire-pair", "emit-without-parse:quarantined"),
+        ],
     ),
     (
         "w1_trace_missing_arm",
-        &[("w1-wire-pair", "emit-without-parse:quarantine")],
+        &[
+            ("e1-enum-closure", "missing-variant:StepKind::Quarantine"),
+            ("w1-wire-pair", "emit-without-parse:quarantine"),
+        ],
     ),
     (
         "w1_ckpt_missing_arm",
-        &[("w1-wire-pair", "emit-without-parse:quarantined")],
+        &[
+            ("e1-enum-closure", "missing-variant:StageState::Quarantined"),
+            ("w1-wire-pair", "emit-without-parse:quarantined"),
+        ],
     ),
     (
         "w1_interner_missing_arm",
@@ -57,7 +75,43 @@ const FIXTURES: &[(&str, &[(&str, &str)])] = &[
     ),
     (
         "w1_event_missing_arm",
-        &[("w1-wire-pair", "emit-without-parse:suspend")],
+        &[
+            ("e1-enum-closure", "missing-variant:EventKind::Suspend"),
+            ("w1-wire-pair", "emit-without-parse:suspend"),
+        ],
+    ),
+    // New semantic families — appended after the w1 fixtures so the
+    // wire-pair findings keep their historical attribution (w1 blames
+    // the first site in model order).
+    (
+        "h1_hot_alloc",
+        &[
+            ("h1-hot-alloc", "alloc:format!"),
+            ("h1-hot-alloc", "alloc:to_string"),
+        ],
+    ),
+    (
+        "t1_sim_time",
+        &[
+            ("t1-sim-time", "backwards-arith"),
+            ("t1-sim-time", "wall-feeds-queue"),
+        ],
+    ),
+    (
+        "c1_unmerged_spawn",
+        &[("c1-spawn-merge", "spawn-no-merge-path")],
+    ),
+    (
+        "e1_event_missing_arm",
+        &[("e1-enum-closure", "missing-variant:EventKind::Fault")],
+    ),
+    (
+        "e1_step_missing_arm",
+        &[("e1-enum-closure", "missing-variant:StepKind::Retry")],
+    ),
+    (
+        "e1_ckpt_missing_arm",
+        &[("e1-enum-closure", "missing-variant:StageState::Retest")],
     ),
 ];
 

@@ -1,0 +1,96 @@
+//! Property: the call-graph / summary fixpoint is order-independent.
+//!
+//! The interprocedural rules (h1 hotness, c1 merge-reachability, d2
+//! render-reachability) run a bit-propagation fixpoint over the
+//! resolved call graph. Nothing about the result may depend on the
+//! order files are visited or nodes are ingested: permuting the input
+//! file list must yield byte-identical reports. This is the same
+//! discipline the scan index and netsim kernel are held to — ordered
+//! containers and commutative joins, never insertion order.
+
+use filterwatch_lint::{lint_files, render_json, Config};
+use proptest::prelude::*;
+
+/// Deterministic splitmix64 — the generator is seeded by proptest, the
+/// synthetic workspace is a pure function of that seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const FILES: usize = 5;
+const FNS_PER_FILE: usize = 4;
+
+/// Build a synthetic multi-crate workspace: free functions calling
+/// each other across files (resolved through the bare-name fallback),
+/// some allocating in loops, some spawning, one file hosting the hot
+/// entry `Internet::run_to_quiescence` and one a sanctioned
+/// `ordered_flatten` helper the spawners may or may not reach.
+fn synth_workspace(seed: u64) -> Vec<(String, String)> {
+    let mut rng = Mix(seed);
+    let mut files = Vec::new();
+    for fi in 0..FILES {
+        let mut src = String::new();
+        for fj in 0..FNS_PER_FILE {
+            let callee = format!("gen_{}_{}", rng.below(FILES), rng.below(FNS_PER_FILE));
+            let body = match rng.below(4) {
+                // Allocates in a loop — flagged iff hot-reachable.
+                0 => "for x in &xs { out.push(x.to_string()); }".to_string(),
+                // Spawns — flagged by c1 iff no merge path.
+                1 => format!("scope.spawn(|| {callee}());"),
+                // Plain call edge.
+                2 => format!("{callee}();"),
+                // Call edge into the sanctioned merge helper.
+                _ => format!("{callee}(); finish(ordered_flatten(groups));"),
+            };
+            src.push_str(&format!("pub fn gen_{fi}_{fj}(xs: &[u32]) {{ {body} }}\n"));
+        }
+        if fi == 0 {
+            let entry = format!("gen_{}_{}", rng.below(FILES), rng.below(FNS_PER_FILE));
+            src.push_str(&format!(
+                "pub struct Internet;\nimpl Internet {{\n\
+                 pub fn run_to_quiescence(&mut self) {{ {entry}(); }}\n}}\n"
+            ));
+        }
+        if fi == 1 {
+            src.push_str("pub fn ordered_flatten(xs: Vec<Vec<u32>>) -> Vec<u32> { out }\n");
+        }
+        files.push((format!("crates/gen{fi}/src/lib.rs"), src));
+    }
+    files
+}
+
+proptest! {
+    #[test]
+    fn findings_are_independent_of_file_visit_order(seed in any::<u64>()) {
+        let cfg = Config::workspace_default();
+        let base = synth_workspace(seed);
+        let want = render_json(&lint_files(&base, &cfg), None);
+        // Rotations and a seed-derived shuffle cover both systematic
+        // and arbitrary reorderings.
+        let mut rng = Mix(seed ^ 0xdead_beef);
+        for round in 0..4 {
+            let mut perm = base.clone();
+            if round < 2 {
+                perm.rotate_left(1 + round);
+            } else {
+                for i in (1..perm.len()).rev() {
+                    perm.swap(i, rng.below(i + 1));
+                }
+            }
+            let got = render_json(&lint_files(&perm, &cfg), None);
+            prop_assert_eq!(&got, &want, "permutation round {} diverged", round);
+        }
+    }
+}

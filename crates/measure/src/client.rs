@@ -184,7 +184,6 @@ impl MeasurementClient {
                     return self.finish(hops);
                 }
             };
-            hops.push((current.clone(), outcome));
             match next {
                 Some(next_url) => {
                     if net.tracer().recording() {
@@ -194,9 +193,15 @@ impl MeasurementClient {
                             &[("to", &next_url.to_string())],
                         );
                     }
-                    current = next_url;
+                    // Hand the hop its URL by value instead of cloning
+                    // it: `current` moves into `hops` as `next_url`
+                    // takes its place.
+                    hops.push((std::mem::replace(&mut current, next_url), outcome));
                 }
-                None => break,
+                None => {
+                    hops.push((current, outcome));
+                    return self.finish(hops);
+                }
             }
         }
         self.finish(hops)
@@ -234,6 +239,9 @@ impl MeasurementClient {
     pub fn fetch_with_retries(&self, net: &Internet, vantage: VantageId, url: &Url) -> Observation {
         use std::sync::atomic::Ordering;
         let policy = &self.resilience.retry;
+        // The backoff label is a pure function of the vantage and URL;
+        // render it at most once across all attempts.
+        let mut backoff_label: Option<String> = None;
         let mut attempt = 1u32;
         loop {
             QualityCounters::bump(&self.quality.fetch_attempts);
@@ -249,8 +257,9 @@ impl MeasurementClient {
                     return obs;
                 }
             }
-            let label = format!("{}/{}", net.vantage(vantage).name, url);
-            let wait = policy.backoff_secs(attempt, net.seed(), &label);
+            let label = backoff_label
+                .get_or_insert_with(|| format!("{}/{}", net.vantage(vantage).name, url));
+            let wait = policy.backoff_secs(attempt, net.seed(), label);
             if net.tracer().recording() {
                 net.tracer().point(
                     StepKind::Retry,

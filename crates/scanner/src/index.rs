@@ -733,6 +733,7 @@ impl ScanIndex {
         let mut id_to_entry: Vec<(usize, usize)> = Vec::new();
         for (pi, product) in table.iter().enumerate() {
             for (ki, kw) in product.keywords.iter().enumerate() {
+                // filterwatch-lint: allow(h1-hot-alloc): plan compilation is amortized by the epoch cache, not per-probe
                 let folded = kw.to_ascii_lowercase();
                 needle_blooms.push(sparse_bloom(&folded));
                 needles.push((id_to_entry.len(), folded));
@@ -807,7 +808,7 @@ impl ScanIndex {
         match joined {
             // Ordered merge: group order is shard order, so the
             // parallel concatenation equals the serial scan.
-            Ok(Ok(results)) => results.into_iter().flatten().collect(),
+            Ok(Ok(results)) => crate::merge::ordered_flatten(results),
             // A worker died; fall back to the deterministic serial scan
             // rather than surface a partial sweep.
             _ => scan_shards(&plan.shard_scopes),

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod index;
 pub mod intern;
 pub mod keywords;
+pub mod merge;
 mod record;
 pub mod shard;
 pub mod synth;
@@ -46,6 +47,7 @@ pub use dump::{diff, IndexDiff};
 pub use engine::ScanEngine;
 pub use index::{DeltaStats, IndexStats, ProductHits, ScanIndex};
 pub use intern::{Interner, Sym};
+pub use merge::{ordered_flatten, ordered_merge_by_key};
 pub use record::ScanRecord;
 pub use shard::{IndexShard, ShardConfig, ShardEpoch};
 pub use synth::{synth_churn, synth_records, synth_records_with, SYNTH_COUNTRIES};

@@ -1,0 +1,49 @@
+//! Sanctioned deterministic merge helpers for threaded scans.
+//!
+//! Every parallel stage in the scanner fans work out over shard groups
+//! and must put the pieces back together in an order that is a pure
+//! function of the input — never of thread completion. These helpers
+//! are the registered merge points the `c1-spawn-merge` lint requires
+//! spawning functions to reach: routing a join through one of them is
+//! machine-checkable proof the merge is ordered, where a comment is
+//! only a claim.
+
+/// Concatenate per-worker result groups in group order. Workers are
+/// handed contiguous chunks of an ordered work list, so group-order
+/// concatenation reproduces the serial scan exactly.
+pub fn ordered_flatten<T>(groups: Vec<Vec<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(groups.iter().map(Vec::len).sum());
+    for group in groups {
+        out.extend(group);
+    }
+    out
+}
+
+/// Concatenate per-worker result groups, then impose a total order by
+/// `key`. For stages whose workers do not partition an ordered list
+/// (e.g. striped work-stealing), group order is meaningless and the
+/// sort supplies determinism instead. The sort is stable, so items
+/// with equal keys keep group order as a tiebreak.
+pub fn ordered_merge_by_key<T, K: Ord, F: FnMut(&T) -> K>(groups: Vec<Vec<T>>, key: F) -> Vec<T> {
+    let mut out = ordered_flatten(groups);
+    out.sort_by_key(key);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_preserves_group_then_item_order() {
+        let groups = vec![vec![3, 1], vec![], vec![2]];
+        assert_eq!(ordered_flatten(groups), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn merge_by_key_totally_orders_across_groups() {
+        let groups = vec![vec![(2, 'a')], vec![(1, 'b'), (2, 'c')]];
+        let merged = ordered_merge_by_key(groups, |&(k, _)| k);
+        assert_eq!(merged, vec![(1, 'b'), (2, 'a'), (2, 'c')]);
+    }
+}
